@@ -1,0 +1,49 @@
+# OmniWindow-Go developer targets. Pure stdlib: no tool dependencies
+# beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz examples reproduce fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/controller/ ./internal/wire/ .
+
+# Regenerate every paper table/figure once (tables in the bench log).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
+
+# Micro-benchmarks across all packages.
+microbench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/...
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ddosdetect
+	$(GO) run ./examples/lossradar
+	$(GO) run ./examples/dmlmonitor
+	$(GO) run ./examples/udpcollector
+	$(GO) run ./examples/networkwide
+
+# The full paper reproduction via the CLI.
+reproduce:
+	$(GO) run ./cmd/omnibench -exp all
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

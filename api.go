@@ -1,0 +1,65 @@
+package omniwindow
+
+import (
+	"omniwindow/internal/afr"
+	"omniwindow/internal/controller"
+	"omniwindow/internal/window"
+)
+
+// Re-exports of the types a deployment's user needs, so typical programs
+// only import this package (plus a sketch/telemetry package for the
+// application state they deploy).
+
+// StateApp is one memory region's application state; see afr.StateApp.
+type StateApp = afr.StateApp
+
+// Attr is an AFR attribute; see afr.Attr.
+type Attr = afr.Attr
+
+// Kind is a statistic's merge pattern; see afr.Kind.
+type Kind = afr.Kind
+
+// Merge patterns (§4.2).
+const (
+	Frequency   = afr.Frequency
+	Existence   = afr.Existence
+	Max         = afr.Max
+	Min         = afr.Min
+	Distinction = afr.Distinction
+)
+
+// TrackerConfig sizes the flowkey tracking structures; see
+// afr.TrackerConfig.
+type TrackerConfig = afr.TrackerConfig
+
+// Plan maps sub-windows to complete windows; see window.Plan.
+type Plan = window.Plan
+
+// Tumbling returns a non-overlapping plan of `size` sub-windows.
+func Tumbling(size int) Plan { return window.Tumbling(size) }
+
+// Sliding returns an overlapped plan advancing `slide` sub-windows per
+// window.
+func Sliding(size, slide int) Plan { return window.SlidingPlan(size, slide) }
+
+// Signal decides sub-window termination; see window.Signal.
+type Signal = window.Signal
+
+// TimeoutSignal yields fixed-length sub-windows.
+type TimeoutSignal = window.TimeoutSignal
+
+// CounterSignal terminates after a packet-count threshold.
+type CounterSignal = window.CounterSignal
+
+// SessionSignal terminates after idle gaps.
+type SessionSignal = window.SessionSignal
+
+// UserSignal follows application-embedded window boundaries.
+type UserSignal = window.UserSignal
+
+// WindowResult is one completed window's output; see
+// controller.WindowResult.
+type WindowResult = controller.WindowResult
+
+// OpTimes is the controller's O1-O5 breakdown; see controller.OpTimes.
+type OpTimes = controller.OpTimes

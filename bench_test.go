@@ -1,0 +1,186 @@
+package omniwindow_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the corresponding result at SmallScale and logs the table;
+// run with
+//
+//	go test -bench . -benchtime 1x
+//
+// to print every reproduction once. Absolute numbers come from the
+// simulated substrate (see DESIGN.md); the comparisons mirror the paper's.
+
+import (
+	"testing"
+
+	"omniwindow/internal/dml"
+	"omniwindow/internal/experiments"
+	"omniwindow/internal/switchsim"
+)
+
+const benchSeed = 2023
+
+// BenchmarkExp1QueryDriven reproduces Figure 7: Q1-Q7 precision/recall
+// under ITW, ISW, TW1, TW2, OTW, OSW.
+func BenchmarkExp1QueryDriven(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp1(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#1 (Figure 7)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp2Sketches reproduces Figure 8: the eight sketch algorithms
+// under the six window settings plus Sliding Sketch.
+func BenchmarkExp2Sketches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp2(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#2 (Figure 8)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp3DML reproduces Figure 9: per-iteration DML transfer times
+// measured through user-defined window signals.
+func BenchmarkExp3DML(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp3(dml.DefaultConfig(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#3 (Figure 9), max measurement error %.4f\n%s", res.MaxRelError(), res.Table())
+		}
+	}
+}
+
+// BenchmarkExp4ControllerBreakdown reproduces Figure 10: the controller's
+// per-sub-window O1-O5 time breakdown (real wall-clock measurements).
+func BenchmarkExp4ControllerBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp4(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#4 (Figure 10)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp5SwitchResources reproduces Table 2: per-feature switch
+// resource usage.
+func BenchmarkExp5SwitchResources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp5(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#5 (Table 2)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp6AFRCollection reproduces Figure 11: AFR generation and
+// collection time for OS, CPC, DPC, OW and the RDMA variants.
+func BenchmarkExp6AFRCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp6(experiments.DefaultExp6Config())
+		if i == 0 {
+			passes, afrs := experiments.ValidateExp6Passes(4096, 16)
+			b.Logf("Exp#6 (Figure 11) [functional check: %d passes, %d AFRs]\n%s", passes, afrs, res.Table())
+		}
+	}
+}
+
+// BenchmarkExp7AFRAggregation reproduces Figure 12: scalar vs vectorized
+// aggregation of 1M AFRs (real wall-clock).
+func BenchmarkExp7AFRAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp7(1 << 20)
+		if i == 0 {
+			b.Logf("Exp#7 (Figure 12)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp8InSwitchReset reproduces Figure 13: reset time, OS path vs
+// OW-4/8/16 clear packets, for 1-4 registers of 64K entries.
+func BenchmarkExp8InSwitchReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp8(65536, switchsim.DefaultCosts())
+		if i == 0 {
+			passes, clean := experiments.ValidateExp8Reset(4, 4096, 16)
+			b.Logf("Exp#8 (Figure 13) [functional check: %d passes, clean=%v]\n%s", passes, clean, res.Table())
+		}
+	}
+}
+
+// BenchmarkExp9Consistency reproduces Figure 14: LossRadar precision
+// under PTP clock deviation, local clocks vs OmniWindow stamping.
+func BenchmarkExp9Consistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp9(experiments.DefaultExp9Config(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#9 (Figure 14)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkExp10WindowSizes reproduces Figure 15: heavy-hitter accuracy
+// as the user-desired window grows from 0.5s to 2s.
+func BenchmarkExp10WindowSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExp10(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Exp#10 (Figure 15)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkAblationMergeStrategy compares the three sub-window merge
+// strategies of §4.1 (A1).
+func BenchmarkAblationMergeStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationMerge(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Ablation A1 (merge strategies)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkAblationSALULayout compares the flat single-SALU layout with
+// naive per-region registers (A2).
+func BenchmarkAblationSALULayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationSALU(4, 65536, 2)
+		if i == 0 {
+			b.Logf("Ablation A2 (SALU layout)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkAblationFlowkeyArray sweeps the flowkey-array size (A3).
+func BenchmarkAblationFlowkeyArray(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationFlowkey(experiments.SmallScale(benchSeed), []int{1024, 4096, 16384})
+		if i == 0 {
+			b.Logf("Ablation A3 (flowkey array)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkAblationSubWindowCount sweeps the sub-windows per window (A5).
+func BenchmarkAblationSubWindowCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationSubWindows(experiments.SmallScale(benchSeed), []int{2, 5, 10})
+		if i == 0 {
+			b.Logf("Ablation A5 (sub-window count)\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkSketchZoo compares every heavy-hitter-capable sketch in the
+// library under OmniWindow at equal memory (an extension beyond the
+// paper's MV/HP pair).
+func BenchmarkSketchZoo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSketchZoo(experiments.SmallScale(benchSeed))
+		if i == 0 {
+			b.Logf("Extension (sketch zoo)\n%s", res.Table())
+		}
+	}
+}

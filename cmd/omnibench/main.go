@@ -1,0 +1,125 @@
+// Command omnibench regenerates the paper's tables and figures on the
+// simulated substrate. Each experiment prints rows shaped like the
+// corresponding figure of the paper's evaluation (§9).
+//
+// Usage:
+//
+//	omnibench -exp all            # every experiment
+//	omnibench -exp 1              # Exp#1 only (Figure 7)
+//	omnibench -exp 9 -seed 7      # Exp#9 with a different seed
+//	omnibench -exp ablations      # the design-choice ablations
+//	omnibench -exp 2 -scale tiny  # fast, reduced-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"omniwindow/internal/dml"
+	"omniwindow/internal/experiments"
+	"omniwindow/internal/switchsim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 1-10, 'ablations' or 'all'")
+	seed := flag.Int64("seed", 2023, "random seed")
+	scale := flag.String("scale", "small", "workload scale: 'small' or 'tiny'")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale(*seed)
+	case "tiny":
+		sc = experiments.TinyScale(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(){
+		"1": func() {
+			section("Exp#1 — query-driven telemetry accuracy (Figure 7)")
+			fmt.Print(experiments.RunExp1(sc).Table())
+		},
+		"2": func() {
+			section("Exp#2 — sketch-based algorithms (Figure 8)")
+			fmt.Print(experiments.RunExp2(sc).Table())
+		},
+		"3": func() {
+			section("Exp#3 — DML case study via user-defined signals (Figure 9)")
+			res := experiments.RunExp3(dml.DefaultConfig(*seed))
+			fmt.Printf("max in-network measurement error: %.4f\n", res.MaxRelError())
+			fmt.Print(res.Table())
+		},
+		"4": func() {
+			section("Exp#4 — controller time breakdown O1-O5 (Figure 10)")
+			fmt.Print(experiments.RunExp4(sc).Table())
+		},
+		"5": func() {
+			section("Exp#5 — switch resource breakdown (Table 2)")
+			fmt.Print(experiments.RunExp5(sc).Table())
+		},
+		"6": func() {
+			section("Exp#6 — AFR generation & collection time (Figure 11)")
+			passes, afrs := experiments.ValidateExp6Passes(4096, 16)
+			fmt.Printf("functional check: %d passes enumerated %d AFRs\n", passes, afrs)
+			fmt.Print(experiments.RunExp6(experiments.DefaultExp6Config()).Table())
+		},
+		"7": func() {
+			section("Exp#7 — AFR aggregation time, 1M flows (Figure 12)")
+			fmt.Print(experiments.RunExp7(1 << 20).Table())
+		},
+		"8": func() {
+			section("Exp#8 — in-switch reset time (Figure 13)")
+			passes, clean := experiments.ValidateExp8Reset(4, 4096, 16)
+			fmt.Printf("functional check: %d passes, registers clean: %v\n", passes, clean)
+			fmt.Print(experiments.RunExp8(65536, switchsim.DefaultCosts()).Table())
+		},
+		"9": func() {
+			section("Exp#9 — window consistency vs PTP deviation (Figure 14)")
+			fmt.Print(experiments.RunExp9(experiments.DefaultExp9Config(*seed)).Table())
+		},
+		"10": func() {
+			section("Exp#10 — accuracy under different window sizes (Figure 15)")
+			fmt.Print(experiments.RunExp10(sc).Table())
+		},
+		"zoo": func() {
+			section("Extension — heavy-hitter sketch zoo under OmniWindow")
+			fmt.Print(experiments.RunSketchZoo(sc).Table())
+		},
+		"ablations": func() {
+			section("Ablation A1 — sub-window merge strategies (§4.1)")
+			fmt.Print(experiments.RunAblationMerge(sc).Table())
+			section("Ablation A2 — SALU layout (§6)")
+			fmt.Print(experiments.RunAblationSALU(4, 65536, 2).Table())
+			section("Ablation A3 — flowkey array size (Algorithm 1)")
+			fmt.Print(experiments.RunAblationFlowkey(sc, []int{1024, 4096, 16384}).Table())
+			section("Ablation A5 — sub-windows per window")
+			fmt.Print(experiments.RunAblationSubWindows(sc, []int{2, 5, 10}).Table())
+		},
+	}
+
+	order := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "ablations", "zoo"}
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	start := time.Now()
+	for _, name := range selected {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want 1-10, 'ablations' or 'all')\n", name)
+			os.Exit(2)
+		}
+		run()
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

@@ -1,0 +1,452 @@
+package omniwindow
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow/internal/controller"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/switchsim"
+)
+
+// deployResources compiles the OmniWindow data-plane program onto the
+// simulated switch with per-feature attribution, mirroring the Exp#5
+// resource breakdown (Table 2). Sizes come from the configuration; stages
+// come from the placement solver, driven by the program's real dependency
+// structure: the signal decides the sub-window, the consistency model
+// stamps it, the address MAT derives the region offset, flowkey tracking
+// and the application state consume it, and AFR generation / reset sit
+// behind the tracking structures they enumerate.
+func (d *Deployment) deployResources() error {
+	t := d.cfg.Tracker
+	spec := switchsim.ProgramSpec{
+		Registers: []switchsim.RegSpec{
+			{Name: "subwindow_num", Feature: "Signal", Entries: 1, Width: 4},
+			{Name: "signal_state", Feature: "Signal", Entries: 4096, Width: 8},
+		},
+		MATs: []switchsim.MATSpec{
+			{Name: "signal_gate", Feature: "Signal", VLIWs: 3, Gateways: 2, After: []string{"signal_state"}},
+			{Name: "stamp_adopt", Feature: "Consistency model", VLIWs: 2, Gateways: 1,
+				After: []string{"subwindow_num"}},
+			{Name: "region_offset", Feature: "Address location", SRAMKB: 16, VLIWs: 2,
+				After: []string{"stamp_adopt"}},
+			{Name: "fk_track_gate", Feature: "Flowkey tracking", SRAMKB: 4, VLIWs: 7, Gateways: 7,
+				After: []string{"region_offset"}},
+			{Name: "afr_gen", Feature: "AFR generation", VLIWs: 4, Gateways: 3,
+				After: []string{"fk_buffer_r0", "fk_buffer_r1"}},
+		},
+	}
+	// Flowkey tracking: fk_buffer plus a k-hash Bloom filter, per region
+	// (Algorithm 1). The Bloom rows depend on the tracking gate; the
+	// buffers depend on the Bloom verdict.
+	for r := 0; r < 2; r++ {
+		var bloomNames []string
+		for h := 0; h < t.BloomHashes; h++ {
+			name := fmt.Sprintf("bloom_r%d_h%d", r, h)
+			bloomNames = append(bloomNames, name)
+			spec.Registers = append(spec.Registers, switchsim.RegSpec{
+				Name: name, Feature: "Flowkey tracking",
+				Entries: maxInt(t.BloomBits/64, 1), Width: 8,
+				After: []string{"fk_track_gate"},
+			})
+		}
+		spec.Registers = append(spec.Registers, switchsim.RegSpec{
+			Name: fmt.Sprintf("fk_buffer_r%d", r), Feature: "Flowkey tracking",
+			Entries: maxInt(t.BufferKeys, 1), Width: packet.KeyBytes,
+			After: bloomNames,
+		})
+	}
+	// The application's flat register holds both regions concatenated:
+	// one SALU regardless of region count (the §6 optimization).
+	spec.Registers = append(spec.Registers, switchsim.RegSpec{
+		Name: "app_flat", Feature: "App state", Entries: 2 * d.cfg.Slots, Width: 8,
+		After: []string{"region_offset"},
+	})
+	// In-switch reset enumerates the application registers.
+	spec.Registers = append(spec.Registers, switchsim.RegSpec{
+		Name: "reset_counter", Feature: "In-switch reset", Entries: 1, Width: 4,
+	})
+	spec.MATs = append(spec.MATs, switchsim.MATSpec{
+		Name: "reset_gate", Feature: "In-switch reset", SRAMKB: 28, VLIWs: 5, Gateways: 5,
+		After: []string{"reset_counter", "app_flat"},
+	})
+	if d.cfg.RDMA {
+		matKB := (d.cfg.AddressMATSize*24 + 1023) / 1024
+		spec.MATs = append(spec.MATs, switchsim.MATSpec{
+			Name: "address_mat", Feature: "RDMA opt.", SRAMKB: matKB, VLIWs: 12, Gateways: 8,
+			After: []string{"afr_gen"},
+		})
+		spec.Registers = append(spec.Registers, switchsim.RegSpec{
+			Name: "roce_psn", Feature: "RDMA opt.", Entries: 1, Width: 4,
+			After: []string{"address_mat"},
+		})
+		spec.MATs = append(spec.MATs, switchsim.MATSpec{
+			Name: "roce_craft", Feature: "RDMA opt.", SRAMKB: 8, VLIWs: 8, Gateways: 5,
+			After: []string{"roce_psn"},
+		})
+	}
+	_, err := switchsim.Place(d.sw, spec)
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// installProgram wires the per-packet pipeline logic.
+func (d *Deployment) installProgram() {
+	d.sw.SetProgram(func(pass *switchsim.Pass) {
+		p := pass.Pkt
+		if d.engine.HandleSpecial(pass) {
+			return
+		}
+		res := d.manager.OnPacket(p, p.Time)
+		for _, ended := range res.Terminated {
+			trig := p.Clone()
+			trig.OW.Flag = packet.OWTrigger
+			trig.OW.SubWindow = ended
+			trig.OW.KeyCount = uint32(d.engine.Tracker().KeyCount(d.manager.Regions().Index(ended)))
+			pass.CloneToController(trig)
+		}
+		if res.Spike {
+			c := p.Clone()
+			c.OW.Flag = packet.OWLatencySpike
+			pass.CloneToController(c)
+			return
+		}
+		if !d.regionOwned[res.Region] || d.regionOwner[res.Region] < res.Monitor {
+			d.regionOwner[res.Region] = res.Monitor
+			d.regionOwned[res.Region] = true
+		}
+		if spillKey, spill := d.engine.Update(res.Region, p); spill {
+			c := p.Clone()
+			c.OW.Flag = packet.OWSpill
+			c.OW.Key = spillKey
+			pass.CloneToController(c)
+		}
+	})
+}
+
+// ProcessPacket feeds one traffic packet (in non-decreasing time order)
+// through the deployment. Completed windows accumulate in Results. The
+// packet is copied before entering the pipeline: the first-hop stamp this
+// deployment writes must not leak into the caller's trace (which may be
+// replayed through other deployments).
+func (d *Deployment) ProcessPacket(p *packet.Packet) {
+	d.now = p.Time
+	d.runDueCollections()
+	q := *p
+	out := d.sw.Inject(&q)
+	d.stats.Packets++
+	d.handleSwitchOutput(out)
+}
+
+// ProcessAndForward feeds one packet through the deployment and returns
+// the packets leaving on egress — carrying this switch's sub-window stamp,
+// ready to be fed into a downstream deployment (the network-wide mode of
+// §5: the first hop stamps, later hops adopt).
+func (d *Deployment) ProcessAndForward(p *packet.Packet) []*packet.Packet {
+	d.now = p.Time
+	d.runDueCollections()
+	q := *p
+	out := d.sw.Inject(&q)
+	d.stats.Packets++
+	d.handleSwitchOutput(out)
+	return out.Forward
+}
+
+// Tick advances virtual time without traffic, firing timeout signals and
+// due collections (the periodically generated timeout signals of §5).
+func (d *Deployment) Tick(now int64) {
+	d.now = now
+	d.runDueCollections()
+	for _, ended := range d.manager.Tick(now) {
+		d.sendTrigger(ended)
+		d.onTerminated(ended)
+	}
+	d.runDueCollections()
+}
+
+// sendTrigger delivers the sub-window-terminated announcement the data
+// plane would clone to the controller (sub-window number + tracked key
+// count, for AFR-loss detection).
+func (d *Deployment) sendTrigger(ended uint64) {
+	region := d.manager.Regions().Index(ended)
+	kc := 0
+	if d.regionOwned[region] && d.regionOwner[region] == ended {
+		kc = d.engine.Tracker().KeyCount(region)
+	}
+	trig := &packet.Packet{OW: packet.OWHeader{
+		Flag: packet.OWTrigger, SubWindow: ended, KeyCount: uint32(kc),
+	}}
+	for _, c := range d.ctrls {
+		c.Receive(trig)
+	}
+}
+
+// Run processes a whole trace and finalizes the trailing sub-window.
+func (d *Deployment) Run(pkts []packet.Packet) []controller.WindowResult {
+	for i := range pkts {
+		d.ProcessPacket(&pkts[i])
+	}
+	d.Finalize()
+	return d.results
+}
+
+// RunFor processes a trace and then advances the clock to duration, so
+// that every time-based sub-window within [0, duration) terminates and is
+// collected — the natural finish for timeout-signal deployments whose
+// trace has a known length.
+func (d *Deployment) RunFor(pkts []packet.Packet, duration int64) []controller.WindowResult {
+	for i := range pkts {
+		d.ProcessPacket(&pkts[i])
+	}
+	d.Tick(duration)
+	d.now += 1 << 40 // move past every grace deadline
+	d.runDueCollections()
+	return d.results
+}
+
+// Finalize terminates the active sub-window and flushes every pending
+// collection.
+func (d *Deployment) Finalize() {
+	ended := d.manager.ForceTerminate()
+	d.sendTrigger(ended)
+	d.onTerminated(ended)
+	d.now += 1 << 40 // move past every grace deadline
+	d.runDueCollections()
+}
+
+// handleSwitchOutput routes switch-to-controller packets.
+func (d *Deployment) handleSwitchOutput(out switchsim.Output) {
+	for _, c := range out.ToController {
+		switch c.OW.Flag {
+		case packet.OWTrigger:
+			for _, ctrl := range d.ctrls {
+				ctrl.Receive(c)
+			}
+			d.onTerminated(c.OW.SubWindow)
+		case packet.OWSpill:
+			d.stats.Spills++
+			d.spilled[c.OW.SubWindow] = append(d.spilled[c.OW.SubWindow], c.OW.Key)
+		case packet.OWLatencySpike:
+			d.stats.Spikes++
+			// The controller processes spike packets in software; the
+			// synchronous driver has already counted them.
+		case packet.OWAFR:
+			d.deliverAFRs(c)
+		}
+	}
+}
+
+// onTerminated schedules a terminated sub-window's C&R after the grace
+// period.
+func (d *Deployment) onTerminated(sw uint64) {
+	d.pending = append(d.pending, pendingCR{sw: sw, due: d.now + int64(d.cfg.Grace)})
+}
+
+// runDueCollections performs C&R for every pending sub-window whose grace
+// period has elapsed.
+func (d *Deployment) runDueCollections() {
+	for len(d.pending) > 0 && d.pending[0].due <= d.now {
+		cr := d.pending[0]
+		d.pending = d.pending[1:]
+		d.collect(cr.sw)
+	}
+}
+
+// collect runs the full C&R round for one sub-window: collection-packet
+// enumeration (Algorithm 2), controller-injected spilled keys, the
+// reliability check, in-switch reset, and controller window assembly.
+func (d *Deployment) collect(sw uint64) {
+	costs := d.cfg.Costs
+	region := d.manager.Regions().Index(sw)
+	// A region only holds the state of the newest sub-window that used
+	// it. Stale terminations (idle gaps longer than the region count)
+	// have nothing to collect — and must not reset a region now owned by
+	// a newer sub-window.
+	owned := d.regionOwned[region] && d.regionOwner[region] == sw
+
+	var afrs int
+	virtual := d.cfg.Grace
+
+	if owned {
+		d.engine.BeginCollection(sw)
+		keyCount := d.engine.Tracker().KeyCount(region)
+
+		// Phase 1 — enumeration: inject the collection packets; each
+		// recirculates, emitting one AFR per pass, until the flowkey
+		// array is exhausted.
+		passes := 0
+		for i := 0; i < d.cfg.CollectionPackets; i++ {
+			out := d.sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWCollection}})
+			passes += out.Passes
+			for _, c := range out.ToController {
+				if c.OW.Flag == packet.OWAFR {
+					afrs += len(c.OW.AFRs)
+					d.deliverAFRs(c)
+				}
+			}
+		}
+		virtual += costs.RecircTime(d.cfg.CollectionPackets, keyCount)
+
+		// Phase 2 — controller-injected flow keys for the spilled
+		// remainder (§4.2), queried while the region still holds state.
+		spilled := d.spilled[sw]
+		delete(d.spilled, sw)
+		seq := uint32(keyCount)
+		for _, k := range spilled {
+			inj := &packet.Packet{OW: packet.OWHeader{Flag: packet.OWInjectKey, Key: k, Index: seq, SubWindow: sw}}
+			seq++
+			out := d.sw.Inject(inj)
+			for _, c := range out.ToController {
+				if c.OW.Flag == packet.OWAFR {
+					afrs += len(c.OW.AFRs)
+					d.deliverAFRs(c)
+				}
+			}
+		}
+		virtual += time.Duration(len(spilled)) * costs.DPDKInjectPerKey
+
+		// Phase 3 — reliability: recover AFRs lost on the way (§8),
+		// before the reset destroys the state they are queried from.
+		// The RDMA path needs no recovery: RoCEv2 RC transport is
+		// reliable and hot records bypass the packet path entirely.
+		if !d.cfg.RDMA {
+			if missing := d.ctrl.MissingSeqs(sw); len(missing) > 0 {
+				recovered := d.engine.Retransmit(missing)
+				d.ingestByApp(recovered)
+				d.stats.Retransmitted += len(recovered)
+			}
+		}
+
+		// Phase 4 — in-switch reset: the parked collection packets are
+		// reused as clear packets (§4.3), each zeroing one slot of every
+		// register per pass.
+		for i := 0; i < d.cfg.CollectionPackets; i++ {
+			out := d.sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
+			passes += out.Passes
+		}
+		d.stats.RecircPasses += passes
+		virtual += costs.RecircTime(d.cfg.CollectionPackets, d.cfg.Slots)
+
+		d.regionOwned[region] = false
+	}
+
+	// RDMA mode: drain the cold buffer and read back hot rows, zeroing
+	// each consumed lane for its next same-lane sub-window.
+	if d.cfg.RDMA {
+		cold := d.nic.Drain()
+		d.ctrl.IngestAFRs(cold)
+		d.stats.ControllerCPUVirtual += time.Duration(len(cold)) * costs.DPDKRxPerPacket
+		lane := int(sw) % d.mr.Lanes()
+		var hotRecs []packet.AFR
+		for k, base := range d.hotRows {
+			row := d.mr.ReadRow(base)
+			if row[lane] == 0 {
+				continue
+			}
+			hotRecs = append(hotRecs, packet.AFR{Key: k, Attr: row[lane], SubWindow: sw, Seq: ^uint32(0) - uint32(len(hotRecs))})
+			d.mr.ResetLane(base, lane)
+		}
+		d.ctrl.IngestAFRs(hotRecs)
+	} else {
+		d.stats.ControllerCPUVirtual += time.Duration(afrs) * costs.DPDKRxPerPacket
+	}
+
+	d.stats.AFRs += afrs
+	d.stats.SubWindows++
+	d.stats.CollectVirtual += virtual
+	if virtual > d.stats.MaxCollectVirtual {
+		d.stats.MaxCollectVirtual = virtual
+	}
+
+	var windows []controller.WindowResult
+	for i, ctrl := range d.ctrls {
+		w := ctrl.FinishSubWindow(sw)
+		d.appResults[i] = append(d.appResults[i], w...)
+		if i == 0 {
+			windows = w
+		}
+	}
+	d.results = d.appResults[0]
+
+	// RDMA: age key hotness once per completed window, demoting keys
+	// that stopped recurring.
+	if d.cfg.RDMA && len(windows) > 0 {
+		for _, k := range d.hot.Decay() {
+			d.mat.Delete(k)
+			delete(d.hotRows, k)
+		}
+	}
+}
+
+// deliverAFRs routes AFR-bearing packets to the controller — via the RNIC
+// when RDMA is enabled, via DPDK packet RX otherwise.
+func (d *Deployment) deliverAFRs(c *packet.Packet) {
+	if d.testAFRLoss != nil {
+		i := d.afrPktCount
+		d.afrPktCount++
+		if d.testAFRLoss(i) {
+			return // injected loss: cloned packets have lowest priority
+		}
+	}
+	if !d.cfg.RDMA {
+		if len(d.ctrls) == 1 {
+			d.ctrl.Receive(c)
+			return
+		}
+		d.ingestByApp(c.OW.AFRs)
+		return
+	}
+	for _, r := range c.OW.AFRs {
+		if d.hot.Observe(r.Key) {
+			if base, ok := d.mr.AllocRow(); ok {
+				d.mat.Insert(r.Key, base)
+				d.hotRows[r.Key] = base
+			}
+		}
+		hot, err := d.collector.SendGrouped(r)
+		if err != nil {
+			// Buffer overflow: fall back to the packet path for this
+			// record rather than dropping telemetry data.
+			d.ctrl.IngestAFRs([]packet.AFR{r})
+			continue
+		}
+		if hot {
+			d.stats.HotAFRs++
+		} else {
+			d.stats.ColdAFRs++
+		}
+	}
+}
+
+// ingestByApp routes records to their app's controller.
+func (d *Deployment) ingestByApp(recs []packet.AFR) {
+	for _, r := range recs {
+		if int(r.App) < len(d.ctrls) {
+			d.ctrls[r.App].IngestAFRs([]packet.AFR{r})
+		}
+	}
+}
+
+// assertConsistent double-checks internal invariants; exposed for tests.
+func (d *Deployment) assertConsistent() error {
+	if d.stats.MaxCollectVirtual > 0 && d.cfg.SubWindow > 0 &&
+		d.stats.MaxCollectVirtual > d.cfg.SubWindow {
+		return errCollectTooSlow{d.stats.MaxCollectVirtual, d.cfg.SubWindow}
+	}
+	return nil
+}
+
+type errCollectTooSlow struct {
+	got, budget time.Duration
+}
+
+func (e errCollectTooSlow) Error() string {
+	return "omniwindow: C&R time " + e.got.String() + " exceeds sub-window " + e.budget.String() +
+		" — two memory regions are insufficient at this rate (§6)"
+}

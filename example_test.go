@@ -1,0 +1,48 @@
+package omniwindow_test
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/telemetry"
+)
+
+// Example deploys a tumbling-window heavy-hitter monitor and feeds it a
+// hand-built burst that crosses a sub-window boundary: the merged window
+// reports the flow even though neither sub-window alone is above
+// threshold (the paper's §4.1 motivating case).
+func Example() {
+	d, err := omniwindow.New(omniwindow.Config{
+		SubWindow: 100 * time.Millisecond,
+		Plan:      omniwindow.Tumbling(5), // 500 ms windows of five sub-windows
+		Kind:      omniwindow.Frequency,
+		Threshold: 100,
+		AppFactory: func(region int) omniwindow.StateApp {
+			return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 1024, uint64(region+1)), 1024)
+		},
+		Slots:         1024,
+		CaptureValues: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	flow := packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP}
+	emit := func(at int64, n int) {
+		for i := 0; i < n; i++ {
+			d.ProcessPacket(&packet.Packet{Key: flow, Size: 100, Time: at + int64(i)*1000})
+		}
+	}
+	emit(50_000_000, 60)  // 60 packets in sub-window 0
+	emit(150_000_000, 80) // 80 packets in sub-window 1
+
+	for _, w := range d.RunFor(nil, 500_000_000) {
+		fmt.Printf("window [%d..%d]: flow count %d, detected %d\n",
+			w.Start, w.End, w.Values[flow], len(w.Detected))
+	}
+	// Output:
+	// window [0..4]: flow count 140, detected 1
+}

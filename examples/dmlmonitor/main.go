@@ -1,0 +1,61 @@
+// dmlmonitor reproduces the paper's Exp#3 case study as an application:
+// a parameter-server training job embeds its iteration number in every
+// packet; OmniWindow's user-defined signal makes each iteration a window,
+// and a span app measures each worker's gradient-transfer time in the
+// network — no end-host instrumentation.
+//
+// Run with:
+//
+//	go run ./examples/dmlmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"omniwindow"
+	"omniwindow/internal/dml"
+	"omniwindow/internal/telemetry"
+)
+
+func main() {
+	cfg := dml.DefaultConfig(11)
+	cfg.Iterations = 64
+	pkts := dml.Generate(cfg)
+
+	d, err := omniwindow.New(omniwindow.Config{
+		Signal: omniwindow.UserSignal{},
+		Plan:   omniwindow.Tumbling(1), // one window per training iteration
+		Kind:   omniwindow.Max,
+		AppFactory: func(region int) omniwindow.StateApp {
+			return telemetry.NewSpanApp(1024, uint64(region))
+		},
+		Slots:         1024,
+		CaptureValues: true,
+		Grace:         50_000, // 50 us: iterations are milliseconds long
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := d.Run(pkts)
+
+	fmt.Printf("monitored %d packets over %d iterations (%d workers)\n\n",
+		d.Stats().Packets, cfg.Iterations, cfg.Workers)
+	fmt.Println("iter  ratio  per-worker transfer time (ms)")
+	for _, w := range results {
+		iter := int(w.Start)
+		if iter >= cfg.Iterations || iter%4 != 0 {
+			continue
+		}
+		var cells []string
+		for wk := 0; wk < cfg.Workers; wk++ {
+			cells = append(cells, fmt.Sprintf("w%d=%.2f", wk,
+				float64(w.Values[dml.WorkerKey(wk)])/1e6))
+		}
+		bar := strings.Repeat("#", int(w.Values[dml.WorkerKey(0)]/50_000)+1)
+		fmt.Printf("%4d  %5d  %s  %s\n", iter, cfg.Ratio(iter), strings.Join(cells, " "), bar)
+	}
+	fmt.Println("\ntransfer time halves every 16 iterations as the gradient")
+	fmt.Println("compression ratio doubles — measured entirely in-network.")
+}

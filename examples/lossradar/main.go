@@ -1,0 +1,123 @@
+// lossradar demonstrates network-wide packet-loss detection with two
+// LossRadar meters on adjacent switches, and why OmniWindow's consistency
+// model matters: with PTP-synchronized local clocks the two switches
+// meter boundary packets into different sub-windows and report phantom
+// losses; with OmniWindow's first-hop stamping only genuine losses
+// surface (paper §5 and Exp#9).
+//
+// Run with:
+//
+//	go run ./examples/lossradar
+package main
+
+import (
+	"fmt"
+
+	"omniwindow/internal/netsim"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/window"
+)
+
+const (
+	subWindow = int64(20_000_000) // 20 ms sub-windows
+	deviation = int64(200_000)    // 200 us PTP clock deviation
+	flows     = 200
+	perFlow   = 200
+)
+
+func traffic() []packet.Packet {
+	pkts := make([]packet.Packet, 0, flows*perFlow)
+	gap := int64(400_000_000) / int64(perFlow)
+	for f := 0; f < flows; f++ {
+		key := packet.FlowKey{SrcIP: uint32(0x0A000100 + f), DstIP: 0x0A000001,
+			SrcPort: uint16(2000 + f), DstPort: 80, Proto: packet.ProtoUDP}
+		for j := 0; j < perFlow; j++ {
+			pkts = append(pkts, packet.Packet{Key: key, Size: 256, Seq: uint32(j),
+				Time: int64(j)*gap + int64(f)*17})
+		}
+	}
+	// The per-flow interleave is already nearly sorted; fix the rest.
+	for i := 1; i < len(pkts); i++ {
+		for j := i; j > 0 && pkts[j].Time < pkts[j-1].Time; j-- {
+			pkts[j], pkts[j-1] = pkts[j-1], pkts[j]
+		}
+	}
+	return pkts
+}
+
+func run(stamped bool) (reported, genuine int) {
+	up := map[uint64]*sketch.LossRadar{}
+	down := map[uint64]*sketch.LossRadar{}
+	meter := func(ms map[uint64]*sketch.LossRadar, sw uint64) *sketch.LossRadar {
+		if ms[sw] == nil {
+			ms[sw] = sketch.NewLossRadar(4096, 3, 99)
+		}
+		return ms[sw]
+	}
+	m0 := window.NewManager(window.TimeoutSignal{Interval: subWindow}, window.NewRegions(2, 4))
+	m1 := window.NewManager(window.TimeoutSignal{Interval: subWindow}, window.NewRegions(2, 4))
+
+	lost := map[sketch.PacketID]bool{}
+	off0, off1 := netsim.SymmetricOffsets(deviation)
+	path := netsim.Path{
+		Hops: []netsim.Hop{
+			{Offset: off0, Process: func(p *packet.Packet, lt int64) {
+				sw := uint64(lt / subWindow)
+				if stamped {
+					sw = m0.OnPacket(p, lt).Monitor
+				}
+				meter(up, sw).Insert(sketch.PacketID{Key: p.Key, Seq: p.Seq})
+			}},
+			{Offset: off1, Process: func(p *packet.Packet, lt int64) {
+				sw := uint64(lt / subWindow)
+				if stamped {
+					sw = m1.OnPacket(p, lt).Monitor
+				}
+				meter(down, sw).Insert(sketch.PacketID{Key: p.Key, Seq: p.Seq})
+			}},
+		},
+		LinkDelay: []int64{10_000},
+	}
+	drop := netsim.BernoulliLoss(0, 0.004, 5)
+	path.Loss = func(p *packet.Packet, hop int) bool {
+		if drop(p, hop) {
+			lost[sketch.PacketID{Key: p.Key, Seq: p.Seq}] = true
+			return true
+		}
+		return false
+	}
+	path.Run(traffic())
+
+	for sw, u := range up {
+		if d := down[sw]; d != nil {
+			u.Subtract(d)
+		}
+		ids, _, _ := u.Decode()
+		for _, id := range ids {
+			reported++
+			if lost[id] {
+				genuine++
+			}
+		}
+	}
+	return reported, genuine
+}
+
+func main() {
+	fmt.Printf("two switches, %d us PTP deviation, 0.4%% genuine loss\n\n", deviation/1000)
+	for _, mode := range []struct {
+		name    string
+		stamped bool
+	}{{"local clocks ", false}, {"OmniWindow   ", true}} {
+		reported, genuine := run(mode.stamped)
+		precision := 100.0
+		if reported > 0 {
+			precision = 100 * float64(genuine) / float64(reported)
+		}
+		fmt.Printf("%s reported %4d losses, %4d genuine  (precision %5.1f%%)\n",
+			mode.name, reported, genuine, precision)
+	}
+	fmt.Println("\nOmniWindow's first-hop stamp keeps both meters on the same sub-window,")
+	fmt.Println("so the subtracted difference contains only genuinely lost packets.")
+}

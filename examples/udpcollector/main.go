@@ -1,0 +1,150 @@
+// udpcollector splits OmniWindow across two "machines" connected by real
+// UDP sockets on loopback: the switch process runs the data plane
+// (window manager + flowkey tracking + AFR generation on the simulated
+// pipeline) and ships every controller-bound packet as a wire-encoded
+// datagram; the collector process runs a UDP listener feeding the
+// controller, which assembles the merged window and answers the query —
+// the paper's DPDK collection path as an ordinary network service.
+//
+// Run with:
+//
+//	go run ./examples/udpcollector
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/controller"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/switchsim"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/trace"
+	"omniwindow/internal/window"
+)
+
+const (
+	subWindow = 100 * trace.Millisecond
+	windowSub = 5
+	slots     = 4096
+)
+
+func main() {
+	// ---- Controller machine: UDP listener + controller. ----
+	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := controller.NewAsync(controller.New(controller.Config{
+		Plan:          window.Tumbling(windowSub),
+		Kind:          afr.Frequency,
+		Threshold:     400,
+		CaptureValues: true,
+	}))
+	col := controller.NewCollector(serverConn, ctrl)
+	defer ctrl.Close()
+
+	// ---- Switch machine: data plane + UDP uplink. ----
+	uplink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer uplink.Close()
+	send := func(p *packet.Packet) {
+		if err := controller.SendDatagram(uplink, col.Addr(), p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mgr := window.NewManager(window.TimeoutSignal{Interval: subWindow}, window.NewRegions(2, slots))
+	apps := []afr.StateApp{
+		telemetry.NewFrequencyApp(sketch.NewCountMin(4, slots, 1), slots),
+		telemetry.NewFrequencyApp(sketch.NewCountMin(4, slots, 2), slots),
+	}
+	engine := afr.NewEngine(afr.NewTracker(afr.TrackerConfig{
+		BufferKeys: 8192, BloomBits: 1 << 18, BloomHashes: 3,
+	}), apps, mgr.Regions())
+
+	sw := switchsim.New(0)
+	var pendingCollect []uint64
+	sw.SetProgram(func(pass *switchsim.Pass) {
+		p := pass.Pkt
+		if engine.HandleSpecial(pass) {
+			return
+		}
+		res := mgr.OnPacket(p, p.Time)
+		for _, ended := range res.Terminated {
+			trig := p.Clone()
+			trig.OW.Flag = packet.OWTrigger
+			trig.OW.SubWindow = ended
+			trig.OW.KeyCount = uint32(engine.Tracker().KeyCount(mgr.Regions().Index(ended)))
+			pass.CloneToController(trig)
+			pendingCollect = append(pendingCollect, ended)
+		}
+		if !res.Spike {
+			engine.Update(res.Region, p)
+		}
+	})
+
+	// Workload: a heavy burst on top of background flows.
+	cfg := trace.DefaultConfig(3)
+	cfg.Flows = 4000
+	cfg.Duration = 500 * trace.Millisecond
+	cfg.Anomalies = []trace.Anomaly{
+		trace.HeavyBurst{Key: trace.BurstKey(0), Packets: 700, At: 250 * trace.Millisecond, Spread: 300 * trace.Millisecond},
+	}
+	pkts := trace.New(cfg).Generate()
+
+	collect := func(sw64 uint64) {
+		engine.BeginCollection(sw64)
+		for i := 0; i < 3; i++ {
+			out := sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWCollection}})
+			for _, c := range out.ToController {
+				send(c)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
+		}
+	}
+
+	ship := func(out switchsim.Output) {
+		for _, c := range out.ToController {
+			send(c)
+		}
+	}
+	for i := range pkts {
+		ship(sw.Inject(&pkts[i]))
+		for len(pendingCollect) > 0 {
+			collect(pendingCollect[0])
+			pendingCollect = pendingCollect[1:]
+		}
+	}
+	// Flush the final sub-window.
+	last := mgr.ForceTerminate()
+	trig := &packet.Packet{OW: packet.OWHeader{Flag: packet.OWTrigger, SubWindow: last,
+		KeyCount: uint32(engine.Tracker().KeyCount(mgr.Regions().Index(last)))}}
+	send(trig)
+	collect(last)
+
+	// ---- Controller machine: wait for delivery, assemble the window. ----
+	for sub := uint64(0); sub <= last; sub++ {
+		deadline := time.Now().Add(3 * time.Second)
+		for ctrl.MissingSeqs(sub) != nil && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		for _, w := range ctrl.FinishSubWindow(sub) {
+			fmt.Printf("window [sub %d..%d]: %d flows merged, heavy hitters:\n",
+				w.Start, w.End, len(w.Values))
+			for _, k := range w.Detected {
+				fmt.Printf("  %s = %d packets\n", k, w.Values[k])
+			}
+		}
+	}
+	col.Close()
+	fmt.Printf("collector decode failures: %d\n", col.Drops())
+}

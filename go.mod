@@ -1,0 +1,3 @@
+module omniwindow
+
+go 1.22

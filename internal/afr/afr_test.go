@@ -1,0 +1,338 @@
+package afr
+
+import (
+	"testing"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/switchsim"
+	"omniwindow/internal/window"
+)
+
+func fk(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: uint32(i), DstPort: 80, Proto: packet.ProtoTCP}
+}
+
+func smallTracker(buf int) *Tracker {
+	return NewTracker(TrackerConfig{BufferKeys: buf, BloomBits: 1 << 14, BloomHashes: 3, Regions: 2})
+}
+
+func TestTrackerDedupes(t *testing.T) {
+	tr := smallTracker(16)
+	if isNew, spill := tr.Track(0, fk(1)); !isNew || spill {
+		t.Fatalf("first sighting: new=%v spill=%v", isNew, spill)
+	}
+	if isNew, spill := tr.Track(0, fk(1)); isNew || spill {
+		t.Fatalf("duplicate: new=%v spill=%v", isNew, spill)
+	}
+	if tr.KeyCount(0) != 1 {
+		t.Fatalf("key count = %d", tr.KeyCount(0))
+	}
+}
+
+func TestTrackerSpillsWhenFull(t *testing.T) {
+	tr := smallTracker(4)
+	for i := 0; i < 4; i++ {
+		if _, spill := tr.Track(0, fk(i)); spill {
+			t.Fatalf("premature spill at %d", i)
+		}
+	}
+	if _, spill := tr.Track(0, fk(99)); !spill {
+		t.Fatal("full buffer did not spill")
+	}
+	if tr.KeyCount(0) != 4 {
+		t.Fatalf("key count = %d", tr.KeyCount(0))
+	}
+}
+
+func TestTrackerRegionsIndependent(t *testing.T) {
+	tr := smallTracker(16)
+	tr.Track(0, fk(1))
+	if isNew, _ := tr.Track(1, fk(1)); !isNew {
+		t.Fatal("regions must track independently")
+	}
+	tr.ResetRegion(0)
+	if tr.KeyCount(0) != 0 {
+		t.Fatal("reset region kept keys")
+	}
+	if tr.KeyCount(1) != 1 {
+		t.Fatal("reset clobbered other region")
+	}
+	if isNew, _ := tr.Track(0, fk(1)); !isNew {
+		t.Fatal("bloom not cleared by region reset")
+	}
+}
+
+func TestTrackerDefaults(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	tr := NewTracker(cfg)
+	if tr.Config().BufferKeys != 32*1024 {
+		t.Fatalf("default buffer = %d", tr.Config().BufferKeys)
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting broken")
+	}
+	if NewTracker(TrackerConfig{Regions: 0, BloomBits: 64, BloomHashes: 1}).Config().Regions != 0 {
+		// Regions below 2 are clamped internally; config keeps raw value
+		// but regions slice has 2 — verified via Track on region 1.
+		NewTracker(TrackerConfig{Regions: 0, BloomBits: 64, BloomHashes: 1}).Track(1, fk(1))
+	}
+}
+
+// countApp is a minimal StateApp: a per-key exact counter with fixed slots.
+type countApp struct {
+	counts map[packet.FlowKey]uint64
+	slots  int
+	resets []int
+}
+
+func newCountApp(slots int) *countApp {
+	return &countApp{counts: make(map[packet.FlowKey]uint64), slots: slots}
+}
+
+func (a *countApp) Update(p *packet.Packet) { a.counts[p.Key]++ }
+func (a *countApp) Query(k packet.FlowKey) Attr {
+	return Attr{Value: a.counts[k]}
+}
+func (a *countApp) ResetSlot(i int) {
+	a.resets = append(a.resets, i)
+	if i == a.slots-1 {
+		a.counts = make(map[packet.FlowKey]uint64)
+	}
+}
+func (a *countApp) Slots() int { return a.slots }
+
+func newEngineForTest(t *testing.T, buf int) (*Engine, *countApp, *countApp) {
+	t.Helper()
+	a0, a1 := newCountApp(8), newCountApp(8)
+	e := NewEngine(smallTracker(buf), []StateApp{a0, a1}, window.NewRegions(2, 8))
+	return e, a0, a1
+}
+
+func TestEngineUpdateRoutesToRegion(t *testing.T) {
+	e, a0, a1 := newEngineForTest(t, 16)
+	e.Update(0, &packet.Packet{Key: fk(1)})
+	e.Update(1, &packet.Packet{Key: fk(2)})
+	if a0.counts[fk(1)] != 1 || a1.counts[fk(2)] != 1 {
+		t.Fatal("updates not routed to region apps")
+	}
+	if a0.counts[fk(2)] != 0 {
+		t.Fatal("cross-region contamination")
+	}
+}
+
+func TestEngineMismatchedAppsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(smallTracker(4), []StateApp{newCountApp(4)}, window.NewRegions(2, 4))
+}
+
+// runCollection drives a full C&R round through a switchsim switch with
+// `packets` concurrent collection packets and returns the AFRs delivered
+// to the controller.
+func runCollection(t *testing.T, e *Engine, sw uint64, packets int) []packet.AFR {
+	t.Helper()
+	ss := switchsim.New(0)
+	ss.SetProgram(func(pass *switchsim.Pass) {
+		if e.HandleSpecial(pass) {
+			return
+		}
+		t.Errorf("unexpected normal packet during collection")
+	})
+	e.BeginCollection(sw)
+	var got []packet.AFR
+	for i := 0; i < packets; i++ {
+		out := ss.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWCollection}})
+		for _, c := range out.ToController {
+			if c.OW.Flag == packet.OWAFR {
+				got = append(got, c.OW.AFRs...)
+			}
+		}
+		if len(out.Forward) != 0 {
+			t.Fatalf("collection packet escaped on egress")
+		}
+	}
+	if e.ParkedClearPackets() != packets {
+		t.Fatalf("parked = %d want %d", e.ParkedClearPackets(), packets)
+	}
+	// Reuse the parked packets as clear packets (§4.3).
+	for i := 0; i < packets; i++ {
+		out := ss.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
+		if len(out.Forward) != 0 {
+			t.Fatalf("clear packet escaped on egress")
+		}
+	}
+	return got
+}
+
+func TestEngineCollectionEnumeratesAllKeys(t *testing.T) {
+	e, a0, _ := newEngineForTest(t, 16)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			e.Update(0, &packet.Packet{Key: fk(i)})
+		}
+	}
+	_ = a0
+	got := runCollection(t, e, 0, 1)
+	if len(got) != 5 {
+		t.Fatalf("AFRs = %d want 5", len(got))
+	}
+	bySeq := map[uint32]packet.AFR{}
+	for _, r := range got {
+		bySeq[r.Seq] = r
+		if r.SubWindow != 0 {
+			t.Fatalf("AFR sub-window = %d", r.SubWindow)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		r, ok := bySeq[uint32(i)]
+		if !ok {
+			t.Fatalf("missing seq %d", i)
+		}
+		if r.Attr != uint64(i+1) {
+			t.Fatalf("seq %d attr = %d want %d", i, r.Attr, i+1)
+		}
+	}
+}
+
+func TestEngineCollectionThenResetClearsState(t *testing.T) {
+	e, a0, _ := newEngineForTest(t, 16)
+	for i := 0; i < 3; i++ {
+		e.Update(0, &packet.Packet{Key: fk(i)})
+	}
+	runCollection(t, e, 0, 1)
+	if e.Collecting() {
+		t.Fatal("collection round not finished")
+	}
+	// Clear packets must have enumerated every slot exactly once.
+	if len(a0.resets) != a0.slots {
+		t.Fatalf("reset slots = %v", a0.resets)
+	}
+	for i, s := range a0.resets {
+		if s != i {
+			t.Fatalf("reset order broken: %v", a0.resets)
+		}
+	}
+	if len(a0.counts) != 0 {
+		t.Fatal("state not cleared")
+	}
+	if e.Tracker().KeyCount(0) != 0 {
+		t.Fatal("tracker not cleared")
+	}
+}
+
+func TestEngineConcurrentCollectionPackets(t *testing.T) {
+	// Several concurrent collection packets share the enumeration
+	// counter: every key is still collected exactly once.
+	e, _, _ := newEngineForTest(t, 16)
+	for i := 0; i < 7; i++ {
+		e.Update(0, &packet.Packet{Key: fk(i)})
+	}
+	got := runCollection(t, e, 0, 4)
+	if len(got) != 7 {
+		t.Fatalf("AFRs = %d want 7", len(got))
+	}
+	seen := map[uint32]bool{}
+	for _, r := range got {
+		if seen[r.Seq] {
+			t.Fatalf("seq %d collected twice", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+func TestEngineInjectedKeyPath(t *testing.T) {
+	e, _, _ := newEngineForTest(t, 2) // tiny buffer: keys spill
+	for i := 0; i < 5; i++ {
+		e.Update(0, &packet.Packet{Key: fk(i)})
+	}
+	e.BeginCollection(0)
+	ss := switchsim.New(0)
+	ss.SetProgram(func(pass *switchsim.Pass) { e.HandleSpecial(pass) })
+	inj := &packet.Packet{OW: packet.OWHeader{Flag: packet.OWInjectKey, Key: fk(4), Index: 77}}
+	out := ss.Inject(inj)
+	if len(out.ToController) != 1 {
+		t.Fatalf("controller packets = %d", len(out.ToController))
+	}
+	rs := out.ToController[0].OW.AFRs
+	if len(rs) != 1 || rs[0].Key != fk(4) || rs[0].Attr != 1 || rs[0].Seq != 77 {
+		t.Fatalf("bad AFR: %+v", rs)
+	}
+	if len(out.Forward) != 0 {
+		t.Fatal("injected key packet leaked to egress")
+	}
+}
+
+func TestEngineRetransmit(t *testing.T) {
+	e, _, _ := newEngineForTest(t, 16)
+	for i := 0; i < 4; i++ {
+		e.Update(0, &packet.Packet{Key: fk(i)})
+	}
+	e.BeginCollection(0)
+	recs := e.Retransmit([]uint32{1, 3, 99})
+	if len(recs) != 2 {
+		t.Fatalf("retransmitted %d records", len(recs))
+	}
+	if recs[0].Seq != 1 || recs[1].Seq != 3 {
+		t.Fatalf("wrong seqs: %+v", recs)
+	}
+}
+
+func TestMergedKinds(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		attrs []uint64
+		want  uint64
+	}{
+		{Frequency, []uint64{60, 80}, 140},
+		{Existence, []uint64{1, 1, 1}, 1},
+		{Max, []uint64{5, 9, 3}, 9},
+		{Min, []uint64{5, 9, 3}, 3},
+	}
+	for _, c := range cases {
+		m := NewMerged(c.kind)
+		for _, a := range c.attrs {
+			m.Absorb(a, [4]uint64{}, false)
+		}
+		if got := m.Value(); got != c.want {
+			t.Fatalf("%v merged to %d want %d", c.kind, got, c.want)
+		}
+		if !m.Seeded() {
+			t.Fatalf("%v not seeded", c.kind)
+		}
+	}
+}
+
+func TestMergedDistinctionMergesBeforeCounting(t *testing.T) {
+	// Two sub-windows with identical distinct sets must not double count.
+	m := NewMerged(Distinction)
+	summary := [4]uint64{0b1011, 0b1, 0, 0}
+	m.Absorb(0, summary, true)
+	single := m.Value()
+	m.Absorb(0, summary, true)
+	if m.Value() != single {
+		t.Fatalf("identical summaries double-counted: %d vs %d", single, m.Value())
+	}
+}
+
+func TestMergedDistinctionScalarFallback(t *testing.T) {
+	m := NewMerged(Distinction)
+	m.Absorb(10, [4]uint64{}, false)
+	m.Absorb(5, [4]uint64{}, false)
+	if m.Value() != 15 {
+		t.Fatalf("fallback sum = %d", m.Value())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Frequency; k <= Distinction; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("bad kind should be unknown")
+	}
+}

@@ -1,0 +1,326 @@
+package afr
+
+import (
+	"fmt"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/switchsim"
+	"omniwindow/internal/window"
+)
+
+// Attr is the application-derived attribute of one flow in one sub-window:
+// the scalar value plus an optional distinct-count summary.
+type Attr struct {
+	Value       uint64
+	Distinct    [4]uint64
+	HasDistinct bool
+}
+
+// StateMigrator is an optional StateApp extension for telemetry whose
+// flow statistics cannot be derived by data-plane queries (FlowRadar
+// decoding, NZE's compressive recovery). OmniWindow migrates the ENTIRE
+// state to the controller instead of generating AFRs: recirculated
+// OWMigrate packets enumerate the registers slot by slot, cloning the raw
+// words to the controller, which reconstructs and merges the structure
+// (§8, merging intermediate data without AFRs).
+type StateMigrator interface {
+	// RawSlot returns every register's word(s) at slot i.
+	RawSlot(i int) []uint64
+}
+
+// StateApp is one memory region's application state — the stateful part of
+// a telemetry program for a single sub-window. OmniWindow instantiates one
+// StateApp per region and drives measurement, AFR queries and slot-wise
+// reset through it.
+type StateApp interface {
+	// Update processes one packet of the region's active sub-window.
+	Update(p *packet.Packet)
+	// Query derives the AFR attribute of key k from the region's state
+	// (the data-plane flow query of §4.1).
+	Query(k packet.FlowKey) Attr
+	// ResetSlot zeroes slot i of every register of the region — the work
+	// one clear packet performs in one pipeline pass (§4.3).
+	ResetSlot(i int)
+	// Slots is the number of per-register entries a full reset must
+	// enumerate.
+	Slots() int
+}
+
+// Engine is the switch-side C&R machine: it owns the tracker and the
+// per-region StateApps and implements the special-packet handling of
+// Algorithm 2 (collection packets), §4.3 (clear packets) and §4.2
+// (controller-injected flow keys).
+type Engine struct {
+	tracker *Tracker
+	// apps is indexed [region][app]: one switch can host several
+	// co-deployed telemetry applications that share the window mechanism
+	// and flowkey tracking while keeping independent state.
+	apps    [][]StateApp
+	regions window.Regions
+	keyOf   func(*packet.Packet) (packet.FlowKey, bool)
+
+	// Collection state for the sub-window currently being collected.
+	collecting     bool
+	collectSW      uint64
+	collectRegion  int
+	counter        int
+	resetCounter   int
+	trackerPending bool
+	// parked counts collection packets whose enumeration finished and
+	// that wait to be reused as clear packets.
+	parked int
+}
+
+// NewEngine wires a tracker and one StateApp per region (the single-app
+// form; see NewMultiEngine for co-deployed applications).
+func NewEngine(tracker *Tracker, apps []StateApp, regions window.Regions) *Engine {
+	per := make([][]StateApp, len(apps))
+	for i, a := range apps {
+		per[i] = []StateApp{a}
+	}
+	return NewMultiEngine(tracker, per, regions)
+}
+
+// NewMultiEngine wires a tracker and, per region, one state instance per
+// co-deployed application. All regions must host the same number of apps.
+func NewMultiEngine(tracker *Tracker, apps [][]StateApp, regions window.Regions) *Engine {
+	if len(apps) != regions.N() {
+		panic(fmt.Sprintf("afr: %d state-app regions for %d regions", len(apps), regions.N()))
+	}
+	n := len(apps[0])
+	if n == 0 {
+		panic("afr: at least one app per region")
+	}
+	for r := range apps {
+		if len(apps[r]) != n {
+			panic("afr: regions host different app counts")
+		}
+	}
+	return &Engine{tracker: tracker, apps: apps, regions: regions}
+}
+
+// AppCount returns the number of co-deployed applications.
+func (e *Engine) AppCount() int { return len(e.apps[0]) }
+
+// SetKeyFunc installs the application's flowkey definition (§4.1:
+// "OmniWindow requires telemetry applications to explicitly specify the
+// flowkey definition"). The function maps a packet to the key to track; ok
+// = false means the packet contributes no key (e.g. it fails the query's
+// filter). The default tracks every packet's 5-tuple.
+func (e *Engine) SetKeyFunc(f func(*packet.Packet) (packet.FlowKey, bool)) {
+	e.keyOf = f
+}
+
+// Tracker returns the flowkey tracker.
+func (e *Engine) Tracker() *Tracker { return e.tracker }
+
+// App returns the region's first application state (single-app form).
+func (e *Engine) App(region int) StateApp { return e.apps[region][0] }
+
+// AppAt returns a specific co-deployed application's region state.
+func (e *Engine) AppAt(region, app int) StateApp { return e.apps[region][app] }
+
+// maxSlots returns the largest reset-slot count among a region's apps.
+func (e *Engine) maxSlots(region int) int {
+	m := 0
+	for _, a := range e.apps[region] {
+		if a.Slots() > m {
+			m = a.Slots()
+		}
+	}
+	return m
+}
+
+// Update records a normal packet into the given region, tracking its flow
+// key (Algorithm 1). It returns spill=true when the key must be cloned to
+// the controller because the flowkey array is full; spillKey is the key to
+// send.
+func (e *Engine) Update(region int, p *packet.Packet) (spillKey packet.FlowKey, spill bool) {
+	k, ok := p.Key, true
+	if e.keyOf != nil {
+		k, ok = e.keyOf(p)
+	}
+	if ok {
+		_, spill = e.tracker.Track(region, k)
+	}
+	for _, a := range e.apps[region] {
+		a.Update(p)
+	}
+	return k, spill
+}
+
+// BeginCollection arms the engine to collect terminated sub-window sw.
+// The controller calls it (conceptually, by sending the first collection
+// packet) after the out-of-order grace period.
+func (e *Engine) BeginCollection(sw uint64) {
+	e.collecting = true
+	e.collectSW = sw
+	e.collectRegion = e.regions.Index(sw)
+	e.counter = 0
+	e.resetCounter = 0
+	e.trackerPending = true
+	e.parked = 0
+}
+
+// Collecting reports whether a C&R round is in progress.
+func (e *Engine) Collecting() bool { return e.collecting }
+
+// ParkedClearPackets returns how many finished collection packets wait to
+// be reused as clear packets. The controller releases them (by sending the
+// confirmation that all AFRs arrived) and the deployment re-injects them
+// with the reset flag.
+func (e *Engine) ParkedClearPackets() int { return e.parked }
+
+// HandleSpecial processes OmniWindow control packets inside a pipeline
+// pass. It returns true if the packet was consumed as a special packet.
+func (e *Engine) HandleSpecial(pass *switchsim.Pass) bool {
+	p := pass.Pkt
+	switch p.OW.Flag {
+	case packet.OWCollection:
+		e.handleCollection(pass)
+		return true
+	case packet.OWReset:
+		e.handleReset(pass)
+		return true
+	case packet.OWInjectKey:
+		e.handleInjectedKey(pass)
+		return true
+	case packet.OWMigrate:
+		e.handleMigrate(pass)
+		return true
+	default:
+		return false
+	}
+}
+
+// handleMigrate enumerates the collected region's raw register state, one
+// slot per pass, cloning the words to the controller. When the app does
+// not support migration the packet converts to a clear packet so a
+// misconfigured controller cannot stall the reset.
+func (e *Engine) handleMigrate(pass *switchsim.Pass) {
+	p := pass.Pkt
+	if int(p.OW.App) >= e.AppCount() {
+		pass.Drop()
+		return
+	}
+	app := e.apps[e.collectRegion][p.OW.App]
+	mig, ok := app.(StateMigrator)
+	if !ok {
+		p.OW.Flag = packet.OWReset
+		pass.Recirculate()
+		return
+	}
+	idx := e.counter
+	e.counter++
+	if idx >= app.Slots() {
+		e.parked++
+		pass.Drop()
+		return
+	}
+	c := p.Clone()
+	c.OW.Flag = packet.OWMigrate
+	c.OW.Index = uint32(idx)
+	c.OW.SubWindow = e.collectSW
+	c.OW.RawWords = mig.RawSlot(idx)
+	pass.CloneToController(c)
+	pass.Recirculate()
+}
+
+// handleCollection implements Algorithm 2: enumerate fk_buffer, one key
+// per pass, appending AFRs and cloning them to the controller. When the
+// counter passes the end of the array the packet parks: it is reused as a
+// clear packet only after the controller has received every AFR (and any
+// controller-injected keys have been queried), because a reset destroys
+// the state retransmissions would need (§4.3, §8).
+func (e *Engine) handleCollection(pass *switchsim.Pass) {
+	p := pass.Pkt
+	keys := e.tracker.Keys(e.collectRegion)
+	idx := e.counter
+	e.counter++
+	if idx >= len(keys) {
+		e.parked++
+		pass.Drop()
+		return
+	}
+	k := keys[idx]
+	p.OW.Index = uint32(idx)
+	p.OW.AFRs = append(p.OW.AFRs, e.queryAFRs(k, uint32(idx))...)
+
+	c := p.Clone()
+	c.OW.Flag = packet.OWAFR
+	pass.CloneToController(c)
+	// The original keeps recirculating to move the enumeration forward;
+	// its accumulated AFRs are trimmed so header growth stays bounded.
+	p.OW.AFRs = p.OW.AFRs[:0]
+	pass.Recirculate()
+}
+
+// handleReset implements §4.3: each clear packet zeroes one slot of every
+// register of the terminated region per pass, controlled by reset_counter.
+func (e *Engine) handleReset(pass *switchsim.Pass) {
+	slot := e.resetCounter
+	e.resetCounter++
+	if slot >= e.maxSlots(e.collectRegion) {
+		if e.trackerPending {
+			// The last clear packet also retires the tracker's
+			// per-region structures (flowkey array + Bloom filter).
+			e.tracker.ResetRegion(e.collectRegion)
+			e.trackerPending = false
+			e.collecting = false
+		}
+		pass.Drop()
+		return
+	}
+	// One pass resets this slot of every register of every co-deployed
+	// app (clear packets touch the same index of all registers).
+	for _, a := range e.apps[e.collectRegion] {
+		if slot < a.Slots() {
+			a.ResetSlot(slot)
+		}
+	}
+	pass.Recirculate()
+}
+
+// handleInjectedKey implements the controller-injected flow-key path of
+// §4.2: extract the key, query the terminated region, and send the AFR
+// back to the controller.
+func (e *Engine) handleInjectedKey(pass *switchsim.Pass) {
+	p := pass.Pkt
+	p.OW.Flag = packet.OWAFR
+	p.OW.AFRs = append(p.OW.AFRs, e.queryAFRs(p.OW.Key, p.OW.Index)...)
+	pass.CloneToController(p.Clone())
+	pass.Drop()
+}
+
+// queryAFRs builds one AFR per co-deployed app from the collected
+// region's state.
+func (e *Engine) queryAFRs(k packet.FlowKey, seq uint32) []packet.AFR {
+	out := make([]packet.AFR, 0, e.AppCount())
+	for i, app := range e.apps[e.collectRegion] {
+		a := app.Query(k)
+		out = append(out, packet.AFR{
+			Key:         k,
+			Attr:        a.Value,
+			SubWindow:   e.collectSW,
+			Seq:         seq,
+			App:         uint8(i),
+			Distinct:    a.Distinct,
+			HasDistinct: a.HasDistinct,
+		})
+	}
+	return out
+}
+
+// Retransmit re-queries specific sequence indexes of the collected region
+// after the controller detected AFR losses (§8, reliability of AFRs). It
+// must be called before the region is reset.
+func (e *Engine) Retransmit(seqs []uint32) []packet.AFR {
+	keys := e.tracker.Keys(e.collectRegion)
+	out := make([]packet.AFR, 0, len(seqs))
+	for _, s := range seqs {
+		if int(s) < len(keys) {
+			out = append(out, e.queryAFRs(keys[s], s)...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package afr_test
+
+import (
+	"testing"
+
+	"omniwindow/internal/afr"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/switchsim"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/window"
+)
+
+// TestStateMigration drives the §8 no-AFR path end to end: FlowRadar
+// state migrates to the controller via recirculated OWMigrate packets and
+// decodes there into exact per-flow counts.
+func TestStateMigration(t *testing.T) {
+	const cells = 512
+	mk := func(seed uint64) *telemetry.FlowRadarApp {
+		return telemetry.NewFlowRadarApp(sketch.NewFlowRadar(cells, 3, 1<<13, seed))
+	}
+	apps := []afr.StateApp{mk(1), mk(1)} // same seed: controller reconstructs region 0's geometry
+	e := afr.NewEngine(afr.NewTracker(afr.TrackerConfig{BufferKeys: 16, BloomBits: 1 << 12, BloomHashes: 3}),
+		apps, window.NewRegions(2, cells))
+
+	truth := map[packet.FlowKey]uint64{}
+	for f := 0; f < 60; f++ {
+		k := packet.FlowKey{SrcIP: uint32(f + 1), DstPort: 80, Proto: packet.ProtoTCP}
+		n := uint64(f%5 + 1)
+		truth[k] = n
+		for i := uint64(0); i < n; i++ {
+			e.Update(0, &packet.Packet{Key: k, Size: 100})
+		}
+	}
+
+	sw := switchsim.New(0)
+	sw.SetProgram(func(p *switchsim.Pass) { e.HandleSpecial(p) })
+	e.BeginCollection(0)
+
+	// Migration: the controller receives one raw-word packet per slot.
+	words := make([]uint64, cells*4)
+	got := 0
+	for i := 0; i < 4; i++ { // four concurrent migration packets
+		out := sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWMigrate}})
+		for _, c := range out.ToController {
+			if c.OW.Flag != packet.OWMigrate {
+				t.Fatalf("unexpected clone flag %v", c.OW.Flag)
+			}
+			copy(words[int(c.OW.Index)*4:], c.OW.RawWords)
+			got++
+		}
+		if len(out.Forward) != 0 {
+			t.Fatal("migration packet escaped on egress")
+		}
+	}
+	if got != cells {
+		t.Fatalf("migrated %d slots want %d", got, cells)
+	}
+	if e.ParkedClearPackets() != 4 {
+		t.Fatalf("parked = %d", e.ParkedClearPackets())
+	}
+
+	// Controller side: reconstruct and decode.
+	counts, ok := sketch.FlowRadarFromRaw(words, 3, 1).Decode()
+	if !ok {
+		t.Fatal("controller decode stalled")
+	}
+	for k, n := range truth {
+		if counts[k] != n {
+			t.Fatalf("flow %v decoded %d want %d", k, counts[k], n)
+		}
+	}
+
+	// Reset phase still works after migration.
+	for i := 0; i < 4; i++ {
+		sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
+	}
+	if e.Collecting() {
+		t.Fatal("C&R round not closed")
+	}
+	post, _ := apps[0].(*telemetry.FlowRadarApp).FlowRadar().Decode()
+	if len(post) != 0 {
+		t.Fatal("region not reset after migration")
+	}
+}
+
+// TestMigrationFallsBackToReset verifies that OWMigrate against an app
+// without migration support converts to clear packets instead of looping.
+func TestMigrationFallsBackToReset(t *testing.T) {
+	app := func() afr.StateApp { return &plainApp{} }
+	e := afr.NewEngine(afr.NewTracker(afr.TrackerConfig{BufferKeys: 4, BloomBits: 64, BloomHashes: 1}),
+		[]afr.StateApp{app(), app()}, window.NewRegions(2, 8))
+	e.Update(0, &packet.Packet{Key: packet.FlowKey{SrcIP: 1}})
+	sw := switchsim.New(0)
+	sw.SetProgram(func(p *switchsim.Pass) { e.HandleSpecial(p) })
+	e.BeginCollection(0)
+	out := sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWMigrate}})
+	if len(out.Forward) != 0 {
+		t.Fatal("packet escaped")
+	}
+	// The packet became a clear packet and completed the reset loop.
+	if out.Passes < 8 {
+		t.Fatalf("passes = %d, reset did not run", out.Passes)
+	}
+}
+
+// plainApp is a minimal StateApp without migration support.
+type plainApp struct{ count uint64 }
+
+func (a *plainApp) Update(p *packet.Packet)         { a.count++ }
+func (a *plainApp) Query(k packet.FlowKey) afr.Attr { return afr.Attr{Value: a.count} }
+func (a *plainApp) ResetSlot(i int) {
+	if i == 7 {
+		a.count = 0
+	}
+}
+func (a *plainApp) Slots() int { return 8 }

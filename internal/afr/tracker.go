@@ -1,0 +1,108 @@
+// Package afr implements the application-derived flow record subsystem of
+// §4: data-plane flowkey tracking (Algorithm 1), AFR generation driven by
+// controller-injected collection packets (Algorithm 2), in-switch reset via
+// clear packets (§4.3), and the merge strategies for the four statistic
+// patterns (frequency, existence, max/min, distinction).
+package afr
+
+import (
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+)
+
+// TrackerConfig sizes the flowkey-tracking structures of one switch.
+type TrackerConfig struct {
+	// BufferKeys is the capacity of the data-plane flowkey array
+	// (fk_buffer). Keys beyond it are spilled to the controller.
+	BufferKeys int
+	// BloomBits and BloomHashes size the de-duplicating Bloom filter.
+	BloomBits   int
+	BloomHashes int
+	// Regions is the number of memory regions (one tracking instance
+	// each); two under the shared-region layout.
+	Regions int
+}
+
+// DefaultTrackerConfig matches the paper's Exp#6 setting: a 32 K-entry
+// flowkey array with a Bloom filter sized for ~64 K flows per sub-window.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{
+		BufferKeys:  32 * 1024,
+		BloomBits:   1 << 20,
+		BloomHashes: 3,
+		Regions:     2,
+	}
+}
+
+// trackRegion is one region's tracking state.
+type trackRegion struct {
+	bloom *sketch.Bloom
+	keys  []packet.FlowKey
+}
+
+// Tracker tracks the active flow keys of each sub-window (Algorithm 1) so
+// the switch can later enumerate them to generate AFRs. Telemetry
+// solutions that keep no keys themselves (Sonata, Count-Min) rely on it.
+type Tracker struct {
+	cfg     TrackerConfig
+	regions []trackRegion
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	if cfg.Regions < 2 {
+		cfg.Regions = 2
+	}
+	if cfg.BufferKeys < 0 {
+		cfg.BufferKeys = 0
+	}
+	t := &Tracker{cfg: cfg, regions: make([]trackRegion, cfg.Regions)}
+	for i := range t.regions {
+		t.regions[i] = trackRegion{
+			bloom: sketch.NewBloom(cfg.BloomBits, cfg.BloomHashes, uint64(0xB100F+i)),
+			keys:  make([]packet.FlowKey, 0, cfg.BufferKeys),
+		}
+	}
+	return t
+}
+
+// Config returns the tracker's configuration.
+func (t *Tracker) Config() TrackerConfig { return t.cfg }
+
+// Track processes one packet's key in the given region. It returns
+// spill=true when the key is new but the flowkey array is full, in which
+// case the caller must clone the key to the controller (Algorithm 1
+// lines 5-6).
+func (t *Tracker) Track(region int, k packet.FlowKey) (isNew, spill bool) {
+	r := &t.regions[region]
+	if r.bloom.TestAndAdd(k) {
+		return false, false // seen before in this sub-window
+	}
+	if len(r.keys) < t.cfg.BufferKeys {
+		r.keys = append(r.keys, k)
+		return true, false
+	}
+	return true, true
+}
+
+// Keys returns the flowkey array of a region (the enumeration source of
+// Algorithm 2).
+func (t *Tracker) Keys(region int) []packet.FlowKey { return t.regions[region].keys }
+
+// KeyCount returns how many keys the region's array holds — the figure the
+// trigger packet reports so the controller can detect AFR losses (§8).
+func (t *Tracker) KeyCount(region int) int { return len(t.regions[region].keys) }
+
+// ResetRegion clears a region's tracking state after its sub-window has
+// been collected and reset.
+func (t *Tracker) ResetRegion(region int) {
+	r := &t.regions[region]
+	r.bloom.Reset()
+	r.keys = r.keys[:0]
+}
+
+// MemoryBytes reports the tracker's data-plane footprint across regions.
+func (t *Tracker) MemoryBytes() int {
+	per := t.cfg.BloomBits/8 + t.cfg.BufferKeys*packet.KeyBytes
+	return per * len(t.regions)
+}

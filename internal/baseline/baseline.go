@@ -1,0 +1,148 @@
+// Package baseline implements the window mechanisms OmniWindow is
+// evaluated against:
+//
+//   - ITW / ISW: ideal tumbling and sliding windows computed offline with
+//     error-free data structures (the evaluation's ground truth);
+//   - TW1: the conventional single-region tumbling window that performs
+//     C&R on the same memory it measures with, losing the traffic that
+//     arrives during the collect-and-reset blackout;
+//   - TW2: the double-region tumbling window (accurate, 2x memory);
+//   - the Sliding Sketch adapter used in Exp#2 and Exp#10.
+//
+// All runners work offline over a sorted trace, emitting one output per
+// window so experiments can score precision/recall/ARE against the ideal.
+package baseline
+
+import (
+	"sort"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+)
+
+// Span is one window's time range [Start, End).
+type Span struct {
+	Start, End int64
+}
+
+// WindowOutput is one emitted window's per-flow statistics.
+type WindowOutput struct {
+	Span
+	// Values maps each observed key to its measured statistic.
+	Values map[packet.FlowKey]uint64
+}
+
+// Detect thresholds a window output into a detection set.
+func (w WindowOutput) Detect(threshold uint64) map[packet.FlowKey]bool {
+	out := make(map[packet.FlowKey]bool)
+	for k, v := range w.Values {
+		if v >= threshold {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Spans enumerates the window positions of a trace: windows of windowNs
+// advancing by slideNs, ending no later than duration. Tumbling windows
+// pass slideNs == windowNs.
+func Spans(duration, windowNs, slideNs int64) []Span {
+	if windowNs <= 0 || slideNs <= 0 {
+		panic("baseline: window and slide must be positive")
+	}
+	var out []Span
+	for start := int64(0); start+windowNs <= duration; start += slideNs {
+		out = append(out, Span{Start: start, End: start + windowNs})
+	}
+	return out
+}
+
+// Slice returns the packets of [start, end) from a time-sorted trace via
+// binary search.
+func Slice(pkts []packet.Packet, start, end int64) []packet.Packet {
+	lo := sort.Search(len(pkts), func(i int) bool { return pkts[i].Time >= start })
+	hi := sort.Search(len(pkts), func(i int) bool { return pkts[i].Time >= end })
+	return pkts[lo:hi]
+}
+
+// Eval computes one window's per-flow statistics from its packets.
+type Eval func(win []packet.Packet) map[packet.FlowKey]uint64
+
+// RunIdeal evaluates fn over every window position — the ITW (slideNs ==
+// windowNs) and ISW (slideNs < windowNs) ground-truth runners.
+func RunIdeal(pkts []packet.Packet, duration, windowNs, slideNs int64, eval Eval) []WindowOutput {
+	spans := Spans(duration, windowNs, slideNs)
+	out := make([]WindowOutput, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, WindowOutput{Span: sp, Values: eval(Slice(pkts, sp.Start, sp.End))})
+	}
+	return out
+}
+
+// AppFactory builds a fresh region state (a full-window-budget instance
+// for the TW baselines).
+type AppFactory func(seed uint64) afr.StateApp
+
+// TumblingConfig parameterizes the conventional tumbling-window baselines.
+type TumblingConfig struct {
+	// WindowNs is the tumbling window length.
+	WindowNs int64
+	// Regions is 1 for TW1 and 2 for TW2.
+	Regions int
+	// CRTimeNs is the collect-and-reset blackout after each boundary.
+	// With one region, packets arriving during the blackout are not
+	// measured correctly and are lost (TW1's recall gap); with two
+	// regions C&R overlaps measurement and the blackout is harmless.
+	CRTimeNs int64
+	// Seed seeds the per-window state instances.
+	Seed uint64
+}
+
+// RunTumbling runs TW1/TW2: per window, packets update a region state;
+// keys are tracked exactly (the switch OS can read everything), and the
+// window output queries each tracked key once at the boundary. track maps
+// a packet to the key to query, with ok=false skipping the packet (e.g.
+// the query's filter rejects it); nil tracks every packet's 5-tuple.
+func RunTumbling(pkts []packet.Packet, duration int64, cfg TumblingConfig, factory AppFactory, track func(*packet.Packet) (packet.FlowKey, bool)) []WindowOutput {
+	if cfg.Regions < 1 || cfg.Regions > 2 {
+		panic("baseline: TW regions must be 1 or 2")
+	}
+	spans := Spans(duration, cfg.WindowNs, cfg.WindowNs)
+	out := make([]WindowOutput, 0, len(spans))
+	apps := make([]afr.StateApp, cfg.Regions)
+	for i := range apps {
+		apps[i] = factory(cfg.Seed + uint64(i))
+	}
+	for wi, sp := range spans {
+		app := apps[wi%cfg.Regions]
+		keys := make(map[packet.FlowKey]bool)
+		blackoutEnd := sp.Start + cfg.CRTimeNs
+		for _, p := range Slice(pkts, sp.Start, sp.End) {
+			if cfg.Regions == 1 && wi > 0 && p.Time < blackoutEnd {
+				// TW1: the region is still being collected and reset;
+				// this packet's update is lost.
+				continue
+			}
+			q := p
+			app.Update(&q)
+			if track != nil {
+				if k, ok := track(&q); ok {
+					keys[k] = true
+				}
+			} else {
+				keys[q.Key] = true
+			}
+		}
+		values := make(map[packet.FlowKey]uint64, len(keys))
+		for k := range keys {
+			values[k] = app.Query(k).Value
+		}
+		out = append(out, WindowOutput{Span: sp, Values: values})
+		// Reset the region for its next turn (instantaneous for TW2,
+		// overlapped; for TW1 the blackout above models the cost).
+		for i := 0; i < app.Slots(); i++ {
+			app.ResetSlot(i)
+		}
+	}
+	return out
+}

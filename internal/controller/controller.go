@@ -1,0 +1,317 @@
+// Package controller implements the OmniWindow controller: it collects
+// AFRs from switches (bypassing switch OSes), stores them in a key-value
+// table, merges per-flow statistics across sub-windows, assembles complete
+// windows according to the merge plan, answers telemetry queries over the
+// merged table, and evicts retired sub-windows (the O1–O5 operations
+// measured in Exp#4).
+package controller
+
+import (
+	"sort"
+	"time"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/window"
+)
+
+// Config parameterizes a controller instance.
+type Config struct {
+	// Plan maps sub-windows to complete windows.
+	Plan window.Plan
+	// Kind is the statistic's merge pattern.
+	Kind afr.Kind
+	// Threshold is the default detection threshold applied to merged
+	// values when Detector is nil.
+	Threshold uint64
+	// Detector optionally overrides threshold detection.
+	Detector func(k packet.FlowKey, merged uint64) bool
+	// DistinctCounter optionally overrides how OR-merged distinct
+	// summaries are counted (see afr.DistinctCounter).
+	DistinctCounter afr.DistinctCounter
+	// CaptureValues copies every flow's merged value into each
+	// WindowResult (needed by ARE metrics; costs a table scan).
+	CaptureValues bool
+}
+
+// contrib is one sub-window's contribution to a flow.
+type contrib struct {
+	sw          uint64
+	attr        uint64
+	distinct    [4]uint64
+	hasDistinct bool
+}
+
+// entry is one flow's row in the key-value table.
+type entry struct {
+	contribs []contrib
+	merged   afr.Merged
+}
+
+// batch accumulates one sub-window's received AFRs before insertion.
+type batch struct {
+	afrs []packet.AFR
+	seen map[uint32]bool
+	// expected is the key count announced by the trigger packet, or -1.
+	expected int
+}
+
+// OpTimes is the per-sub-window controller time breakdown of Exp#4.
+type OpTimes struct {
+	// Collect (O1) is the time to receive and parse AFR packets.
+	Collect time.Duration
+	// Insert (O2) is the time to insert AFRs into the key-value table.
+	Insert time.Duration
+	// Merge (O3) is the time to fold contributions into merged values.
+	Merge time.Duration
+	// Process (O4) is the time to evaluate the query over a completed
+	// window.
+	Process time.Duration
+	// Evict (O5) is the time to remove the oldest sub-window(s).
+	Evict time.Duration
+}
+
+// Total sums all operations.
+func (t OpTimes) Total() time.Duration {
+	return t.Collect + t.Insert + t.Merge + t.Process + t.Evict
+}
+
+// WindowResult is one completed window's output.
+type WindowResult struct {
+	// Start and End delimit the window's sub-windows, inclusive.
+	Start, End uint64
+	// Detected are the flows satisfying the query.
+	Detected []packet.FlowKey
+	// Values are the merged per-flow statistics (nil unless
+	// Config.CaptureValues).
+	Values map[packet.FlowKey]uint64
+}
+
+// Controller assembles windows from AFR batches.
+type Controller struct {
+	cfg     Config
+	table   map[packet.FlowKey]*entry
+	batches map[uint64]*batch
+	times   map[uint64]*OpTimes
+}
+
+// New builds a controller. Invalid plans panic: a controller cannot run
+// without a window definition.
+func New(cfg Config) *Controller {
+	if err := cfg.Plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{
+		cfg:     cfg,
+		table:   make(map[packet.FlowKey]*entry),
+		batches: make(map[uint64]*batch),
+		times:   make(map[uint64]*OpTimes),
+	}
+}
+
+// TableSize returns the number of flows currently in the key-value table.
+func (c *Controller) TableSize() int { return len(c.table) }
+
+func (c *Controller) batchFor(sw uint64) *batch {
+	b, ok := c.batches[sw]
+	if !ok {
+		b = &batch{seen: make(map[uint32]bool), expected: -1}
+		c.batches[sw] = b
+	}
+	return b
+}
+
+func (c *Controller) timesFor(sw uint64) *OpTimes {
+	t, ok := c.times[sw]
+	if !ok {
+		t = &OpTimes{}
+		c.times[sw] = t
+	}
+	return t
+}
+
+// Times returns the recorded O1–O5 breakdown for a sub-window.
+func (c *Controller) Times(sw uint64) OpTimes {
+	if t, ok := c.times[sw]; ok {
+		return *t
+	}
+	return OpTimes{}
+}
+
+// Receive ingests one switch-to-controller packet: AFR payloads, trigger
+// announcements and spilled flow keys are all accepted (O1).
+func (c *Controller) Receive(p *packet.Packet) {
+	start := time.Now()
+	switch p.OW.Flag {
+	case packet.OWAFR:
+		for _, r := range p.OW.AFRs {
+			b := c.batchFor(r.SubWindow)
+			if b.seen[r.Seq] {
+				continue // duplicate delivery
+			}
+			b.seen[r.Seq] = true
+			b.afrs = append(b.afrs, r)
+			c.timesFor(r.SubWindow).Collect += time.Since(start)
+			start = time.Now()
+		}
+	case packet.OWTrigger:
+		b := c.batchFor(p.OW.SubWindow)
+		b.expected = int(p.OW.KeyCount)
+		c.timesFor(p.OW.SubWindow).Collect += time.Since(start)
+	}
+}
+
+// IngestAFRs adds records directly (the RDMA path delivers memory writes,
+// not packets). Dedup by sequence still applies.
+func (c *Controller) IngestAFRs(recs []packet.AFR) {
+	for _, r := range recs {
+		b := c.batchFor(r.SubWindow)
+		if b.seen[r.Seq] {
+			continue
+		}
+		b.seen[r.Seq] = true
+		b.afrs = append(b.afrs, r)
+	}
+}
+
+// MissingSeqs reports AFR sequence numbers the controller has not received
+// for a sub-window, given the key count announced by the trigger packet.
+// It returns nil when nothing is known to be missing (§8, reliability).
+func (c *Controller) MissingSeqs(sw uint64) []uint32 {
+	b, ok := c.batches[sw]
+	if !ok || b.expected < 0 {
+		return nil
+	}
+	var missing []uint32
+	for s := 0; s < b.expected; s++ {
+		if !b.seen[uint32(s)] {
+			missing = append(missing, uint32(s))
+		}
+	}
+	return missing
+}
+
+// FinishSubWindow inserts the sub-window's batch into the key-value table
+// (O2), merges per-flow statistics (O3), and — when a complete window ends
+// here per the plan — processes the query (O4) and evicts retired
+// sub-windows (O5). It returns the completed windows, usually zero or one.
+func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
+	t := c.timesFor(sw)
+	b := c.batchFor(sw)
+
+	// O2: key-value table insertion.
+	start := time.Now()
+	touched := make([]*entry, 0, len(b.afrs))
+	for _, r := range b.afrs {
+		e, ok := c.table[r.Key]
+		if !ok {
+			e = &entry{merged: afr.NewMergedWithCounter(c.cfg.Kind, c.cfg.DistinctCounter)}
+			c.table[r.Key] = e
+		}
+		e.contribs = append(e.contribs, contrib{
+			sw: r.SubWindow, attr: r.Attr, distinct: r.Distinct, hasDistinct: r.HasDistinct,
+		})
+		touched = append(touched, e)
+	}
+	t.Insert += time.Since(start)
+
+	// O3: merge the new contributions into running values.
+	start = time.Now()
+	for i, e := range touched {
+		r := b.afrs[i]
+		e.merged.Absorb(r.Attr, r.Distinct, r.HasDistinct)
+	}
+	t.Merge += time.Since(start)
+	delete(c.batches, sw)
+
+	wStart, ok := c.cfg.Plan.Ends(sw)
+	if !ok {
+		return nil
+	}
+
+	// O4: evaluate the query over the merged table.
+	start = time.Now()
+	res := WindowResult{Start: wStart, End: sw}
+	if c.cfg.CaptureValues {
+		res.Values = make(map[packet.FlowKey]uint64, len(c.table))
+	}
+	for k, e := range c.table {
+		v := e.merged.Value()
+		if c.detect(k, v) {
+			res.Detected = append(res.Detected, k)
+		}
+		if res.Values != nil {
+			res.Values[k] = v
+		}
+	}
+	sort.Slice(res.Detected, func(i, j int) bool {
+		return packetKeyLess(res.Detected[i], res.Detected[j])
+	})
+	t.Process += time.Since(start)
+
+	// O5: retire sub-windows that no future window needs.
+	if retire, ok := c.cfg.Plan.Retire(sw); ok {
+		start = time.Now()
+		c.evict(retire)
+		t.Evict += time.Since(start)
+	}
+	return []WindowResult{res}
+}
+
+// detect applies the configured query predicate.
+func (c *Controller) detect(k packet.FlowKey, v uint64) bool {
+	if c.cfg.Detector != nil {
+		return c.cfg.Detector(k, v)
+	}
+	return v >= c.cfg.Threshold
+}
+
+// evict removes contributions of sub-windows <= retire, rebuilding merged
+// values from the surviving contributions, and deletes flows whose every
+// contribution retired (the paper's O5: "updating the merged value and
+// deleting the flows that only appear in the oldest sub-window").
+func (c *Controller) evict(retire uint64) {
+	for k, e := range c.table {
+		kept := e.contribs[:0]
+		for _, cb := range e.contribs {
+			if cb.sw > retire {
+				kept = append(kept, cb)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.table, k)
+			continue
+		}
+		if len(kept) != len(e.contribs) {
+			e.contribs = kept
+			e.merged = afr.NewMergedWithCounter(c.cfg.Kind, c.cfg.DistinctCounter)
+			for _, cb := range kept {
+				e.merged.Absorb(cb.attr, cb.distinct, cb.hasDistinct)
+			}
+		} else {
+			e.contribs = kept
+		}
+	}
+	for sw := range c.batches {
+		if sw <= retire {
+			delete(c.batches, sw)
+		}
+	}
+}
+
+// packetKeyLess orders flow keys deterministically for stable output.
+func packetKeyLess(a, b packet.FlowKey) bool {
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}

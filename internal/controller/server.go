@@ -1,0 +1,169 @@
+package controller
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/wire"
+)
+
+// Async serializes access to a Controller behind a single goroutine, so a
+// network collector and the window-assembly driver can share it safely.
+// All methods are safe for concurrent use; operations execute in arrival
+// order on the owning goroutine (the paper's controller likewise pins the
+// collection loop to dedicated DPDK cores).
+type Async struct {
+	// ctrl is set once at construction and then touched only by the
+	// command-loop goroutine.
+	ctrl *Controller
+	cmds chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewAsync starts the command loop around ctrl. The caller must not use
+// ctrl directly afterwards.
+func NewAsync(ctrl *Controller) *Async {
+	a := &Async{ctrl: ctrl, cmds: make(chan func(), 1024)}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for f := range a.cmds {
+			f()
+		}
+	}()
+	return a
+}
+
+// submit enqueues an operation unless the loop is closed.
+func (a *Async) submit(f func()) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	a.cmds <- f
+	return true
+}
+
+// Receive enqueues a switch-to-controller packet (async, O1).
+func (a *Async) Receive(p *packet.Packet) {
+	a.submit(func() { a.c().Receive(p) })
+}
+
+// IngestAFRs enqueues direct records (the RDMA path).
+func (a *Async) IngestAFRs(recs []packet.AFR) {
+	a.submit(func() { a.c().IngestAFRs(recs) })
+}
+
+// FinishSubWindow runs window assembly synchronously and returns the
+// completed windows.
+func (a *Async) FinishSubWindow(sw uint64) []WindowResult {
+	ch := make(chan []WindowResult, 1)
+	if !a.submit(func() { ch <- a.c().FinishSubWindow(sw) }) {
+		return nil
+	}
+	return <-ch
+}
+
+// MissingSeqs queries the reliability state synchronously.
+func (a *Async) MissingSeqs(sw uint64) []uint32 {
+	ch := make(chan []uint32, 1)
+	if !a.submit(func() { ch <- a.c().MissingSeqs(sw) }) {
+		return nil
+	}
+	return <-ch
+}
+
+// TableSize reports the key-value table size synchronously.
+func (a *Async) TableSize() int {
+	ch := make(chan int, 1)
+	if !a.submit(func() { ch <- a.c().TableSize() }) {
+		return 0
+	}
+	return <-ch
+}
+
+// Close drains and stops the command loop.
+func (a *Async) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.cmds)
+	a.wg.Wait()
+}
+
+// c returns the wrapped controller (command-loop goroutine only).
+func (a *Async) c() *Controller { return a.ctrl }
+
+// Collector is a UDP server receiving wire-encoded AFR datagrams from
+// switches — the network-facing stand-in for the paper's DPDK RX path.
+type Collector struct {
+	conn  net.PacketConn
+	sink  *Async
+	wg    sync.WaitGroup
+	drops atomic.Int64
+}
+
+// NewCollector starts serving datagrams from conn into sink. Close the
+// conn (or call Close) to stop.
+func NewCollector(conn net.PacketConn, sink *Async) *Collector {
+	c := &Collector{conn: conn, sink: sink}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Addr returns the listening address.
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		p, err := wire.Decode(buf[:n])
+		if err != nil {
+			c.drops.Add(1)
+			continue
+		}
+		c.sink.Receive(p)
+	}
+}
+
+// Close stops the collector and waits for the loop to exit.
+func (c *Collector) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Drops reports datagrams that failed to decode. Safe to call while the
+// collector is running.
+func (c *Collector) Drops() int { return int(c.drops.Load()) }
+
+// SendDatagram wire-encodes p and sends it to addr over conn — the
+// switch-side transmit helper.
+func SendDatagram(conn net.PacketConn, addr net.Addr, p *packet.Packet) error {
+	buf, err := wire.Encode(nil, p)
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteTo(buf, addr)
+	return err
+}

@@ -1,0 +1,194 @@
+// Package dml models the distributed-machine-learning traffic of the
+// paper's Exp#3 case study: a parameter-server training job whose packets
+// embed the current training iteration as a user-defined window signal.
+// The paper trains VGG19 on CIFAR-10 over four hosts; only the *traffic*
+// matters to the experiment (iteration boundaries and per-iteration
+// transfer volume/time), so this model generates the same packet pattern:
+// each worker pushes its gradients — whose volume follows the paper's
+// dynamic compression schedule (ratio 2, doubling every 16 iterations up
+// to 2048) — then the server broadcasts updates and the next iteration
+// starts after the slowest worker finishes.
+package dml
+
+import (
+	"math/rand"
+	"sort"
+
+	"omniwindow/internal/packet"
+)
+
+// Config parameterizes the training job.
+type Config struct {
+	// Workers is the number of worker hosts (the paper uses 3 + 1
+	// parameter server).
+	Workers int
+	// Iterations is the number of training iterations to emit.
+	Iterations int
+	// ModelBytes is the uncompressed gradient volume per iteration
+	// (VGG19 is ~548 MB of fp32 gradients; scale down for simulation).
+	ModelBytes int64
+	// BaseRatio is the initial compression ratio.
+	BaseRatio int
+	// DoubleEvery doubles the ratio every this many iterations.
+	DoubleEvery int
+	// MaxRatio caps the compression ratio.
+	MaxRatio int
+	// LinkBytesPerNs is the per-worker link bandwidth (bytes per virtual
+	// nanosecond; 100 Gbps = 12.5 B/ns).
+	LinkBytesPerNs float64
+	// ComputeNs is the per-iteration compute time before gradients are
+	// sent.
+	ComputeNs int64
+	// MTU is the packet payload size.
+	MTU int
+	// Seed drives the per-worker speed jitter.
+	Seed int64
+}
+
+// DefaultConfig returns a scaled-down job matching the paper's schedule.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Workers:        3,
+		Iterations:     96,
+		ModelBytes:     24 << 20, // scaled model (VGG19 is ~548 MB)
+		BaseRatio:      2,
+		DoubleEvery:    16,
+		MaxRatio:       2048,
+		LinkBytesPerNs: 12.5,
+		ComputeNs:      500_000, // 0.5 ms compute per iteration
+		MTU:            1500,
+		Seed:           seed,
+	}
+}
+
+// Ratio returns the compression ratio in effect at iteration i.
+func (c Config) Ratio(i int) int {
+	r := c.BaseRatio
+	for k := 0; k < i/c.DoubleEvery; k++ {
+		r *= 2
+		if r >= c.MaxRatio {
+			return c.MaxRatio
+		}
+	}
+	return r
+}
+
+func workerIP(w int) uint32 { return 0xAC100000 | uint32(w+1) } // 172.16.0.x
+func serverIP() uint32      { return 0xAC100000 | 0x64 }        // 172.16.0.100
+
+// WorkerKey returns the flow key of worker w's gradient push.
+func WorkerKey(w int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   workerIP(w),
+		DstIP:   serverIP(),
+		SrcPort: uint16(30000 + w),
+		DstPort: 4321,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// Generate emits the training traffic, time-sorted, with the iteration
+// number embedded in every packet's user signal.
+func Generate(cfg Config) []packet.Packet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pkts []packet.Packet
+	// Per-worker relative speeds (stable across iterations, as in a real
+	// heterogeneous cluster).
+	speed := make([]float64, cfg.Workers)
+	for w := range speed {
+		speed[w] = 0.85 + 0.3*rng.Float64()
+	}
+	now := int64(0)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		vol := cfg.ModelBytes / int64(cfg.Ratio(iter))
+		if vol < int64(cfg.MTU) {
+			vol = int64(cfg.MTU)
+		}
+		iterEnd := now
+		for w := 0; w < cfg.Workers; w++ {
+			start := now + int64(float64(cfg.ComputeNs)/speed[w])
+			n := int(vol) / cfg.MTU
+			if n < 1 {
+				n = 1
+			}
+			perPkt := float64(cfg.MTU) / (cfg.LinkBytesPerNs * speed[w])
+			t := start
+			for j := 0; j < n; j++ {
+				pkts = append(pkts, packet.Packet{
+					Key:  WorkerKey(w),
+					Size: uint32(cfg.MTU),
+					Seq:  uint32(j),
+					Time: t,
+					OW: packet.OWHeader{
+						UserSignal:    uint64(iter),
+						HasUserSignal: true,
+					},
+				})
+				t += int64(perPkt)
+			}
+			if t > iterEnd {
+				iterEnd = t
+			}
+		}
+		// The server's update broadcast (small) after the barrier.
+		for w := 0; w < cfg.Workers; w++ {
+			pkts = append(pkts, packet.Packet{
+				Key:  WorkerKey(w).Reverse(),
+				Size: uint32(cfg.MTU),
+				Time: iterEnd,
+				OW:   packet.OWHeader{UserSignal: uint64(iter), HasUserSignal: true},
+			})
+		}
+		now = iterEnd + 50_000 // barrier + scheduling gap
+	}
+	// Stable sort by time: the per-worker streams interleave.
+	sortPackets(pkts)
+	return pkts
+}
+
+// sortPackets sorts by time, stable for equal timestamps.
+func sortPackets(pkts []packet.Packet) {
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+}
+
+// IterationTimes computes the exact per-worker per-iteration transfer
+// durations (first-to-last gradient packet), the ground truth Exp#3
+// compares the in-network measurement against.
+func IterationTimes(pkts []packet.Packet, workers, iterations int) [][]int64 {
+	type span struct{ first, last int64 }
+	spans := make([]map[int]*span, workers)
+	for w := range spans {
+		spans[w] = make(map[int]*span)
+	}
+	for i := range pkts {
+		p := &pkts[i]
+		if !p.OW.HasUserSignal {
+			continue
+		}
+		for w := 0; w < workers; w++ {
+			if p.Key == WorkerKey(w) {
+				s, ok := spans[w][int(p.OW.UserSignal)]
+				if !ok {
+					s = &span{first: p.Time, last: p.Time}
+					spans[w][int(p.OW.UserSignal)] = s
+				}
+				if p.Time < s.first {
+					s.first = p.Time
+				}
+				if p.Time > s.last {
+					s.last = p.Time
+				}
+			}
+		}
+	}
+	out := make([][]int64, workers)
+	for w := range out {
+		out[w] = make([]int64, iterations)
+		for i := 0; i < iterations; i++ {
+			if s, ok := spans[w][i]; ok {
+				out[w][i] = s.last - s.first
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package dml
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRatioSchedule(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cases := map[int]int{0: 2, 15: 2, 16: 4, 31: 4, 32: 8, 80: 64}
+	for iter, want := range cases {
+		if got := cfg.Ratio(iter); got != want {
+			t.Fatalf("Ratio(%d) = %d want %d", iter, got, want)
+		}
+	}
+	// The cap holds.
+	if got := cfg.Ratio(10000); got != cfg.MaxRatio {
+		t.Fatalf("uncapped ratio: %d", got)
+	}
+}
+
+func TestGenerateSortedAndSignalled(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Iterations = 20
+	pkts := Generate(cfg)
+	if len(pkts) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !sort.SliceIsSorted(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time }) {
+		t.Fatal("trace not sorted")
+	}
+	lastIter := uint64(0)
+	for i := range pkts {
+		if !pkts[i].OW.HasUserSignal {
+			t.Fatal("packet without iteration signal")
+		}
+		if pkts[i].OW.UserSignal < lastIter {
+			// Signals are monotone along the trace (barrier-synchronized).
+			t.Fatalf("iteration went backwards at packet %d", i)
+		}
+		lastIter = pkts[i].OW.UserSignal
+	}
+	if lastIter != uint64(cfg.Iterations-1) {
+		t.Fatalf("last iteration = %d", lastIter)
+	}
+}
+
+func TestVolumeShrinksWithCompression(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Iterations = 48
+	pkts := Generate(cfg)
+	perIter := make([]int, cfg.Iterations)
+	for i := range pkts {
+		perIter[pkts[i].OW.UserSignal]++
+	}
+	// Iteration 16 uses ratio 4 vs ratio 2 before: roughly half volume.
+	if perIter[16] >= perIter[15] {
+		t.Fatalf("compression did not shrink volume: iter15=%d iter16=%d", perIter[15], perIter[16])
+	}
+	if perIter[32] >= perIter[16] {
+		t.Fatalf("second doubling had no effect: %d vs %d", perIter[32], perIter[16])
+	}
+}
+
+func TestIterationTimesShrink(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Iterations = 48
+	pkts := Generate(cfg)
+	times := IterationTimes(pkts, cfg.Workers, cfg.Iterations)
+	for w := 0; w < cfg.Workers; w++ {
+		if times[w][0] == 0 {
+			t.Fatalf("worker %d iteration 0 has zero duration", w)
+		}
+		if times[w][16] >= times[w][0] {
+			t.Fatalf("worker %d: transfer time did not drop with compression (%d vs %d)",
+				w, times[w][16], times[w][0])
+		}
+	}
+	// Workers have different speeds, so their durations differ.
+	if times[0][0] == times[1][0] && times[1][0] == times[2][0] {
+		t.Fatal("workers suspiciously identical")
+	}
+}
+
+func TestWorkerKeysDistinct(t *testing.T) {
+	seen := map[uint32]bool{}
+	for w := 0; w < 3; w++ {
+		k := WorkerKey(w)
+		if seen[k.SrcIP] {
+			t.Fatal("duplicate worker IP")
+		}
+		seen[k.SrcIP] = true
+		if k.DstIP != WorkerKey(0).DstIP {
+			t.Fatal("workers must share the parameter server")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Iterations = 10
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].Key != b[i].Key {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}

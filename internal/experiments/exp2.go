@@ -1,0 +1,572 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow"
+	"omniwindow/internal/afr"
+	"omniwindow/internal/baseline"
+	"omniwindow/internal/metrics"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/query"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/trace"
+	"omniwindow/internal/window"
+)
+
+// Exp#2 thresholds, scaled to the synthetic trace.
+const (
+	// Q8: a super-spreader contacts at least this many distinct hosts
+	// per window.
+	spreadThreshold = 120
+	// Q9: a heavy hitter sends at least this many packets per window.
+	heavyThreshold = 300
+)
+
+// Exp2Trace extends the Exp#1 workload with super-spreaders (Q8) and
+// heavy-hitter bursts (Q9), again mixing mid-window, early-window and
+// boundary placements.
+func Exp2Trace(sc Scale) []packet.Packet {
+	th := query.DefaultThresholds()
+	anomalies := Exp1Anomalies(sc, th)
+	w := sc.WindowNs()
+	nWin := sc.Duration / w
+	placements := []struct {
+		at, spread int64
+	}{
+		{w / 2, sc.SubWindowNs},
+		{w + sc.TW1CRNs/2, sc.TW1CRNs * 8 / 10},
+		{w, 2 * sc.SubWindowNs},
+	}
+	if nWin > 2 {
+		placements = append(placements, []struct{ at, spread int64 }{
+			{(nWin-1)*w + w/2, sc.SubWindowNs},
+			{2*w + sc.TW1CRNs/2, sc.TW1CRNs * 8 / 10},
+			{(nWin - 1) * w, 2 * sc.SubWindowNs},
+		}...)
+	}
+	for i, p := range placements {
+		anomalies = append(anomalies,
+			trace.SuperSpreader{Host: 700 + i, Dsts: spreadThreshold * 3 / 2, At: p.at, Spread: p.spread},
+			trace.HeavyBurst{Key: trace.BurstKey(i), Packets: heavyThreshold * 3 / 2, At: p.at, Spread: p.spread},
+		)
+	}
+	cfg := trace.DefaultConfig(sc.Seed)
+	cfg.Duration = sc.Duration
+	cfg.Flows = sc.Flows
+	cfg.Anomalies = anomalies
+	return trace.New(cfg).Generate()
+}
+
+// Exp2Row is one (task, sketch, mechanism) cell of Figure 8. For detection
+// tasks (Q8, Q9) Precision/Recall are set; for estimation tasks (Q10, Q11)
+// Err carries the ARE / AARE.
+type Exp2Row struct {
+	Task      string
+	Sketch    string
+	Mechanism string
+	Precision float64
+	Recall    float64
+	Err       float64
+	Metric    string // "pr" or "are" or "aare"
+}
+
+// Exp2Result is the Figure 8 reproduction.
+type Exp2Result struct {
+	Rows []Exp2Row
+}
+
+// Table renders the result.
+func (r Exp2Result) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		switch row.Metric {
+		case "pr":
+			rows = append(rows, []string{row.Task, row.Sketch, row.Mechanism,
+				pct(row.Precision), pct(row.Recall), "-"})
+		default:
+			rows = append(rows, []string{row.Task, row.Sketch, row.Mechanism,
+				"-", "-", fmt.Sprintf("%.4f", row.Err)})
+		}
+	}
+	return table([]string{"Task", "Sketch", "Mechanism", "Precision", "Recall", "ARE/AARE"}, rows)
+}
+
+// Get returns the row for (task, sketch, mechanism).
+func (r Exp2Result) Get(task, sk, mech string) (Exp2Row, bool) {
+	for _, row := range r.Rows {
+		if row.Task == task && row.Sketch == sk && row.Mechanism == mech {
+			return row, true
+		}
+	}
+	return Exp2Row{}, false
+}
+
+// RunExp2 reproduces Exp#2 (Figure 8): eight sketch algorithms under the
+// six window settings plus the Sliding Sketch baseline.
+func RunExp2(sc Scale) Exp2Result {
+	pkts := Exp2Trace(sc)
+	var res Exp2Result
+	res.Rows = append(res.Rows, Exp2Spread(sc, pkts)...)
+	res.Rows = append(res.Rows, Exp2Heavy(sc, pkts)...)
+	res.Rows = append(res.Rows, Exp2Frequency(sc, pkts)...)
+	res.Rows = append(res.Rows, Exp2Cardinality(sc, pkts)...)
+	return res
+}
+
+// srcHostTrack aggregates by source host (Q8's key definition).
+func srcHostTrack(p *packet.Packet) (packet.FlowKey, bool) {
+	return p.Key.SrcHostKey(), true
+}
+
+// exactSpreadEval computes exact distinct destinations per source host.
+func exactSpreadEval(win []packet.Packet) map[packet.FlowKey]uint64 {
+	sets := make(map[packet.FlowKey]map[uint32]bool)
+	for i := range win {
+		src := win[i].Key.SrcHostKey()
+		s, ok := sets[src]
+		if !ok {
+			s = make(map[uint32]bool)
+			sets[src] = s
+		}
+		s[win[i].Key.DstIP] = true
+	}
+	out := make(map[packet.FlowKey]uint64, len(sets))
+	for k, s := range sets {
+		out[k] = uint64(len(s))
+	}
+	return out
+}
+
+// Exp2Spread runs Q8 with SpreadSketch and the Vector Bloom Filter.
+func Exp2Spread(sc Scale, pkts []packet.Packet) []Exp2Row {
+	type backend struct {
+		name    string
+		app     func(mem int, seed uint64) afr.StateApp
+		counter afr.DistinctCounter
+	}
+	slots := func(mem int) int { return maxi(mem/(4*sketch.SPSBucketBytes(4)), 1) }
+	backends := []backend{
+		{
+			name: "SPS",
+			app: func(mem int, seed uint64) afr.StateApp {
+				return telemetry.NewSpreadSketchApp(sketch.NewSpreadSketchBytes(4, mem, seed), slots(mem))
+			},
+			counter: nil,
+		},
+		{
+			name: "VBF",
+			app: func(mem int, seed uint64) afr.StateApp {
+				return telemetry.NewVBFApp(sketch.NewVBF(5, maxi(mem/(5*8), 1), seed), maxi(mem/(5*8), 1))
+			},
+			counter: sketch.VBFDistinctCounter,
+		},
+	}
+
+	itw := detectOutputs(baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.WindowNs(), exactSpreadEval), spreadThreshold)
+	isw := detectOutputs(baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.SlideNs(), exactSpreadEval), spreadThreshold)
+
+	var rows []Exp2Row
+	for _, be := range backends {
+		full := func(seed uint64) afr.StateApp { return be.app(sc.SketchMemory, seed) }
+		tw1 := detectOutputs(baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 1, CRTimeNs: sc.TW1CRNs, Seed: uint64(sc.Seed),
+		}, full, srcHostTrack), spreadThreshold)
+		tw2 := detectOutputs(baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 2, Seed: uint64(sc.Seed),
+		}, full, srcHostTrack), spreadThreshold)
+
+		owRun := func(plan window.Plan) []map[packet.FlowKey]bool {
+			subSlots := slotsOf(be.app(sc.SubSketchMemory(), 1))
+			d, err := omniwindow.New(omniwindow.Config{
+				SubWindow: time.Duration(sc.SubWindowNs),
+				Plan:      plan,
+				Kind:      afr.Distinction,
+				Threshold: spreadThreshold,
+				AppFactory: func(region int) afr.StateApp {
+					return be.app(sc.SubSketchMemory(), uint64(sc.Seed)+uint64(region))
+				},
+				KeyOf:           srcHostTrack,
+				Slots:           subSlots,
+				DistinctCounter: be.counter,
+				Tracker:         trackerFor(sc),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("exp2 spread: %v", err))
+			}
+			return detectedSets(d.RunFor(pkts, sc.Duration))
+		}
+		otw := owRun(window.Tumbling(sc.WindowSub))
+		osw := owRun(window.SlidingPlan(sc.WindowSub, sc.SlideSub))
+
+		mk := func(mech string, d metrics.Detection) Exp2Row {
+			return Exp2Row{Task: "Q8-superspreader", Sketch: be.name, Mechanism: mech,
+				Precision: d.Precision(), Recall: d.Recall(), Metric: "pr"}
+		}
+		rows = append(rows,
+			mk("ITW", metrics.Compare(unionDetections(itw), unionDetections(isw))),
+			mk("ISW", metrics.Compare(unionDetections(isw), unionDetections(isw))),
+			mk("TW1", scoreWindows(tw1, itw)),
+			mk("TW2", scoreWindows(tw2, itw)),
+			mk("OTW", scoreWindows(otw, itw)),
+			mk("OSW", scoreWindows(osw, isw)),
+		)
+	}
+	return rows
+}
+
+// Exp2Heavy runs Q9 with MV-Sketch and HashPipe.
+func Exp2Heavy(sc Scale, pkts []packet.Packet) []Exp2Row {
+	countEval := func(win []packet.Packet) map[packet.FlowKey]uint64 {
+		m := make(map[packet.FlowKey]uint64)
+		for i := range win {
+			m[win[i].Key]++
+		}
+		return m
+	}
+	itw := detectOutputs(baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.WindowNs(), countEval), heavyThreshold)
+	isw := detectOutputs(baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.SlideNs(), countEval), heavyThreshold)
+
+	backends := []struct {
+		name string
+		mk   func(mem int, seed uint64) (sketch.Sketch, int)
+	}{
+		{"MV", func(mem int, seed uint64) (sketch.Sketch, int) {
+			s := sketch.NewMVBytes(4, mem, seed)
+			return s, maxi(mem/(4*sketch.MVBucketBytes), 1)
+		}},
+		{"HP", func(mem int, seed uint64) (sketch.Sketch, int) {
+			s := sketch.NewHashPipeBytes(4, mem, seed)
+			return s, maxi(mem/(4*sketch.HPSlotBytes), 1)
+		}},
+	}
+
+	var rows []Exp2Row
+	for _, be := range backends {
+		full := func(seed uint64) afr.StateApp {
+			s, slots := be.mk(sc.SketchMemory, seed)
+			return telemetry.NewFrequencyApp(s, slots)
+		}
+		tw1 := detectOutputs(baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 1, CRTimeNs: sc.TW1CRNs, Seed: uint64(sc.Seed),
+		}, full, nil), heavyThreshold)
+		tw2 := detectOutputs(baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 2, Seed: uint64(sc.Seed),
+		}, full, nil), heavyThreshold)
+
+		owRun := func(plan window.Plan) []map[packet.FlowKey]bool {
+			_, subSlots := be.mk(sc.SubSketchMemory(), 1)
+			d, err := omniwindow.New(omniwindow.Config{
+				SubWindow: time.Duration(sc.SubWindowNs),
+				Plan:      plan,
+				Kind:      afr.Frequency,
+				Threshold: heavyThreshold,
+				AppFactory: func(region int) afr.StateApp {
+					s, slots := be.mk(sc.SubSketchMemory(), uint64(sc.Seed)+uint64(region))
+					return telemetry.NewFrequencyApp(s, slots)
+				},
+				Slots:   subSlots,
+				Tracker: trackerFor(sc),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("exp2 heavy: %v", err))
+			}
+			return detectedSets(d.RunFor(pkts, sc.Duration))
+		}
+		otw := owRun(window.Tumbling(sc.WindowSub))
+		osw := owRun(window.SlidingPlan(sc.WindowSub, sc.SlideSub))
+
+		// Sliding Sketch baseline: same depth, half width, two buckets.
+		curSk, _ := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+		prevSk, _ := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+		ss := detectOutputs(baseline.RunSlidingSketch(pkts, sc.Duration, baseline.SlidingSketchConfig{
+			WindowNs: sc.WindowNs(), SlideNs: sc.SlideNs(),
+		}, sketch.NewSliding(curSk, prevSk), nil, nil), heavyThreshold)
+
+		mk := func(mech string, d metrics.Detection) Exp2Row {
+			return Exp2Row{Task: "Q9-heavyhitter", Sketch: be.name, Mechanism: mech,
+				Precision: d.Precision(), Recall: d.Recall(), Metric: "pr"}
+		}
+		rows = append(rows,
+			mk("ITW", metrics.Compare(unionDetections(itw), unionDetections(isw))),
+			mk("ISW", metrics.Compare(unionDetections(isw), unionDetections(isw))),
+			mk("TW1", scoreWindows(tw1, itw)),
+			mk("TW2", scoreWindows(tw2, itw)),
+			mk("OTW", scoreWindows(otw, itw)),
+			mk("OSW", scoreWindows(osw, isw)),
+			mk("SS", scoreWindows(ss, isw)),
+		)
+	}
+	return rows
+}
+
+// Exp2Frequency runs Q10 (per-flow packet counts, ARE) with Count-Min and
+// SuMax, including the Sliding Sketch baseline.
+func Exp2Frequency(sc Scale, pkts []packet.Packet) []Exp2Row {
+	countEval := func(win []packet.Packet) map[packet.FlowKey]uint64 {
+		m := make(map[packet.FlowKey]uint64)
+		for i := range win {
+			m[win[i].Key]++
+		}
+		return m
+	}
+	itwVals := baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.WindowNs(), countEval)
+	iswVals := baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.SlideNs(), countEval)
+
+	backends := []struct {
+		name string
+		mk   func(mem int, seed uint64) (sketch.Sketch, int)
+	}{
+		{"CM", func(mem int, seed uint64) (sketch.Sketch, int) {
+			s := sketch.NewCountMinBytes(4, mem, seed)
+			return s, s.Width()
+		}},
+		{"SM", func(mem int, seed uint64) (sketch.Sketch, int) {
+			s := sketch.NewSuMaxBytes(4, mem, seed)
+			return s, maxi(mem/(4*8), 1)
+		}},
+	}
+
+	var rows []Exp2Row
+	for _, be := range backends {
+		full := func(seed uint64) afr.StateApp {
+			s, slots := be.mk(sc.SketchMemory, seed)
+			return telemetry.NewFrequencyApp(s, slots)
+		}
+		tw1 := baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 1, CRTimeNs: sc.TW1CRNs, Seed: uint64(sc.Seed),
+		}, full, nil)
+		tw2 := baseline.RunTumbling(pkts, sc.Duration, baseline.TumblingConfig{
+			WindowNs: sc.WindowNs(), Regions: 2, Seed: uint64(sc.Seed),
+		}, full, nil)
+
+		owVals := func(plan window.Plan) []map[packet.FlowKey]uint64 {
+			_, subSlots := be.mk(sc.SubSketchMemory(), 1)
+			d, err := omniwindow.New(omniwindow.Config{
+				SubWindow: time.Duration(sc.SubWindowNs),
+				Plan:      plan,
+				Kind:      afr.Frequency,
+				AppFactory: func(region int) afr.StateApp {
+					s, slots := be.mk(sc.SubSketchMemory(), uint64(sc.Seed)+uint64(region))
+					return telemetry.NewFrequencyApp(s, slots)
+				},
+				Slots:         subSlots,
+				Threshold:     ^uint64(0), // estimation task: no detection
+				CaptureValues: true,
+				Tracker:       trackerFor(sc),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("exp2 freq: %v", err))
+			}
+			results := d.RunFor(pkts, sc.Duration)
+			vals := make([]map[packet.FlowKey]uint64, len(results))
+			for i, w := range results {
+				vals[i] = w.Values
+			}
+			return vals
+		}
+		otw := owVals(window.Tumbling(sc.WindowSub))
+		osw := owVals(window.SlidingPlan(sc.WindowSub, sc.SlideSub))
+
+		// Sliding Sketch: same depth, half width, two buckets.
+		curSk, _ := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+		prevSk, _ := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+		ss := baseline.RunSlidingSketch(pkts, sc.Duration, baseline.SlidingSketchConfig{
+			WindowNs: sc.WindowNs(), SlideNs: sc.SlideNs(),
+		}, sketch.NewSliding(curSk, prevSk), nil, nil)
+
+		areOf := func(got []map[packet.FlowKey]uint64, ideal []baseline.WindowOutput) float64 {
+			var ares []float64
+			n := len(got)
+			if len(ideal) < n {
+				n = len(ideal)
+			}
+			for i := 0; i < n; i++ {
+				ares = append(ares, metrics.ARE(got[i], ideal[i].Values))
+			}
+			return metrics.Mean(ares)
+		}
+		valuesOf := func(outs []baseline.WindowOutput) []map[packet.FlowKey]uint64 {
+			vs := make([]map[packet.FlowKey]uint64, len(outs))
+			for i := range outs {
+				vs[i] = outs[i].Values
+			}
+			return vs
+		}
+
+		mk := func(mech string, are float64) Exp2Row {
+			return Exp2Row{Task: "Q10-flowcount", Sketch: be.name, Mechanism: mech, Err: are, Metric: "are"}
+		}
+		rows = append(rows,
+			mk("TW1", areOf(valuesOf(tw1), itwVals)),
+			mk("TW2", areOf(valuesOf(tw2), itwVals)),
+			mk("OTW", areOf(otw, itwVals)),
+			mk("OSW", areOf(osw, iswVals)),
+			mk("SS", areOf(valuesOf(ss), iswVals)),
+		)
+	}
+	return rows
+}
+
+// Exp2Cardinality runs Q11 (window flow cardinality, AARE) with Linear
+// Counting and HyperLogLog. These estimators have no per-flow AFRs: the
+// per-sub-window instances migrate to the controller and merge losslessly
+// (§8, merging intermediate data without AFRs).
+func Exp2Cardinality(sc Scale, pkts []packet.Packet) []Exp2Row {
+	backends := []struct {
+		name string
+		mk   func(mem int, seed uint64) telemetry.Cardinality
+	}{
+		{"LC", func(mem int, seed uint64) telemetry.Cardinality { return telemetry.NewLCCard(mem, seed) }},
+		{"HLL", func(mem int, seed uint64) telemetry.Cardinality { return telemetry.NewHLLCard(mem, seed) }},
+	}
+
+	exactCount := func(start, end int64) float64 {
+		set := make(map[packet.FlowKey]bool)
+		for _, p := range baseline.Slice(pkts, start, end) {
+			set[p.Key] = true
+		}
+		return float64(len(set))
+	}
+
+	var rows []Exp2Row
+	for _, be := range backends {
+		// Per-sub-window estimators (quarter memory) — OmniWindow's
+		// state, shared by OTW and OSW which merge different ranges.
+		nSub := int(sc.Duration / sc.SubWindowNs)
+		subs := make([]telemetry.Cardinality, nSub)
+		for i := range subs {
+			subs[i] = be.mk(sc.SubSketchMemory(), uint64(sc.Seed))
+		}
+		for i := range pkts {
+			swi := int(pkts[i].Time / sc.SubWindowNs)
+			if swi >= 0 && swi < nSub {
+				subs[swi].Insert(pkts[i].Key)
+			}
+		}
+		mergeRange := func(from, to int) telemetry.Cardinality {
+			acc := subs[from].Clone()
+			for i := from; i < to; i++ {
+				acc.Merge(subs[i])
+			}
+			return acc
+		}
+
+		// Full-window estimators for TW1/TW2.
+		twEstimate := func(blackout int64) []float64 {
+			var ests []float64
+			for _, sp := range baseline.Spans(sc.Duration, sc.WindowNs(), sc.WindowNs()) {
+				est := be.mk(sc.SketchMemory, uint64(sc.Seed))
+				for _, p := range baseline.Slice(pkts, sp.Start, sp.End) {
+					if blackout > 0 && sp.Start > 0 && p.Time < sp.Start+blackout {
+						continue
+					}
+					est.Insert(p.Key)
+				}
+				ests = append(ests, est.Estimate())
+			}
+			return ests
+		}
+
+		aare := func(ests []float64, spans []baseline.Span) float64 {
+			var errs []float64
+			for i, sp := range spans {
+				if i >= len(ests) {
+					break
+				}
+				errs = append(errs, metrics.RelativeError(ests[i], exactCount(sp.Start, sp.End)))
+			}
+			return metrics.Mean(errs)
+		}
+
+		twSpans := baseline.Spans(sc.Duration, sc.WindowNs(), sc.WindowNs())
+		slSpans := baseline.Spans(sc.Duration, sc.WindowNs(), sc.SlideNs())
+
+		// OTW / OSW: merge the sub-window estimators per window span.
+		owEsts := func(spans []baseline.Span) []float64 {
+			var ests []float64
+			for _, sp := range spans {
+				from := int(sp.Start / sc.SubWindowNs)
+				to := int(sp.End / sc.SubWindowNs)
+				if to > nSub {
+					to = nSub
+				}
+				ests = append(ests, mergeRange(from, to).Estimate())
+			}
+			return ests
+		}
+
+		// Sliding Sketch for cardinality: two half-memory buckets
+		// rotating per window; an estimate merges both.
+		ssEsts := func() []float64 {
+			cur := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+			prev := be.mk(sc.SketchMemory/2, uint64(sc.Seed))
+			next := 0
+			rot := int64(1)
+			var ests []float64
+			for _, sp := range slSpans {
+				for next < len(pkts) && pkts[next].Time < sp.End {
+					for pkts[next].Time >= rot*sc.WindowNs() {
+						prev.Reset()
+						prev, cur = cur, prev
+						rot++
+					}
+					cur.Insert(pkts[next].Key)
+					next++
+				}
+				u := cur.Clone()
+				u.Merge(cur)
+				u.Merge(prev)
+				ests = append(ests, u.Estimate())
+			}
+			return ests
+		}
+
+		mk := func(mech string, v float64) Exp2Row {
+			return Exp2Row{Task: "Q11-cardinality", Sketch: be.name, Mechanism: mech, Err: v, Metric: "aare"}
+		}
+		rows = append(rows,
+			mk("TW1", aare(twEstimate(sc.TW1CRNs), twSpans)),
+			mk("TW2", aare(twEstimate(0), twSpans)),
+			mk("OTW", aare(owEsts(twSpans), twSpans)),
+			mk("OSW", aare(owEsts(slSpans), slSpans)),
+			mk("SS", aare(ssEsts(), slSpans)),
+		)
+	}
+	return rows
+}
+
+// Helpers shared by Exp#2 and Exp#10.
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// slotsOf extracts an app's slot count.
+func slotsOf(a afr.StateApp) int { return a.Slots() }
+
+// trackerFor sizes the flowkey tracker proportionally to the scale.
+func trackerFor(sc Scale) afr.TrackerConfig {
+	return afr.TrackerConfig{
+		BufferKeys:  sc.SubSlots(),
+		BloomBits:   sc.SubSlots() * 32,
+		BloomHashes: 3,
+	}
+}
+
+// detectedSets converts deployment results to per-window detection sets.
+func detectedSets(results []controllerWindow) []map[packet.FlowKey]bool {
+	out := make([]map[packet.FlowKey]bool, len(results))
+	for i, w := range results {
+		out[i] = make(map[packet.FlowKey]bool, len(w.Detected))
+		for _, k := range w.Detected {
+			out[i][k] = true
+		}
+	}
+	return out
+}

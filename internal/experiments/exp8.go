@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/switchsim"
+)
+
+// Exp8Row is one (method, register count) reset timing of Figure 13.
+type Exp8Row struct {
+	Method    string
+	Registers int
+	Time      time.Duration
+}
+
+// Exp8Result is the Figure 13 reproduction: in-switch reset time vs the
+// switch-OS path for 1-4 registers of 64 K two-byte entries.
+type Exp8Result struct {
+	Rows []Exp8Row
+}
+
+// Table renders times in milliseconds.
+func (r Exp8Result) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Method, fmt.Sprintf("%d", row.Registers),
+			fmt.Sprintf("%.2f", float64(row.Time.Microseconds())/1e3)})
+	}
+	return table([]string{"Method", "Registers", "Time(ms)"}, rows)
+}
+
+// Get returns the time for (method, registers).
+func (r Exp8Result) Get(method string, regs int) (time.Duration, bool) {
+	for _, row := range r.Rows {
+		if row.Method == method && row.Registers == regs {
+			return row.Time, true
+		}
+	}
+	return 0, false
+}
+
+// RunExp8 reproduces Exp#8 (Figure 13): the OS-based reset grows linearly
+// with the number of registers because the OS cannot reset them
+// concurrently, while OmniWindow's clear packets reset the same slot of
+// every register in one pipeline pass, so OW-k depends only on the entry
+// count and the packet count k. The reset is also executed functionally
+// on the simulated switch to verify the state is actually zeroed.
+func RunExp8(entries int, costs switchsim.CostModel) Exp8Result {
+	var res Exp8Result
+	for regs := 1; regs <= 4; regs++ {
+		res.Rows = append(res.Rows, Exp8Row{"OS", regs, costs.OSResetTime(regs, entries)})
+		for _, k := range []int{4, 8, 16} {
+			res.Rows = append(res.Rows, Exp8Row{fmt.Sprintf("OW-%d", k), regs, costs.RecircTime(k, entries)})
+		}
+	}
+	return res
+}
+
+// ValidateExp8Reset runs a real clear-packet reset over `regs` registers
+// of `entries` entries on the simulated switch and reports whether every
+// entry ended zero and how many pipeline passes it took.
+func ValidateExp8Reset(regs, entries, packets int) (passes int, clean bool) {
+	sw := switchsim.New(0)
+	registers := make([]*switchsim.Register[uint64], regs)
+	for i := range registers {
+		r, err := switchsim.AllocRegister[uint64](sw, fmt.Sprintf("state%d", i), i%4, entries, 2)
+		if err != nil {
+			panic(err)
+		}
+		for e := 0; e < entries; e++ {
+			r.Poke(e, uint64(e+1))
+		}
+		registers[i] = r
+	}
+	resetCounter := 0
+	sw.SetProgram(func(p *switchsim.Pass) {
+		slot := resetCounter
+		resetCounter++
+		if slot >= entries {
+			p.Drop()
+			return
+		}
+		// One pass: the clear packet resets the same slot of every
+		// register (they sit in consecutive stages).
+		for _, r := range registers {
+			switchsim.Write(p, r, slot, 0)
+		}
+		p.Recirculate()
+	})
+	for i := 0; i < packets; i++ {
+		out := sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
+		passes += out.Passes
+	}
+	clean = true
+	for _, r := range registers {
+		for e := 0; e < entries; e++ {
+			if r.Peek(e) != 0 {
+				clean = false
+			}
+		}
+	}
+	return passes, clean
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"omniwindow/internal/netsim"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/window"
+)
+
+// Exp9Config parameterizes the consistency experiment.
+type Exp9Config struct {
+	// Seed drives traffic, loss and jitter.
+	Seed int64
+	// Flows and PacketsPerFlow size the traffic.
+	Flows          int
+	PacketsPerFlow int
+	// DurationNs is the traffic span.
+	DurationNs int64
+	// SubWindowNs is the measurement sub-window.
+	SubWindowNs int64
+	// LossRate is the probability a packet is lost on the inter-switch
+	// link.
+	LossRate float64
+	// LinkDelayNs is the fixed propagation delay between the switches.
+	LinkDelayNs int64
+	// DeviationsNs are the PTP clock deviations to sweep (the paper
+	// tunes 2 us .. 512 us).
+	DeviationsNs []int64
+	// Cells and HashCount size the LossRadar meters.
+	Cells     int
+	HashCount int
+	// Hops is the path length; loss detection compares the first and
+	// last switch. The paper notes local-clock error amplifies with the
+	// hop count (accumulated transmission delay); default 2.
+	Hops int
+}
+
+// DefaultExp9Config returns a laptop-scale configuration.
+func DefaultExp9Config(seed int64) Exp9Config {
+	devs := []int64{}
+	for d := int64(2_000); d <= 512_000; d *= 2 {
+		devs = append(devs, d)
+	}
+	return Exp9Config{
+		Seed:           seed,
+		Flows:          400,
+		PacketsPerFlow: 250,
+		DurationNs:     1000 * Millisecond,
+		SubWindowNs:    50 * Millisecond,
+		LossRate:       0.005,
+		LinkDelayNs:    5_000,
+		DeviationsNs:   devs,
+		Cells:          8192,
+		HashCount:      3,
+		Hops:           2,
+	}
+}
+
+// Exp9Row is one (mechanism, deviation) precision point of Figure 14.
+type Exp9Row struct {
+	Mechanism   string // "OmniWindow" or "LocalClock"
+	DeviationNs int64
+	Precision   float64
+	Recall      float64
+	// DecodeFailures counts sub-windows whose LossRadar difference could
+	// not be fully peeled.
+	DecodeFailures int
+}
+
+// Exp9Result is the Figure 14 reproduction.
+type Exp9Result struct {
+	Rows []Exp9Row
+}
+
+// Table renders the sweep.
+func (r Exp9Result) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Mechanism,
+			fmt.Sprintf("%dus", row.DeviationNs/1000),
+			pct(row.Precision), pct(row.Recall),
+			fmt.Sprintf("%d", row.DecodeFailures)})
+	}
+	return table([]string{"Mechanism", "Deviation", "Precision", "Recall", "DecodeFail"}, rows)
+}
+
+// Get returns the row for (mechanism, deviation).
+func (r Exp9Result) Get(mech string, dev int64) (Exp9Row, bool) {
+	for _, row := range r.Rows {
+		if row.Mechanism == mech && row.DeviationNs == dev {
+			return row, true
+		}
+	}
+	return Exp9Row{}, false
+}
+
+// exp9Traffic builds an evenly spread multi-flow stream with per-flow
+// sequence numbers (so every packet has a unique LossRadar identity).
+func exp9Traffic(cfg Exp9Config) []packet.Packet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Flows * cfg.PacketsPerFlow
+	pkts := make([]packet.Packet, 0, n)
+	gap := cfg.DurationNs / int64(cfg.PacketsPerFlow)
+	for f := 0; f < cfg.Flows; f++ {
+		key := packet.FlowKey{
+			SrcIP:   uint32(0x0A010000 + f),
+			DstIP:   uint32(0x0A020000 + f%64),
+			SrcPort: uint16(1024 + f),
+			DstPort: 80,
+			Proto:   packet.ProtoUDP,
+		}
+		off := rng.Int63n(gap)
+		for j := 0; j < cfg.PacketsPerFlow; j++ {
+			pkts = append(pkts, packet.Packet{
+				Key: key, Size: 200, Seq: uint32(j),
+				Time: off + int64(j)*gap + rng.Int63n(gap/2+1),
+			})
+		}
+	}
+	// Sort by time (the per-flow streams interleave).
+	sortByTime(pkts)
+	return pkts
+}
+
+func sortByTime(pkts []packet.Packet) {
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+}
+
+// RunExp9 reproduces Exp#9 (Figure 14): two adjacent switches run
+// LossRadar; the downstream meter is subtracted from the upstream one per
+// sub-window and decoded. With OmniWindow's consistency model the
+// first-hop stamp ensures both switches meter every packet in the same
+// sub-window, so only genuinely lost packets appear in the difference
+// (precision 100%). With PTP-synchronized local clocks, packets near
+// sub-window boundaries are metered into different sub-windows by the two
+// switches and decode as spurious losses, degrading precision as the
+// deviation grows.
+func RunExp9(cfg Exp9Config) Exp9Result {
+	pkts := exp9Traffic(cfg)
+	var res Exp9Result
+	for _, dev := range cfg.DeviationsNs {
+		for _, stamped := range []bool{true, false} {
+			row := runExp9Mode(cfg, pkts, dev, stamped)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+func runExp9Mode(cfg Exp9Config, pkts []packet.Packet, dev int64, stamped bool) Exp9Row {
+	hops := cfg.Hops
+	if hops < 2 {
+		hops = 2
+	}
+	type meterSet map[uint64]*sketch.LossRadar
+	up, down := meterSet{}, meterSet{}
+	meter := func(ms meterSet, sw uint64) *sketch.LossRadar {
+		m, ok := ms[sw]
+		if !ok {
+			m = sketch.NewLossRadar(cfg.Cells, cfg.HashCount, uint64(cfg.Seed))
+			ms[sw] = m
+		}
+		return m
+	}
+
+	lostTruth := make(map[sketch.PacketID]uint64) // id -> upstream sub-window
+	var upSW uint64
+
+	// Per-hop clock offsets spread the total deviation across the path;
+	// the worst disagreement (first vs last) is `dev`.
+	offset := func(h int) int64 {
+		if hops == 1 {
+			return 0
+		}
+		return -dev/2 + dev*int64(h)/int64(hops-1)
+	}
+	var nhops []netsim.Hop
+	var delays []int64
+	for h := 0; h < hops; h++ {
+		h := h
+		mgr := window.NewManager(window.TimeoutSignal{Interval: cfg.SubWindowNs}, window.NewRegions(2, 4))
+		nhops = append(nhops, netsim.Hop{Offset: offset(h), Process: func(p *packet.Packet, lt int64) {
+			var sw uint64
+			if stamped {
+				sw = mgr.OnPacket(p, lt).Monitor
+			} else {
+				sw = uint64(lt / cfg.SubWindowNs)
+			}
+			switch h {
+			case 0:
+				upSW = sw
+				meter(up, sw).Insert(sketch.PacketID{Key: p.Key, Seq: p.Seq})
+			case hops - 1:
+				meter(down, sw).Insert(sketch.PacketID{Key: p.Key, Seq: p.Seq})
+			}
+		}})
+		if h < hops-1 {
+			delays = append(delays, cfg.LinkDelayNs)
+		}
+	}
+	path := netsim.Path{Hops: nhops, LinkDelay: delays}
+	lossFn := netsim.BernoulliLoss(0, cfg.LossRate, cfg.Seed+dev)
+	path.Loss = func(p *packet.Packet, hop int) bool {
+		if lossFn(p, hop) {
+			lostTruth[sketch.PacketID{Key: p.Key, Seq: p.Seq}] = upSW
+			return true
+		}
+		return false
+	}
+	path.Run(pkts)
+
+	// Per sub-window: subtract and decode.
+	failures := 0
+	reportedTrue, reportedTotal, truthTotal := 0, 0, len(lostTruth)
+	for sw, u := range up {
+		if d, ok := down[sw]; ok {
+			u.Subtract(d)
+		}
+		lost, _, ok := u.Decode()
+		if !ok {
+			failures++
+		}
+		for _, id := range lost {
+			reportedTotal++
+			if tsw, isLost := lostTruth[id]; isLost && tsw == sw {
+				reportedTrue++
+			}
+		}
+	}
+	precision := 1.0
+	if reportedTotal > 0 {
+		precision = float64(reportedTrue) / float64(reportedTotal)
+	}
+	recall := 1.0
+	if truthTotal > 0 {
+		recall = float64(reportedTrue) / float64(truthTotal)
+	}
+	mech := "LocalClock"
+	if stamped {
+		mech = "OmniWindow"
+	}
+	return Exp9Row{Mechanism: mech, DeviationNs: dev, Precision: precision, Recall: recall, DecodeFailures: failures}
+}

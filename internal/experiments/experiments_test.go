@@ -1,0 +1,515 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"omniwindow/internal/dml"
+	"omniwindow/internal/query"
+	"omniwindow/internal/switchsim"
+)
+
+// Tiny-scale runs keep the test suite fast; the full figures regenerate
+// through bench_test.go / cmd/omnibench at SmallScale.
+
+func TestExp1ShapeOnOneQuery(t *testing.T) {
+	sc := TinyScale(42)
+	rows := RunExp1Query(sc, query.SynFloodQuery(query.DefaultThresholds()))
+	get := func(mech string) Exp1Row {
+		for _, r := range rows {
+			if r.Mechanism == mech {
+				return r
+			}
+		}
+		t.Fatalf("missing mechanism %s", mech)
+		return Exp1Row{}
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The orderings the paper reports:
+	if itw, isw := get("ITW"), get("ISW"); itw.Recall >= isw.Recall {
+		t.Fatalf("tumbling should miss boundary anomalies: ITW r=%.3f ISW r=%.3f", itw.Recall, isw.Recall)
+	}
+	if tw1, tw2 := get("TW1"), get("TW2"); tw1.Recall >= tw2.Recall {
+		t.Fatalf("TW1's C&R blackout should cost recall: %.3f vs %.3f", tw1.Recall, tw2.Recall)
+	}
+	if otw := get("OTW"); otw.Precision < 0.7 || otw.Recall < 0.7 {
+		t.Fatalf("OTW too far from ideal: %+v", otw)
+	}
+	if osw := get("OSW"); osw.Precision < 0.7 || osw.Recall < 0.7 {
+		t.Fatalf("OSW too far from ideal: %+v", osw)
+	}
+}
+
+func TestExp1TableRenders(t *testing.T) {
+	res := Exp1Result{Rows: []Exp1Row{{Query: "Q1", Mechanism: "OTW", Precision: 0.5, Recall: 0.25}}}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "Q1") || !strings.Contains(tbl, "50.0%") || !strings.Contains(tbl, "25.0%") {
+		t.Fatalf("bad table:\n%s", tbl)
+	}
+	if _, ok := res.Get("Q1", "OTW"); !ok {
+		t.Fatal("Get failed")
+	}
+	if _, ok := res.Get("Q1", "XX"); ok {
+		t.Fatal("Get found phantom row")
+	}
+}
+
+func TestExp2CardinalityShape(t *testing.T) {
+	sc := TinyScale(7)
+	pkts := Exp2Trace(sc)
+	rows := Exp2Cardinality(sc, pkts)
+	get := func(sk, mech string) float64 {
+		for _, r := range rows {
+			if r.Sketch == sk && r.Mechanism == mech {
+				return r.Err
+			}
+		}
+		t.Fatalf("missing %s/%s", sk, mech)
+		return 0
+	}
+	for _, sk := range []string{"LC", "HLL"} {
+		// Sliding Sketch mixes two windows: AARE far worse than OSW.
+		if get(sk, "SS") < 10*get(sk, "OSW")+0.01 {
+			t.Fatalf("%s: SS %.4f should be far worse than OSW %.4f", sk, get(sk, "SS"), get(sk, "OSW"))
+		}
+		// TW1 loses blackout traffic: worse than TW2.
+		if get(sk, "TW1") <= get(sk, "TW2") {
+			t.Fatalf("%s: TW1 %.4f should exceed TW2 %.4f", sk, get(sk, "TW1"), get(sk, "TW2"))
+		}
+		// OmniWindow merging is lossless: close to TW2.
+		if get(sk, "OTW") > get(sk, "TW2")+0.05 {
+			t.Fatalf("%s: OTW %.4f too far above TW2 %.4f", sk, get(sk, "OTW"), get(sk, "TW2"))
+		}
+	}
+}
+
+func TestExp2FrequencyShape(t *testing.T) {
+	sc := TinyScale(9)
+	pkts := Exp2Trace(sc)
+	rows := Exp2Frequency(sc, pkts)
+	for _, sk := range []string{"CM", "SM"} {
+		var ss, osw, tw1, tw2 float64
+		for _, r := range rows {
+			if r.Sketch != sk {
+				continue
+			}
+			switch r.Mechanism {
+			case "SS":
+				ss = r.Err
+			case "OSW":
+				osw = r.Err
+			case "TW1":
+				tw1 = r.Err
+			case "TW2":
+				tw2 = r.Err
+			}
+		}
+		if ss < 2*osw {
+			t.Fatalf("%s: SS ARE %.4f should dwarf OSW %.4f", sk, ss, osw)
+		}
+		if tw1 <= tw2 {
+			t.Fatalf("%s: TW1 %.4f should exceed TW2 %.4f", sk, tw1, tw2)
+		}
+	}
+}
+
+func TestExp3MeasurementMatchesGroundTruth(t *testing.T) {
+	cfg := dml.DefaultConfig(5)
+	cfg.Iterations = 40
+	res := RunExp3(cfg)
+	if len(res.Rows) != cfg.Iterations*cfg.Workers {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if e := res.MaxRelError(); e > 0.01 {
+		t.Fatalf("in-network measurement off by %.4f", e)
+	}
+	// Compression must shrink transfer times stepwise.
+	var it0, it16 int64
+	for _, r := range res.Rows {
+		if r.Worker == 0 && r.Iteration == 0 {
+			it0 = r.MeasuredNs
+		}
+		if r.Worker == 0 && r.Iteration == 16 {
+			it16 = r.MeasuredNs
+		}
+	}
+	if it16 >= it0 {
+		t.Fatalf("compression did not shrink measured time: %d vs %d", it16, it0)
+	}
+	if !strings.Contains(res.Table(), "Ratio") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestExp4BreakdownRecorded(t *testing.T) {
+	sc := TinyScale(11)
+	res := RunExp4(sc)
+	if len(res.Rows) != 2*(sc.WindowSub+1) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The OSW rows must include eviction time; OTW rows may not (O5 is
+	// sliding-only in steady state).
+	var oswEvict time.Duration
+	insertSeen := false
+	for _, r := range res.Rows {
+		if r.Times.Insert > 0 {
+			insertSeen = true
+		}
+		if r.Mechanism == "OSW" {
+			oswEvict += r.Times.Evict
+		}
+	}
+	if !insertSeen {
+		t.Fatal("no insert time recorded")
+	}
+	if oswEvict == 0 {
+		t.Fatal("sliding windows must pay O5 eviction")
+	}
+	if !strings.Contains(res.Table(), "O2-insert") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestExp5ResourceTable(t *testing.T) {
+	sc := TinyScale(13)
+	res := RunExp5(sc)
+	for _, feat := range []string{"Signal", "Consistency model", "Address location",
+		"Flowkey tracking", "AFR generation", "RDMA opt.", "In-switch reset"} {
+		r, ok := res.Features[feat]
+		if !ok || r.Stages == 0 {
+			t.Fatalf("feature %q missing from ledger", feat)
+		}
+	}
+	if res.Total.SALUs == 0 || res.Total.SRAMKB == 0 {
+		t.Fatalf("empty totals: %+v", res.Total)
+	}
+	// The consistency model costs no SRAM (Table 2).
+	if res.Features["Consistency model"].SRAMKB != 0 {
+		t.Fatal("consistency model should use no SRAM")
+	}
+	for col, u := range res.Utilization {
+		if u <= 0 || u > 1 {
+			t.Fatalf("utilization %s = %f", col, u)
+		}
+	}
+	if !strings.Contains(res.Table(), "Total") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestExp6Regimes(t *testing.T) {
+	res := RunExp6(DefaultExp6Config())
+	osT, _ := res.Get("OS", 4)
+	cpcT, _ := res.Get("CPC", 4)
+	dpcT, _ := res.Get("DPC", 4)
+	owT, _ := res.Get("OW", 4)
+	dpcStarT, _ := res.Get("DPC*", 4)
+	owStarT, _ := res.Get("OW*", 4)
+
+	// The paper's regimes: OS needs seconds; everything else
+	// milliseconds; DPC < OW < CPC; RDMA variants of DPC/OW are fastest.
+	if osT < 2*time.Second || osT > 15*time.Second {
+		t.Fatalf("OS time %v outside the paper's 2.4-10.3 s regime", osT)
+	}
+	if cpcT > 30*time.Millisecond || cpcT < 5*time.Millisecond {
+		t.Fatalf("CPC time %v outside regime", cpcT)
+	}
+	if !(dpcT < owT && owT < cpcT) {
+		t.Fatalf("ordering broken: DPC %v OW %v CPC %v", dpcT, owT, cpcT)
+	}
+	if dpcStarT >= dpcT || owStarT >= owT {
+		t.Fatalf("RDMA variants must be faster: DPC* %v DPC %v, OW* %v OW %v", dpcStarT, dpcT, owStarT, owT)
+	}
+	if owStarT > 3*time.Millisecond {
+		t.Fatalf("OW* %v outside the paper's ~1.8 ms regime", owStarT)
+	}
+	// OS grows with hash count; the bypass methods do not.
+	os1, _ := res.Get("OS", 1)
+	if osT <= os1 {
+		t.Fatal("OS must grow with the number of arrays")
+	}
+	dpc1, _ := res.Get("DPC", 1)
+	if dpcT != dpc1 {
+		t.Fatal("DPC should not depend on the array count")
+	}
+}
+
+func TestExp6PassValidation(t *testing.T) {
+	// Scaled-down functional check: k concurrent collection packets
+	// enumerate exactly `keys` AFRs in keys + k passes total.
+	keys, packets := 1000, 4
+	passes, afrs := ValidateExp6Passes(keys, packets)
+	// A Bloom-filter false positive during tracking can drop the odd key
+	// (Algorithm 1's inherent approximation); allow a whisker.
+	if afrs < keys-2 {
+		t.Fatalf("afrs = %d want ~%d", afrs, keys)
+	}
+	if passes != afrs+packets {
+		t.Fatalf("passes = %d want %d", passes, afrs+packets)
+	}
+}
+
+func TestExp7VectorizedFaster(t *testing.T) {
+	res := RunExp7(1 << 20)
+	for _, op := range []string{"sum", "max"} {
+		red := res.Reduction(op)
+		if red <= 0 {
+			t.Fatalf("vectorized %s not faster (reduction %.3f)", op, red)
+		}
+	}
+	if !strings.Contains(res.Table(), "vectorized") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestExp8Shape(t *testing.T) {
+	res := RunExp8(65536, switchsim.DefaultCosts())
+	os1, _ := res.Get("OS", 1)
+	os4, _ := res.Get("OS", 4)
+	ow16at1, _ := res.Get("OW-16", 1)
+	ow16at4, _ := res.Get("OW-16", 4)
+	ow4, _ := res.Get("OW-4", 4)
+
+	if os4 <= os1 {
+		t.Fatal("OS reset must grow with register count")
+	}
+	if ow16at1 != ow16at4 {
+		t.Fatal("OmniWindow reset must not depend on register count")
+	}
+	if ow16at4 >= ow4 {
+		t.Fatal("more clear packets must be faster")
+	}
+	if ow16at4 > 2*time.Millisecond {
+		t.Fatalf("OW-16 %v exceeds the paper's 2 ms", ow16at4)
+	}
+	if os4 < 100*ow16at4 {
+		t.Fatalf("OS/OW gap too small: %v vs %v", os4, ow16at4)
+	}
+}
+
+func TestExp8FunctionalReset(t *testing.T) {
+	passes, clean := ValidateExp8Reset(4, 512, 8)
+	if !clean {
+		t.Fatal("reset left non-zero entries")
+	}
+	if passes != 512+8 {
+		t.Fatalf("passes = %d want %d", passes, 512+8)
+	}
+}
+
+func TestExp9ConsistencyShape(t *testing.T) {
+	cfg := DefaultExp9Config(3)
+	cfg.Flows = 150
+	cfg.PacketsPerFlow = 120
+	cfg.DeviationsNs = []int64{2_000, 128_000, 512_000}
+	res := RunExp9(cfg)
+	for _, dev := range cfg.DeviationsNs {
+		ow, ok := res.Get("OmniWindow", dev)
+		if !ok {
+			t.Fatalf("missing OmniWindow row at %d", dev)
+		}
+		if ow.Precision != 1 {
+			t.Fatalf("OmniWindow precision %.4f != 100%% at %dus", ow.Precision, dev/1000)
+		}
+	}
+	lcSmall, _ := res.Get("LocalClock", 2_000)
+	lcBig, _ := res.Get("LocalClock", 512_000)
+	if lcBig.Precision >= lcSmall.Precision {
+		t.Fatalf("local-clock precision must degrade with deviation: %.3f vs %.3f",
+			lcBig.Precision, lcSmall.Precision)
+	}
+	if lcBig.Precision > 0.8 {
+		t.Fatalf("512us deviation should hurt badly, got %.3f", lcBig.Precision)
+	}
+}
+
+func TestAblationMergeShape(t *testing.T) {
+	sc := TinyScale(17)
+	res := RunAblationMerge(sc)
+	var byName = map[string]AblationMergeRow{}
+	for _, r := range res.Rows {
+		byName[r.Strategy] = r
+	}
+	afrRow := byName["AFR (OmniWindow)"]
+	resRow := byName["merge-results"]
+	stRow := byName["merge-states"]
+	if resRow.Recall >= afrRow.Recall {
+		t.Fatalf("merging results must miss split flows: %.3f vs AFR %.3f", resRow.Recall, afrRow.Recall)
+	}
+	if stRow.Precision > afrRow.Precision {
+		t.Fatalf("merging states must not beat AFR precision: %.3f vs %.3f", stRow.Precision, afrRow.Precision)
+	}
+}
+
+func TestAblationSALU(t *testing.T) {
+	res := RunAblationSALU(4, 1024, 2)
+	if res.FlatSALUs != 4 || res.PerRegion != 8 {
+		t.Fatalf("SALU counts: flat %d naive %d", res.FlatSALUs, res.PerRegion)
+	}
+	if res.FlatSRAMKB != res.PerRegionKB {
+		t.Fatalf("SRAM should match: %d vs %d", res.FlatSRAMKB, res.PerRegionKB)
+	}
+}
+
+func TestAblationFlowkeyTradeoff(t *testing.T) {
+	sc := TinyScale(19)
+	res := RunAblationFlowkey(sc, []int{256, 4096})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Spills <= res.Rows[1].Spills {
+		t.Fatalf("smaller buffer must spill more: %d vs %d", res.Rows[0].Spills, res.Rows[1].Spills)
+	}
+}
+
+func TestAblationSubWindows(t *testing.T) {
+	sc := TinyScale(23)
+	res := RunAblationSubWindows(sc, []int{2, 5})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Recall < 0.5 {
+			t.Fatalf("W=%d recall collapsed: %.3f", r.SubWindows, r.Recall)
+		}
+	}
+}
+
+func TestSketchZoo(t *testing.T) {
+	res := RunSketchZoo(TinyScale(29))
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Every sketch in the zoo must be a usable heavy-hitter backend
+		// under OmniWindow. UnivMon's Count-Sketch estimates are noisy
+		// at tiny memory; hold it to a looser bar.
+		bar := 0.8
+		if r.Sketch == "UnivMon" {
+			bar = 0.4
+		}
+		if r.Recall < bar || r.Precision < bar {
+			t.Fatalf("%s: p=%.3f r=%.3f below bar %.1f", r.Sketch, r.Precision, r.Recall, bar)
+		}
+		if r.UpdateNsPerPkt <= 0 || r.MemoryBytes <= 0 {
+			t.Fatalf("%s: missing measurements: %+v", r.Sketch, r)
+		}
+	}
+	if !strings.Contains(res.Table(), "UnivMon") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestExp9MultiHopAmplifiesError(t *testing.T) {
+	cfg := DefaultExp9Config(5)
+	cfg.Flows = 150
+	cfg.PacketsPerFlow = 120
+	cfg.DeviationsNs = []int64{128_000}
+	two := RunExp9(cfg)
+	cfg.Hops = 5
+	five := RunExp9(cfg)
+	lc2, _ := two.Get("LocalClock", 128_000)
+	lc5, _ := five.Get("LocalClock", 128_000)
+	if lc5.Precision >= lc2.Precision {
+		t.Fatalf("longer path should hurt local clocks more: 2-hop %.3f vs 5-hop %.3f",
+			lc2.Precision, lc5.Precision)
+	}
+	ow5, _ := five.Get("OmniWindow", 128_000)
+	if ow5.Precision != 1 {
+		t.Fatalf("OmniWindow must stay exact over 5 hops: %.3f", ow5.Precision)
+	}
+}
+
+func TestExp1AllQueriesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Exp#1 sweep")
+	}
+	sc := TinyScale(31)
+	res := RunExp1(sc)
+	if len(res.Rows) != 7*6 {
+		t.Fatalf("rows = %d want 42", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Precision < 0 || row.Precision > 1 || row.Recall < 0 || row.Recall > 1 {
+			t.Fatalf("out-of-range accuracy: %+v", row)
+		}
+	}
+	// The aggregate boundary-miss effect must hold across queries: mean
+	// ITW recall below mean ISW recall.
+	var itw, isw []float64
+	for _, row := range res.Rows {
+		switch row.Mechanism {
+		case "ITW":
+			itw = append(itw, row.Recall)
+		case "ISW":
+			isw = append(isw, row.Recall)
+		}
+	}
+	if mean(itw) >= mean(isw) {
+		t.Fatalf("mean ITW recall %.3f should trail ISW %.3f", mean(itw), mean(isw))
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestExp2SpreadAndHeavyShapes(t *testing.T) {
+	sc := TinyScale(33)
+	pkts := Exp2Trace(sc)
+	rows := append(Exp2Spread(sc, pkts), Exp2Heavy(sc, pkts)...)
+	byKey := map[string]Exp2Row{}
+	for _, r := range rows {
+		byKey[r.Task+"/"+r.Sketch+"/"+r.Mechanism] = r
+	}
+	for _, combo := range []struct{ task, sk string }{
+		{"Q8-superspreader", "SPS"}, {"Q8-superspreader", "VBF"},
+		{"Q9-heavyhitter", "MV"}, {"Q9-heavyhitter", "HP"},
+	} {
+		itw := byKey[combo.task+"/"+combo.sk+"/ITW"]
+		isw := byKey[combo.task+"/"+combo.sk+"/ISW"]
+		otw := byKey[combo.task+"/"+combo.sk+"/OTW"]
+		osw := byKey[combo.task+"/"+combo.sk+"/OSW"]
+		tw1 := byKey[combo.task+"/"+combo.sk+"/TW1"]
+		if itw.Recall >= isw.Recall {
+			t.Fatalf("%s/%s: ITW %.3f should trail ISW %.3f", combo.task, combo.sk, itw.Recall, isw.Recall)
+		}
+		if tw1.Recall >= 1 {
+			t.Fatalf("%s/%s: TW1 should lose blackout anomalies", combo.task, combo.sk)
+		}
+		if otw.Recall < 0.8 || osw.Recall < 0.8 || otw.Precision < 0.8 || osw.Precision < 0.8 {
+			t.Fatalf("%s/%s: OmniWindow too far from ideal: otw=%+v osw=%+v", combo.task, combo.sk, otw, osw)
+		}
+	}
+}
+
+func TestExp2HeavySSBelowOSW(t *testing.T) {
+	sc := TinyScale(37)
+	pkts := Exp2Trace(sc)
+	rows := Exp2Heavy(sc, pkts)
+	for _, sk := range []string{"MV", "HP"} {
+		var ss, osw Exp2Row
+		for _, r := range rows {
+			if r.Sketch != sk {
+				continue
+			}
+			if r.Mechanism == "SS" {
+				ss = r
+			}
+			if r.Mechanism == "OSW" {
+				osw = r
+			}
+		}
+		// Sliding Sketch's stale-window mass costs precision vs OSW.
+		if ss.Precision >= osw.Precision {
+			t.Fatalf("%s: SS precision %.3f should trail OSW %.3f", sk, ss.Precision, osw.Precision)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§9): one runner per experiment, each returning printable
+// rows shaped like the paper's. The workload is the synthetic CAIDA-like
+// trace (see internal/trace); absolute numbers therefore differ from the
+// paper's testbed, but the comparisons — who wins, by what factor, where
+// crossovers fall — reproduce.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"omniwindow/internal/controller"
+	"omniwindow/internal/trace"
+)
+
+// controllerWindow aliases the controller's window result for brevity.
+type controllerWindow = controller.WindowResult
+
+// Millisecond aliases the trace time unit.
+const Millisecond = trace.Millisecond
+
+// Scale sizes an experiment run. The paper's testbed pushes 100 Gbps
+// through a Tofino; SmallScale is sized for a laptop-class run with the
+// same structure (windows of five 100 ms sub-windows, sub-window memory =
+// 1/4 of the window's).
+type Scale struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Duration is the trace length (ns).
+	Duration int64
+	// Flows is the number of background flows.
+	Flows int
+	// SubWindowNs is the sub-window length.
+	SubWindowNs int64
+	// WindowSub is the window size in sub-windows.
+	WindowSub int
+	// SlideSub is the slide in sub-windows (sliding mechanisms).
+	SlideSub int
+	// QuerySlots is the query-state width for a FULL window; sub-window
+	// states get a quarter (the paper's memory setting).
+	QuerySlots int
+	// SketchMemory is the sketch budget in bytes for a FULL window.
+	SketchMemory int
+	// TW1CRNs is the C&R blackout of the single-region baseline.
+	TW1CRNs int64
+}
+
+// SmallScale returns the default laptop-scale configuration.
+func SmallScale(seed int64) Scale {
+	return Scale{
+		Seed:         seed,
+		Duration:     2500 * Millisecond,
+		Flows:        20000,
+		SubWindowNs:  100 * Millisecond,
+		WindowSub:    5,
+		SlideSub:     1,
+		QuerySlots:   1 << 16,
+		SketchMemory: 1 << 20, // 1 MB per window (paper: 8 MB)
+		TW1CRNs:      100 * Millisecond,
+	}
+}
+
+// TinyScale returns a minimal configuration for unit tests.
+func TinyScale(seed int64) Scale {
+	s := SmallScale(seed)
+	s.Duration = 1000 * Millisecond
+	s.Flows = 3000
+	s.QuerySlots = 1 << 14
+	s.SketchMemory = 1 << 18
+	return s
+}
+
+// WindowNs returns the complete-window length.
+func (s Scale) WindowNs() int64 { return s.SubWindowNs * int64(s.WindowSub) }
+
+// SlideNs returns the slide length.
+func (s Scale) SlideNs() int64 { return s.SubWindowNs * int64(s.SlideSub) }
+
+// SubSlots returns the per-sub-window query-state width (1/4 of the
+// window's, per §9.1: non-uniform traffic gets 1/4 instead of 1/5).
+func (s Scale) SubSlots() int { return s.QuerySlots / 4 }
+
+// SubSketchMemory returns the per-sub-window sketch budget.
+func (s Scale) SubSketchMemory() int { return s.SketchMemory / 4 }
+
+// table renders rows of columns with a header, aligned.
+func table(header []string, rows [][]string) string {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

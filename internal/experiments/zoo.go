@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow"
+	"omniwindow/internal/afr"
+	"omniwindow/internal/baseline"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/window"
+)
+
+// ZooRow is one sketch's result in the heavy-hitter zoo.
+type ZooRow struct {
+	Sketch    string
+	Precision float64
+	Recall    float64
+	// UpdateNsPerPkt is the measured wall-clock update cost.
+	UpdateNsPerPkt float64
+	// MemoryBytes is the instantiated per-sub-window footprint.
+	MemoryBytes int
+}
+
+// ZooResult compares every heavy-hitter-capable sketch in the library
+// under OmniWindow tumbling windows at an equal per-sub-window memory
+// budget — an extension beyond the paper's MV/HP pair, showing the
+// framework is agnostic to the deployed algorithm.
+type ZooResult struct {
+	Rows []ZooRow
+}
+
+// Table renders the comparison.
+func (r ZooResult) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Sketch, pct(row.Precision), pct(row.Recall),
+			fmt.Sprintf("%.0f", row.UpdateNsPerPkt),
+			fmt.Sprintf("%d", row.MemoryBytes)})
+	}
+	return table([]string{"Sketch", "Precision", "Recall", "Update(ns/pkt)", "Memory(B)"}, rows)
+}
+
+// zooBackend builds a heavy-hitter StateApp within a memory budget.
+type zooBackend struct {
+	name string
+	mk   func(mem int, seed uint64) (afr.StateApp, int, int) // app, slots, memBytes
+}
+
+func zooBackends() []zooBackend {
+	return []zooBackend{
+		{"CM", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewCountMinBytes(4, mem, seed)
+			return telemetry.NewFrequencyApp(s, s.Width()), s.Width(), s.MemoryBytes()
+		}},
+		{"SuMax", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewSuMaxBytes(4, mem, seed)
+			slots := maxi(mem/(4*8), 1)
+			return telemetry.NewFrequencyApp(s, slots), slots, s.MemoryBytes()
+		}},
+		{"MV", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewMVBytes(4, mem, seed)
+			slots := maxi(mem/(4*sketch.MVBucketBytes), 1)
+			return telemetry.NewFrequencyApp(s, slots), slots, s.MemoryBytes()
+		}},
+		{"HashPipe", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewHashPipeBytes(4, mem, seed)
+			slots := maxi(mem/(4*sketch.HPSlotBytes), 1)
+			return telemetry.NewFrequencyApp(s, slots), slots, s.MemoryBytes()
+		}},
+		{"Elastic", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewElasticBytes(mem, seed)
+			slots := maxi(mem/4/sketch.ElasticBucketBytes, 1)
+			return telemetry.NewFrequencyApp(s, slots), slots, s.MemoryBytes()
+		}},
+		{"UnivMon", func(mem int, seed uint64) (afr.StateApp, int, int) {
+			s := sketch.NewUnivMonBytes(8, mem, seed)
+			slots := maxi(mem/(8*5*8), 8)
+			return telemetry.NewFrequencyApp(&univAdapter{s}, slots), slots, s.MemoryBytes()
+		}},
+	}
+}
+
+// univAdapter bridges UnivMon's level-0 point query to the sketch.Sketch
+// interface the frequency app expects.
+type univAdapter struct{ u *sketch.UnivMon }
+
+func (a *univAdapter) Update(k packet.FlowKey, v uint64) { a.u.Update(k, v) }
+func (a *univAdapter) Query(k packet.FlowKey) uint64     { return a.u.Query(k) }
+func (a *univAdapter) Reset()                            { a.u.Reset() }
+func (a *univAdapter) MemoryBytes() int                  { return a.u.MemoryBytes() }
+
+// RunSketchZoo evaluates the zoo over the Exp#2 workload under OmniWindow
+// tumbling windows.
+func RunSketchZoo(sc Scale) ZooResult {
+	pkts := Exp2Trace(sc)
+	countEval := func(win []packet.Packet) map[packet.FlowKey]uint64 {
+		m := make(map[packet.FlowKey]uint64)
+		for i := range win {
+			m[win[i].Key]++
+		}
+		return m
+	}
+	ideal := detectOutputs(baseline.RunIdeal(pkts, sc.Duration, sc.WindowNs(), sc.WindowNs(), countEval), heavyThreshold)
+
+	var res ZooResult
+	for _, be := range zooBackends() {
+		_, subSlots, memBytes := be.mk(sc.SubSketchMemory(), 1)
+		d, err := omniwindow.New(omniwindow.Config{
+			SubWindow: time.Duration(sc.SubWindowNs),
+			Plan:      window.Tumbling(sc.WindowSub),
+			Kind:      afr.Frequency,
+			Threshold: heavyThreshold,
+			AppFactory: func(region int) afr.StateApp {
+				app, _, _ := be.mk(sc.SubSketchMemory(), uint64(sc.Seed)+uint64(region))
+				return app
+			},
+			Slots:   subSlots,
+			Tracker: trackerFor(sc),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("zoo: %v", err))
+		}
+		start := time.Now()
+		got := detectedSets(d.RunFor(pkts, sc.Duration))
+		elapsed := time.Since(start)
+		det := scoreWindows(got, ideal)
+		res.Rows = append(res.Rows, ZooRow{
+			Sketch:         be.name,
+			Precision:      det.Precision(),
+			Recall:         det.Recall(),
+			UpdateNsPerPkt: float64(elapsed.Nanoseconds()) / float64(len(pkts)),
+			MemoryBytes:    memBytes,
+		})
+	}
+	return res
+}

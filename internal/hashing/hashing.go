@@ -1,0 +1,136 @@
+// Package hashing provides the seeded hash family used by every sketch and
+// hash table in the repository. Programmable-switch telemetry relies on
+// cheap per-row independent hashes (Tofino exposes CRC units with
+// configurable polynomials); this package reproduces that with a
+// xxHash-style 64-bit mixer specialized to the 13-byte flow key, plus
+// CRC-32C for controller-side tables.
+package hashing
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"omniwindow/internal/packet"
+)
+
+const (
+	prime1 = 0x9E3779B185EBCA87
+	prime2 = 0xC2B2AE3D27D4EB4F
+	prime3 = 0x165667B19E3779F9
+	prime4 = 0x85EBCA77C2B2AE63
+	prime5 = 0x27D4EB2F165667C5
+)
+
+func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// Mix64 is the finalization avalanche of the mixer; exported because the
+// trace generator reuses it to derive reproducible pseudo-random streams.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Key64 hashes a flow key with the given seed into 64 bits. Different seeds
+// yield (empirically) independent hash functions, standing in for the
+// per-row CRC polynomials of the switch hash units.
+func Key64(k packet.FlowKey, seed uint64) uint64 {
+	b := k.Bytes()
+	// Treat the 13 bytes as one 8-byte lane, one 4-byte lane and one byte.
+	lane0 := binary.LittleEndian.Uint64(b[0:8])
+	lane1 := uint64(binary.LittleEndian.Uint32(b[8:12]))
+	lane2 := uint64(b[12])
+
+	h := seed + prime5 + packet.KeyBytes
+	h ^= rotl(lane0*prime2, 31) * prime1
+	h = rotl(h, 27)*prime1 + prime4
+	h ^= lane1 * prime1
+	h = rotl(h, 23)*prime2 + prime3
+	h ^= lane2 * prime5
+	h = rotl(h, 11) * prime1
+	return Mix64(h)
+}
+
+// Key32 hashes a flow key into 32 bits.
+func Key32(k packet.FlowKey, seed uint64) uint32 {
+	return uint32(Key64(k, seed))
+}
+
+// Index hashes a flow key into [0, buckets). buckets must be > 0.
+func Index(k packet.FlowKey, seed uint64, buckets int) int {
+	// Multiply-shift range reduction avoids modulo bias and is cheaper
+	// than %, matching the fixed-width range tables switches use.
+	return int(uint64(uint32(Key64(k, seed))) * uint64(buckets) >> 32)
+}
+
+// Bytes64 hashes an arbitrary byte slice with the given seed. It is used
+// for values that are not flow keys (e.g. distinct-count elements that
+// combine a key with an attribute).
+func Bytes64(b []byte, seed uint64) uint64 {
+	h := seed + prime5 + uint64(len(b))
+	for len(b) >= 8 {
+		h ^= rotl(binary.LittleEndian.Uint64(b)*prime2, 31) * prime1
+		h = rotl(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rotl(h, 11) * prime1
+	}
+	return Mix64(h)
+}
+
+// Pair64 hashes an ordered (key, value) pair, used by distinction
+// statistics (count of distinct values per key).
+func Pair64(k packet.FlowKey, v uint64, seed uint64) uint64 {
+	h := Key64(k, seed)
+	h ^= rotl(v*prime2, 31) * prime1
+	return Mix64(h)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32C computes the Castagnoli CRC of the flow key. The DPDK controller
+// of the paper uses SSE4.2 crc instructions for its rte_hash table; the
+// controller-side key-value table here does the same via hash/crc32, which
+// the Go runtime compiles to the hardware instruction where available.
+func CRC32C(k packet.FlowKey) uint32 {
+	b := k.Bytes()
+	return crc32.Checksum(b[:], castagnoli)
+}
+
+// Family is a set of n independent hash functions sharing a base seed,
+// one per sketch row.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily derives n independent seeds from base.
+func NewFamily(n int, base uint64) *Family {
+	f := &Family{seeds: make([]uint64, n)}
+	s := base
+	for i := range f.seeds {
+		s = Mix64(s + prime1)
+		f.seeds[i] = s
+	}
+	return f
+}
+
+// Size returns the number of functions in the family.
+func (f *Family) Size() int { return len(f.seeds) }
+
+// Seed returns the i-th seed, for callers that hash non-key data.
+func (f *Family) Seed(i int) uint64 { return f.seeds[i] }
+
+// Index applies the i-th function to k over [0, buckets).
+func (f *Family) Index(i int, k packet.FlowKey, buckets int) int {
+	return Index(k, f.seeds[i], buckets)
+}
+
+// Hash64 applies the i-th function to k.
+func (f *Family) Hash64(i int, k packet.FlowKey) uint64 {
+	return Key64(k, f.seeds[i])
+}

@@ -1,0 +1,156 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omniwindow/internal/packet"
+)
+
+func randKey(rng *rand.Rand) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		SrcPort: uint16(rng.Uint32()),
+		DstPort: uint16(rng.Uint32()),
+		Proto:   uint8(rng.Uint32()),
+	}
+}
+
+func TestKey64Deterministic(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if Key64(k, 42) != Key64(k, 42) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestKey64SeedSensitivity(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if Key64(k, 1) == Key64(k, 2) {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func TestKey64InputSensitivity(t *testing.T) {
+	base := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	variants := []packet.FlowKey{
+		{SrcIP: 2, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 3, SrcPort: 3, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 4, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 5, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+	}
+	h := Key64(base, 7)
+	for _, v := range variants {
+		if Key64(v, 7) == h {
+			t.Fatalf("single-field change did not alter hash: %v", v)
+		}
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, seed uint64) bool {
+		k := packet.FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		for _, n := range []int{1, 2, 7, 64, 4096, 1 << 20} {
+			i := Index(k, seed, n)
+			if i < 0 || i >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexUniformity checks that bucket occupancy over random keys is
+// within a loose chi-square-ish bound of uniform.
+func TestIndexUniformity(t *testing.T) {
+	const buckets, samples = 64, 64 * 2000
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[Index(randKey(rng), 1234, buckets)]++
+	}
+	mean := float64(samples) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*math.Sqrt(mean) {
+			t.Fatalf("bucket %d count %d deviates too far from mean %.1f", b, c, mean)
+		}
+	}
+}
+
+// TestFamilyIndependence verifies that two family members disagree on most
+// keys (a sanity proxy for pairwise independence needed by sketch rows).
+func TestFamilyIndependence(t *testing.T) {
+	fam := NewFamily(4, 99)
+	rng := rand.New(rand.NewSource(11))
+	same := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := randKey(rng)
+		if fam.Index(0, k, 1024) == fam.Index(1, k, 1024) {
+			same++
+		}
+	}
+	// Expected collision rate 1/1024; allow generous slack.
+	if same > n/100 {
+		t.Fatalf("family members agree too often: %d/%d", same, n)
+	}
+}
+
+func TestFamilySizeAndSeeds(t *testing.T) {
+	fam := NewFamily(5, 7)
+	if fam.Size() != 5 {
+		t.Fatalf("Size() = %d want 5", fam.Size())
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		s := fam.Seed(i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBytes64LengthSensitivity(t *testing.T) {
+	a := Bytes64([]byte("abcdefgh"), 5)
+	b := Bytes64([]byte("abcdefg"), 5)
+	c := Bytes64([]byte("abcdefghi"), 5)
+	if a == b || a == c || b == c {
+		t.Fatal("length changes did not alter hash")
+	}
+	if Bytes64(nil, 5) != Bytes64([]byte{}, 5) {
+		t.Fatal("nil and empty should hash equal")
+	}
+}
+
+func TestPair64DistinguishesValues(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 1}
+	if Pair64(k, 1, 3) == Pair64(k, 2, 3) {
+		t.Fatal("pair hash ignored value")
+	}
+}
+
+func TestCRC32CMatchesKnownProperties(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if CRC32C(k) != CRC32C(k) {
+		t.Fatal("CRC not deterministic")
+	}
+	if CRC32C(k) == CRC32C(k.Reverse()) {
+		t.Fatal("CRC should differ for reversed key")
+	}
+}
+
+func BenchmarkKey64(b *testing.B) {
+	k := packet.FlowKey{SrcIP: 0x0A0B0C0D, DstIP: 0x01020304, SrcPort: 5555, DstPort: 443, Proto: 6}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Key64(k, uint64(i))
+	}
+	_ = sink
+}

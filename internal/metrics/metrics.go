@@ -1,0 +1,133 @@
+// Package metrics implements the accuracy measures reported in the paper's
+// evaluation: precision, recall and F1 over detected-anomaly sets, average
+// relative error (ARE) for per-flow estimates, and average ARE (AARE)
+// across windows for cardinality-style tasks.
+package metrics
+
+import (
+	"math"
+
+	"omniwindow/internal/packet"
+)
+
+// Detection summarizes a detection task's outcome against ground truth.
+type Detection struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare computes detection counts for a reported set against a truth set.
+func Compare(reported, truth map[packet.FlowKey]bool) Detection {
+	var d Detection
+	for k := range reported {
+		if truth[k] {
+			d.TruePositives++
+		} else {
+			d.FalsePositives++
+		}
+	}
+	for k := range truth {
+		if !reported[k] {
+			d.FalseNegatives++
+		}
+	}
+	return d
+}
+
+// Precision returns TP/(TP+FP). An empty report has precision 1 by
+// convention (nothing wrongly reported).
+func (d Detection) Precision() float64 {
+	if d.TruePositives+d.FalsePositives == 0 {
+		return 1
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN). An empty truth set has recall 1 by convention.
+func (d Detection) Recall() float64 {
+	if d.TruePositives+d.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (d Detection) F1() float64 {
+	p, r := d.Precision(), d.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates another detection outcome (used to aggregate across
+// windows before computing overall precision/recall).
+func (d *Detection) Add(o Detection) {
+	d.TruePositives += o.TruePositives
+	d.FalsePositives += o.FalsePositives
+	d.FalseNegatives += o.FalseNegatives
+}
+
+// RelativeError returns |est-truth|/truth; if truth is 0 it returns the
+// absolute estimate (the standard convention that avoids division by zero
+// while still penalizing spurious mass).
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / truth
+}
+
+// ARE computes the average relative error of per-flow estimates against
+// per-flow truth, averaged over the flows present in truth.
+func ARE(est, truth map[packet.FlowKey]uint64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for k, t := range truth {
+		sum += RelativeError(float64(est[k]), float64(t))
+	}
+	return sum / float64(len(truth))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice). AARE is
+// the mean of per-window AREs, so callers collect one ARE per window and
+// average with Mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-quantile (0..1) of xs using nearest-rank on a
+// copied, sorted slice. Used by latency breakdowns.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// insertion sort: slices here are small (per-window latencies)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}

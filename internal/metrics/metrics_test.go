@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"omniwindow/internal/packet"
+)
+
+func key(i int) packet.FlowKey { return packet.FlowKey{SrcIP: uint32(i)} }
+
+func TestComparePerfect(t *testing.T) {
+	truth := map[packet.FlowKey]bool{key(1): true, key(2): true}
+	d := Compare(truth, truth)
+	if d.Precision() != 1 || d.Recall() != 1 || d.F1() != 1 {
+		t.Fatalf("perfect detection scored %+v", d)
+	}
+}
+
+func TestCompareMixed(t *testing.T) {
+	truth := map[packet.FlowKey]bool{key(1): true, key(2): true, key(3): true, key(4): true}
+	reported := map[packet.FlowKey]bool{key(1): true, key(2): true, key(9): true}
+	d := Compare(reported, truth)
+	if d.TruePositives != 2 || d.FalsePositives != 1 || d.FalseNegatives != 2 {
+		t.Fatalf("counts wrong: %+v", d)
+	}
+	if math.Abs(d.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", d.Precision())
+	}
+	if math.Abs(d.Recall()-0.5) > 1e-12 {
+		t.Fatalf("recall = %v", d.Recall())
+	}
+}
+
+func TestEmptyConventions(t *testing.T) {
+	var d Detection
+	if d.Precision() != 1 || d.Recall() != 1 {
+		t.Fatal("empty sets should score 1 by convention")
+	}
+	if d.F1() != 1 {
+		t.Fatalf("F1 of empty detection = %v", d.F1())
+	}
+	bad := Detection{FalsePositives: 3}
+	if bad.Precision() != 0 {
+		t.Fatalf("all-FP precision = %v", bad.Precision())
+	}
+}
+
+func TestDetectionAdd(t *testing.T) {
+	a := Detection{TruePositives: 1, FalsePositives: 2, FalseNegatives: 3}
+	a.Add(Detection{TruePositives: 4, FalsePositives: 5, FalseNegatives: 6})
+	if a != (Detection{TruePositives: 5, FalsePositives: 7, FalseNegatives: 9}) {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestPrecisionRecallBoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		d := Detection{TruePositives: int(tp), FalsePositives: int(fp), FalseNegatives: int(fn)}
+		p, r, f1 := d.Precision(), d.Recall(), d.F1()
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if got := RelativeError(5, 0); got != 5 {
+		t.Fatalf("zero-truth convention violated: %v", got)
+	}
+}
+
+func TestARE(t *testing.T) {
+	truth := map[packet.FlowKey]uint64{key(1): 100, key(2): 200}
+	est := map[packet.FlowKey]uint64{key(1): 110, key(2): 180}
+	want := (0.1 + 0.1) / 2
+	if got := ARE(est, truth); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ARE = %v want %v", got, want)
+	}
+	if ARE(nil, nil) != 0 {
+		t.Fatal("empty ARE should be 0")
+	}
+	// Missing estimates count as 0 (full error of 1.0 each).
+	if got := ARE(nil, truth); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARE with missing estimates = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Percentile must not reorder its input.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}

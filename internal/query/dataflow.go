@@ -1,0 +1,142 @@
+package query
+
+import (
+	"fmt"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+)
+
+// Operator is one stage of a Sonata-style dataflow. A query is written as
+// a pipeline of operators and compiled onto the data-plane Query form —
+// mirroring how Sonata partitions a dataflow between the switch (filter,
+// map, distinct, reduce) and the stream processor (final threshold).
+type Operator interface {
+	apply(*build) error
+}
+
+// build accumulates the compiled query.
+type build struct {
+	q            *Query
+	hasKey       bool
+	hasReduce    bool
+	hasThreshold bool
+}
+
+// Filter keeps only packets satisfying the predicate. Multiple filters
+// conjoin.
+type Filter func(*packet.Packet) bool
+
+func (f Filter) apply(b *build) error {
+	if b.hasReduce {
+		return fmt.Errorf("query: filter after reduce is not supported in the data plane")
+	}
+	if prev := b.q.Filter; prev != nil {
+		b.q.Filter = func(p *packet.Packet) bool { return prev(p) && f(p) }
+	} else {
+		b.q.Filter = f
+	}
+	return nil
+}
+
+// MapKey sets the aggregation key (Sonata's map to (key, value) tuples).
+type MapKey func(*packet.Packet) packet.FlowKey
+
+func (m MapKey) apply(b *build) error {
+	if b.hasKey {
+		return fmt.Errorf("query: multiple map-key operators")
+	}
+	b.q.Key = m
+	b.hasKey = true
+	return nil
+}
+
+// Distinct deduplicates (key, element) pairs before the reduce, turning
+// the aggregation into a distinct count.
+type Distinct func(*packet.Packet) uint64
+
+func (d Distinct) apply(b *build) error {
+	if b.q.Distinct != nil {
+		return fmt.Errorf("query: multiple distinct operators")
+	}
+	if b.hasReduce {
+		return fmt.Errorf("query: distinct after reduce")
+	}
+	b.q.Distinct = d
+	b.q.Kind = afr.Distinction
+	return nil
+}
+
+// Reduce aggregates per key. A nil volume counts packets; with a Distinct
+// stage upstream the reduce counts distinct elements and volume must be
+// nil.
+type Reduce struct {
+	Volume func(*packet.Packet) uint64
+	// Kind overrides the merge pattern (defaults to Frequency, or
+	// Distinction when a Distinct stage is present).
+	Kind afr.Kind
+}
+
+func (r Reduce) apply(b *build) error {
+	if b.hasReduce {
+		return fmt.Errorf("query: multiple reduce operators")
+	}
+	if !b.hasKey {
+		return fmt.Errorf("query: reduce requires a map-key stage")
+	}
+	if b.q.Distinct != nil && r.Volume != nil {
+		return fmt.Errorf("query: distinct-reduce cannot take a volume function")
+	}
+	b.q.Volume = r.Volume
+	if b.q.Distinct == nil {
+		b.q.Kind = r.Kind // Frequency is the zero value
+	}
+	b.hasReduce = true
+	return nil
+}
+
+// Threshold is the final detection predicate (evaluated in the controller
+// over merged window values).
+type Threshold uint64
+
+func (t Threshold) apply(b *build) error {
+	if !b.hasReduce {
+		return fmt.Errorf("query: threshold requires a reduce stage")
+	}
+	if b.hasThreshold {
+		return fmt.Errorf("query: multiple thresholds")
+	}
+	b.q.Threshold = uint64(t)
+	b.hasThreshold = true
+	return nil
+}
+
+// Compile lowers a dataflow onto the data-plane Query form, validating
+// the operator ordering constraints Sonata's compiler enforces.
+func Compile(name string, ops ...Operator) (*Query, error) {
+	b := &build{q: &Query{Name: name}}
+	for i, op := range ops {
+		if err := op.apply(b); err != nil {
+			return nil, fmt.Errorf("operator %d: %w", i, err)
+		}
+	}
+	if !b.hasKey {
+		return nil, fmt.Errorf("query %q: missing map-key stage", name)
+	}
+	if !b.hasReduce {
+		return nil, fmt.Errorf("query %q: missing reduce stage", name)
+	}
+	if !b.hasThreshold {
+		return nil, fmt.Errorf("query %q: missing threshold stage", name)
+	}
+	return b.q, nil
+}
+
+// MustCompile is Compile that panics on error (for static query tables).
+func MustCompile(name string, ops ...Operator) *Query {
+	q, err := Compile(name, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+)
+
+func TestCompileEquivalentToHandWrittenQ4(t *testing.T) {
+	th := DefaultThresholds()
+	compiled := MustCompile("ddos-dsl",
+		MapKey(func(p *packet.Packet) packet.FlowKey { return p.Key.DstHostKey() }),
+		Distinct(func(p *packet.Packet) uint64 { return uint64(p.Key.SrcIP) }),
+		Reduce{},
+		Threshold(th.DDoSSources),
+	)
+	hand := DDoSQuery(th)
+
+	a, b := NewExact(compiled), NewExact(hand)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := syn(uint32(rng.Intn(50)), uint32(rng.Intn(8)), uint16(rng.Intn(4000)), 80)
+		a.Update(p)
+		b.Update(p)
+	}
+	ca, cb := a.Counts(), b.Counts()
+	if len(ca) != len(cb) {
+		t.Fatalf("key sets differ: %d vs %d", len(ca), len(cb))
+	}
+	for k, v := range cb {
+		if ca[k] != v {
+			t.Fatalf("key %v: %d vs %d", k, ca[k], v)
+		}
+	}
+	if compiled.Kind != afr.Distinction || compiled.Threshold != th.DDoSSources {
+		t.Fatalf("compiled metadata wrong: %+v", compiled)
+	}
+}
+
+func TestCompileFiltersConjoin(t *testing.T) {
+	q := MustCompile("conjoin",
+		Filter(func(p *packet.Packet) bool { return p.Key.Proto == packet.ProtoTCP }),
+		Filter(func(p *packet.Packet) bool { return p.Key.DstPort == 22 }),
+		MapKey(func(p *packet.Packet) packet.FlowKey { return p.Key.DstHostKey() }),
+		Reduce{},
+		Threshold(1),
+	)
+	if q.Observes(syn(1, 2, 3, 22)) != true {
+		t.Fatal("both filters should pass")
+	}
+	if q.Observes(syn(1, 2, 3, 80)) {
+		t.Fatal("second filter should reject")
+	}
+	udp := syn(1, 2, 3, 22)
+	udp.Key.Proto = packet.ProtoUDP
+	if q.Observes(udp) {
+		t.Fatal("first filter should reject")
+	}
+}
+
+func TestCompileVolumeReduce(t *testing.T) {
+	q := MustCompile("bytes",
+		MapKey(func(p *packet.Packet) packet.FlowKey { return p.Key }),
+		Reduce{Volume: func(p *packet.Packet) uint64 { return uint64(p.Size) }},
+		Threshold(100),
+	)
+	e := NewExact(q)
+	p := syn(1, 2, 3, 80)
+	p.Size = 700
+	e.Update(p)
+	if e.Counts()[p.Key] != 700 {
+		t.Fatalf("volume reduce = %d", e.Counts()[p.Key])
+	}
+	if q.Kind != afr.Frequency {
+		t.Fatalf("kind = %v", q.Kind)
+	}
+}
+
+func TestCompileOrderingErrors(t *testing.T) {
+	key := MapKey(func(p *packet.Packet) packet.FlowKey { return p.Key })
+	dist := Distinct(func(p *packet.Packet) uint64 { return 1 })
+	filt := Filter(func(p *packet.Packet) bool { return true })
+	cases := [][]Operator{
+		{Reduce{}, Threshold(1)},                    // reduce without key
+		{key, Threshold(1)},                         // threshold without reduce
+		{key, Reduce{}},                             // missing threshold
+		{key, key, Reduce{}, Threshold(1)},          // duplicate key
+		{key, Reduce{}, Reduce{}, Threshold(1)},     // duplicate reduce
+		{key, Reduce{}, Threshold(1), Threshold(2)}, // duplicate threshold
+		{key, Reduce{}, filt, Threshold(1)},         // filter after reduce
+		{key, Reduce{}, dist, Threshold(1)},         // distinct after reduce
+		{key, dist, dist, Reduce{}, Threshold(1)},   // duplicate distinct
+		{key, dist, Reduce{Volume: func(*packet.Packet) uint64 { return 1 }}, Threshold(1)}, // distinct+volume
+		{dist, Reduce{}, Threshold(1)}, // missing key entirely
+	}
+	for i, ops := range cases {
+		if _, err := Compile("bad", ops...); err == nil {
+			t.Fatalf("case %d compiled successfully", i)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile("bad")
+}
+
+func TestCompiledQueryRunsOnDataPlaneState(t *testing.T) {
+	q := MustCompile("portscan-dsl",
+		Filter(func(p *packet.Packet) bool {
+			return p.Key.Proto == packet.ProtoTCP && p.HasFlags(packet.FlagSYN) && !p.HasFlags(packet.FlagACK)
+		}),
+		MapKey(func(p *packet.Packet) packet.FlowKey { return p.Key.DstHostKey() }),
+		Distinct(func(p *packet.Packet) uint64 { return uint64(p.Key.DstPort) }),
+		Reduce{},
+		Threshold(50),
+	)
+	s := NewState(q, 1024, 1<<14, 7)
+	for port := 0; port < 80; port++ {
+		p := syn(9, 7, 4000, uint16(100+port))
+		s.Update(p)
+	}
+	victim := packet.FlowKey{DstIP: 7, Proto: packet.ProtoTCP}
+	if got := s.Query(victim).Value; got != 80 {
+		t.Fatalf("distinct ports = %d want 80", got)
+	}
+}
+
+func TestDNSAmpQuery(t *testing.T) {
+	q := DNSAmpQuery(10000)
+	e := NewExact(q)
+	// 20 large DNS responses of 1200 B to victim 9.
+	for i := 0; i < 20; i++ {
+		p := &packet.Packet{
+			Key:  packet.FlowKey{SrcIP: uint32(100 + i), DstIP: 9, SrcPort: 53, DstPort: uint16(30000 + i), Proto: packet.ProtoUDP},
+			Size: 1200,
+		}
+		e.Update(p)
+	}
+	// Small DNS replies and non-DNS UDP are filtered.
+	e.Update(&packet.Packet{Key: packet.FlowKey{SrcIP: 1, DstIP: 9, SrcPort: 53, Proto: packet.ProtoUDP}, Size: 100})
+	e.Update(&packet.Packet{Key: packet.FlowKey{SrcIP: 1, DstIP: 9, SrcPort: 123, Proto: packet.ProtoUDP}, Size: 1200})
+	victim := packet.FlowKey{DstIP: 9, Proto: packet.ProtoUDP}
+	if got := e.Counts()[victim]; got != 20*1200 {
+		t.Fatalf("victim bytes = %d want %d", got, 20*1200)
+	}
+	det := e.Detect()
+	if !det[victim] || len(det) != 1 {
+		t.Fatalf("detect = %v", det)
+	}
+}

@@ -1,0 +1,233 @@
+// Package rdma simulates the RDMA-based collection optimization of §7:
+// switches encapsulate AFRs into RoCEv2 WRITE / Fetch-and-Add requests that
+// land directly in a registered controller memory region, bypassing the
+// controller CPU. Hot keys carry cached destination addresses from a
+// switch-side address MAT; cold keys append to a sequentially growing
+// buffer whose addresses the switch computes itself.
+//
+// The simulation preserves the two properties the evaluation depends on:
+// verbs consume no controller CPU (only the cold-key drain does), and each
+// verb has a fixed RNIC latency from the switchsim cost model.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+)
+
+// ErrBufferFull reports that the cold-key append buffer overflowed before
+// the controller drained it.
+var ErrBufferFull = errors.New("rdma: cold-key buffer full")
+
+// MemoryRegion is the RDMA-registered controller memory: a hot-key table
+// of fixed-size rows plus a cold-key append buffer.
+type MemoryRegion struct {
+	// lanes is the number of slots per hot-key row: one per sub-window
+	// position within a window, so per-sub-window attributes group by key
+	// ("the AFRs of different sub-windows are grouped based on keys").
+	lanes int
+	slots []uint64
+	rows  int
+	used  int
+
+	buffer []packet.AFR
+	bufCap int
+}
+
+// NewMemoryRegion registers memory for `rows` hot keys of `lanes` slots
+// each and a cold buffer of bufCap records.
+func NewMemoryRegion(rows, lanes, bufCap int) *MemoryRegion {
+	if rows <= 0 || lanes <= 0 || bufCap <= 0 {
+		panic("rdma: memory region dimensions must be positive")
+	}
+	return &MemoryRegion{
+		lanes:  lanes,
+		slots:  make([]uint64, rows*lanes),
+		rows:   rows,
+		buffer: make([]packet.AFR, 0, bufCap),
+		bufCap: bufCap,
+	}
+}
+
+// AllocRow reserves the next hot-key row and returns its base address, or
+// false when the table is full.
+func (mr *MemoryRegion) AllocRow() (base int, ok bool) {
+	if mr.used >= mr.rows {
+		return 0, false
+	}
+	base = mr.used * mr.lanes
+	mr.used++
+	return base, true
+}
+
+// Lanes returns the row width.
+func (mr *MemoryRegion) Lanes() int { return mr.lanes }
+
+// ReadRow returns a copy of a hot-key row.
+func (mr *MemoryRegion) ReadRow(base int) []uint64 {
+	return append([]uint64(nil), mr.slots[base:base+mr.lanes]...)
+}
+
+// ResetRow zeroes a hot-key row (after the controller consumed a window).
+func (mr *MemoryRegion) ResetRow(base int) {
+	clear(mr.slots[base : base+mr.lanes])
+}
+
+// ResetLane zeroes one slot of a hot-key row, freeing it for the next
+// sub-window that maps to the same lane.
+func (mr *MemoryRegion) ResetLane(base, lane int) {
+	mr.slots[base+lane] = 0
+}
+
+// NIC is the controller-side RNIC executing incoming verbs. It counts
+// operations so experiments can derive virtual time and verify that the
+// hot path needed no controller CPU.
+type NIC struct {
+	mr *MemoryRegion
+	// psn is the RoCEv2 packet sequence number register the switch-side
+	// request constructor maintains (§8).
+	psn uint32
+
+	Writes     int
+	FetchAdds  int
+	Appends    int
+	Sequential bool
+}
+
+// NewNIC attaches an RNIC to a memory region.
+func NewNIC(mr *MemoryRegion) *NIC {
+	return &NIC{mr: mr, Sequential: true}
+}
+
+// PSN returns the current packet sequence number.
+func (n *NIC) PSN() uint32 { return n.psn }
+
+// Write executes an RDMA WRITE of value into slot addr.
+func (n *NIC) Write(addr int, value uint64) error {
+	n.psn++
+	if addr < 0 || addr >= len(n.mr.slots) {
+		return fmt.Errorf("rdma: WRITE to invalid address %d", addr)
+	}
+	n.mr.slots[addr] = value
+	n.Writes++
+	return nil
+}
+
+// FetchAdd executes an RDMA Fetch-and-Add, returning the previous value.
+func (n *NIC) FetchAdd(addr int, delta uint64) (uint64, error) {
+	n.psn++
+	if addr < 0 || addr >= len(n.mr.slots) {
+		return 0, fmt.Errorf("rdma: FETCH_ADD to invalid address %d", addr)
+	}
+	old := n.mr.slots[addr]
+	n.mr.slots[addr] = old + delta
+	n.FetchAdds++
+	return old, nil
+}
+
+// Append writes a cold-key AFR to the sequential buffer. The switch
+// computes the target address itself because the buffer grows
+// sequentially; the simulation enforces only capacity.
+func (n *NIC) Append(rec packet.AFR) error {
+	n.psn++
+	if len(n.mr.buffer) >= n.mr.bufCap {
+		return ErrBufferFull
+	}
+	n.mr.buffer = append(n.mr.buffer, rec)
+	n.Appends++
+	return nil
+}
+
+// Drain hands the buffered cold-key AFRs to the controller CPU and clears
+// the buffer — the only RDMA-path step that costs controller cycles.
+func (n *NIC) Drain() []packet.AFR {
+	out := append([]packet.AFR(nil), n.mr.buffer...)
+	n.mr.buffer = n.mr.buffer[:0]
+	return out
+}
+
+// AddressMAT is the switch-side match-action table caching controller
+// memory addresses for hot keys.
+type AddressMAT struct {
+	capacity int
+	m        map[packet.FlowKey]int
+}
+
+// NewAddressMAT builds a MAT with the given capacity.
+func NewAddressMAT(capacity int) *AddressMAT {
+	if capacity <= 0 {
+		panic("rdma: address MAT capacity must be positive")
+	}
+	return &AddressMAT{capacity: capacity, m: make(map[packet.FlowKey]int)}
+}
+
+// Insert installs a hot key's base address (controller notification).
+// It reports false when the MAT is full.
+func (m *AddressMAT) Insert(k packet.FlowKey, base int) bool {
+	if _, ok := m.m[k]; !ok && len(m.m) >= m.capacity {
+		return false
+	}
+	m.m[k] = base
+	return true
+}
+
+// Delete removes a cold key's entry (controller notification).
+func (m *AddressMAT) Delete(k packet.FlowKey) { delete(m.m, k) }
+
+// Lookup matches a flow key, returning its base address.
+func (m *AddressMAT) Lookup(k packet.FlowKey) (base int, ok bool) {
+	base, ok = m.m[k]
+	return base, ok
+}
+
+// Len returns the number of installed entries.
+func (m *AddressMAT) Len() int { return len(m.m) }
+
+// Collector is the switch-side RDMA request constructor: for each AFR it
+// either aggregates into the hot row (Fetch-and-Add for frequency-like
+// statistics, WRITE into the sub-window lane otherwise) or appends to the
+// cold buffer.
+type Collector struct {
+	mat *AddressMAT
+	nic *NIC
+}
+
+// NewCollector wires the address MAT to the RNIC.
+func NewCollector(mat *AddressMAT, nic *NIC) *Collector {
+	return &Collector{mat: mat, nic: nic}
+}
+
+// Send transmits one AFR. hot reports whether the fast path was used.
+func (c *Collector) Send(rec packet.AFR, kind afr.Kind) (hot bool, err error) {
+	base, ok := c.mat.Lookup(rec.Key)
+	if !ok {
+		return false, c.nic.Append(rec)
+	}
+	lane := int(rec.SubWindow) % c.nic.mr.Lanes()
+	switch kind {
+	case afr.Frequency:
+		// Offload the sum to the RNIC: one Fetch-and-Add into lane 0.
+		_, err = c.nic.FetchAdd(base, rec.Attr)
+	default:
+		// Group per-sub-window attributes by key for controller-side
+		// merging of non-summable statistics.
+		err = c.nic.Write(base+lane, rec.Attr)
+	}
+	return true, err
+}
+
+// SendGrouped transmits one AFR, always WRITE-ing into the key's
+// per-sub-window lane. Deployments that let the controller own merging
+// (so sliding windows can evict sub-windows) use this instead of the
+// Fetch-and-Add aggregation.
+func (c *Collector) SendGrouped(rec packet.AFR) (hot bool, err error) {
+	base, ok := c.mat.Lookup(rec.Key)
+	if !ok {
+		return false, c.nic.Append(rec)
+	}
+	lane := int(rec.SubWindow) % c.nic.mr.Lanes()
+	return true, c.nic.Write(base+lane, rec.Attr)
+}

@@ -1,0 +1,129 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = uint64(rng.Intn(1000))
+	}
+	return v
+}
+
+// refMerge is the independent oracle.
+func refMerge(dst, src []uint64, op Op) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case OpMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+func TestKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Cover remainder handling: lengths around the unroll width.
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 100, 1027} {
+		for _, op := range []Op{OpSum, OpMax, OpMin} {
+			dst := randVec(rng, n)
+			src := randVec(rng, n)
+			want := append([]uint64(nil), dst...)
+			refMerge(want, src, op)
+			Merge(dst, src, op)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("op %d n %d idx %d: got %d want %d", op, n, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeScalarMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dst := randVec(rng, 100)
+	src := randVec(rng, 100)
+	want := append([]uint64(nil), dst...)
+	refMerge(want, src, OpSum)
+	MergeScalar(dst, src, OpSum)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatal("scalar path diverged")
+		}
+	}
+}
+
+func TestOr(t *testing.T) {
+	dst := []uint64{0b0011, 0b1000, 0, 1, 2, 3, 4, 5, 6}
+	src := []uint64{0b0101, 0b0001, 7, 0, 0, 0, 0, 0, 1}
+	want := make([]uint64, len(dst))
+	for i := range dst {
+		want[i] = dst[i] | src[i]
+	}
+	Or(dst, src)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("idx %d: %b", i, dst[i])
+		}
+	}
+}
+
+func TestCountGE(t *testing.T) {
+	vals := []uint64{1, 5, 10, 10, 3, 100, 0, 10, 9, 11}
+	if got := CountGE(vals, 10); got != 5 {
+		t.Fatalf("CountGE = %d want 5", got)
+	}
+	if CountGE(nil, 1) != 0 {
+		t.Fatal("empty CountGE")
+	}
+}
+
+func TestCountGEMatchesSelectProperty(t *testing.T) {
+	f := func(vals []uint64, thr uint64) bool {
+		return CountGE(vals, thr) == len(SelectGE(vals, thr, nil))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectGEAppends(t *testing.T) {
+	idx := SelectGE([]uint64{5, 1, 7}, 5, []int{99})
+	if len(idx) != 3 || idx[0] != 99 || idx[1] != 0 || idx[2] != 2 {
+		t.Fatalf("idx = %v", idx)
+	}
+}
+
+func BenchmarkMergeColumnarSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dst := randVec(rng, 1<<20)
+	src := randVec(rng, 1<<20)
+	b.SetBytes(int64(len(dst) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(dst, src)
+	}
+}
+
+func BenchmarkMergeScalarSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dst := randVec(rng, 1<<20)
+	src := randVec(rng, 1<<20)
+	b.SetBytes(int64(len(dst) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeScalar(dst, src, OpSum)
+	}
+}

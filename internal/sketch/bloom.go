@@ -1,0 +1,73 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// Bloom is a standard Bloom filter over flow keys. OmniWindow's flowkey
+// tracking (Algorithm 1) uses it to suppress duplicate keys before
+// appending to the data-plane flowkey array or spilling to the controller.
+type Bloom struct {
+	bits []uint64
+	m    int
+	fam  *hashing.Family
+}
+
+// NewBloom builds a Bloom filter with m bits (rounded up to a multiple of
+// 64) and k hash functions.
+func NewBloom(m, k int, seed uint64) *Bloom {
+	if m <= 0 || k <= 0 {
+		panic("sketch: Bloom parameters must be positive")
+	}
+	words := (m + 63) / 64
+	return &Bloom{bits: make([]uint64, words), m: words * 64, fam: hashing.NewFamily(k, seed)}
+}
+
+// NewBloomBytes builds a Bloom filter within memoryBytes with k hashes.
+func NewBloomBytes(memoryBytes, k int, seed uint64) *Bloom {
+	return NewBloom(memoryBytes*8, k, seed)
+}
+
+// Contains reports whether k may have been added (no false negatives).
+func (b *Bloom) Contains(k packet.FlowKey) bool {
+	for i := 0; i < b.fam.Size(); i++ {
+		h := b.fam.Hash64(i, k) % uint64(b.m)
+		if b.bits[h/64]&(1<<(h%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts k.
+func (b *Bloom) Add(k packet.FlowKey) {
+	for i := 0; i < b.fam.Size(); i++ {
+		h := b.fam.Hash64(i, k) % uint64(b.m)
+		b.bits[h/64] |= 1 << (h % 64)
+	}
+}
+
+// TestAndAdd inserts k and reports whether it was (probably) present
+// before — the single-pass check-then-update of Algorithm 1 lines 2-3.
+func (b *Bloom) TestAndAdd(k packet.FlowKey) bool {
+	present := true
+	for i := 0; i < b.fam.Size(); i++ {
+		h := b.fam.Hash64(i, k) % uint64(b.m)
+		if b.bits[h/64]&(1<<(h%64)) == 0 {
+			present = false
+			b.bits[h/64] |= 1 << (h % 64)
+		}
+	}
+	return present
+}
+
+// Reset clears the filter.
+func (b *Bloom) Reset() { clear(b.bits) }
+
+// MemoryBytes reports the bitmap footprint.
+func (b *Bloom) MemoryBytes() int { return b.m / 8 }
+
+// Hashes returns the number of hash functions (one SALU-visible access
+// per hash in the data plane).
+func (b *Bloom) Hashes() int { return b.fam.Size() }

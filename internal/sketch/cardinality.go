@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// LinearCounting (Whang et al., TODS'90) estimates cardinality with an
+// m-bit bitmap: n-hat = -m * ln(z/m) where z is the number of zero bits.
+type LinearCounting struct {
+	bits []uint64
+	m    int
+	seed uint64
+}
+
+// NewLinearCounting builds a counter with m bits (rounded up to a multiple
+// of 64).
+func NewLinearCounting(m int, seed uint64) *LinearCounting {
+	if m <= 0 {
+		panic("sketch: LinearCounting size must be positive")
+	}
+	words := (m + 63) / 64
+	return &LinearCounting{bits: make([]uint64, words), m: words * 64, seed: seed}
+}
+
+// NewLinearCountingBytes builds a counter within memoryBytes.
+func NewLinearCountingBytes(memoryBytes int, seed uint64) *LinearCounting {
+	return NewLinearCounting(memoryBytes*8, seed)
+}
+
+// Insert implements Estimator.
+func (lc *LinearCounting) Insert(k packet.FlowKey) {
+	h := hashing.Key64(k, lc.seed) % uint64(lc.m)
+	lc.bits[h/64] |= 1 << (h % 64)
+}
+
+// InsertHash records a precomputed element hash (used when the element is
+// not a bare flow key, e.g. key+attribute pairs).
+func (lc *LinearCounting) InsertHash(h uint64) {
+	h %= uint64(lc.m)
+	lc.bits[h/64] |= 1 << (h % 64)
+}
+
+// Estimate implements Estimator.
+func (lc *LinearCounting) Estimate() float64 {
+	zero := 0
+	for _, w := range lc.bits {
+		zero += 64 - bits.OnesCount64(w)
+	}
+	if zero == 0 {
+		// Saturated: report the asymptote for one remaining zero bit.
+		zero = 1
+	}
+	m := float64(lc.m)
+	return -m * math.Log(float64(zero)/m)
+}
+
+// Merge folds another counter with identical size and seed into lc
+// (bitwise OR — lossless, so sub-window bitmaps merge into exact-union
+// window bitmaps).
+func (lc *LinearCounting) Merge(o *LinearCounting) {
+	if lc.m != o.m {
+		panic("sketch: merging incompatible LinearCounting bitmaps")
+	}
+	for i, w := range o.bits {
+		lc.bits[i] |= w
+	}
+}
+
+// Reset implements Estimator.
+func (lc *LinearCounting) Reset() { clear(lc.bits) }
+
+// MemoryBytes implements Estimator.
+func (lc *LinearCounting) MemoryBytes() int { return lc.m / 8 }
+
+// HyperLogLog (Flajolet et al.; Heule et al., EDBT'13 practice version)
+// estimates cardinality with m one-byte registers holding the maximum
+// leading-zero rank observed per substream.
+type HyperLogLog struct {
+	regs []uint8
+	p    uint // m = 2^p
+	seed uint64
+}
+
+// NewHyperLogLog builds an HLL with 2^p registers (4 <= p <= 18).
+func NewHyperLogLog(p uint, seed uint64) *HyperLogLog {
+	if p < 4 || p > 18 {
+		panic("sketch: HyperLogLog precision out of range [4,18]")
+	}
+	return &HyperLogLog{regs: make([]uint8, 1<<p), p: p, seed: seed}
+}
+
+// NewHyperLogLogBytes builds the largest HLL fitting memoryBytes
+// (one byte per register, as in the paper's Exp#2 configuration).
+func NewHyperLogLogBytes(memoryBytes int, seed uint64) *HyperLogLog {
+	p := uint(4)
+	for p < 18 && 1<<(p+1) <= memoryBytes {
+		p++
+	}
+	return NewHyperLogLog(p, seed)
+}
+
+// Insert implements Estimator.
+func (h *HyperLogLog) Insert(k packet.FlowKey) {
+	h.InsertHash(hashing.Key64(k, h.seed))
+}
+
+// InsertHash records a precomputed element hash.
+func (h *HyperLogLog) InsertHash(x uint64) {
+	idx := x >> (64 - h.p)
+	rest := x << h.p
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if maxRank := uint8(64 - h.p + 1); rank > maxRank {
+		rank = maxRank
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// alpha returns the bias-correction constant for m registers.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Estimate implements Estimator, with the standard small-range correction
+// (fall back to linear counting while registers are sparse).
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha(len(h.regs)) * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// Merge folds another HLL with identical precision and seed into h by
+// taking per-register maxima. HLL merging is lossless, which is why
+// distinction statistics can be merged across sub-windows (§4.2).
+func (h *HyperLogLog) Merge(o *HyperLogLog) {
+	if len(h.regs) != len(o.regs) {
+		panic("sketch: merging incompatible HyperLogLogs")
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+}
+
+// Reset implements Estimator.
+func (h *HyperLogLog) Reset() { clear(h.regs) }
+
+// MemoryBytes implements Estimator.
+func (h *HyperLogLog) MemoryBytes() int { return len(h.regs) }

@@ -1,0 +1,178 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearCountingAccuracy(t *testing.T) {
+	lc := NewLinearCounting(1<<16, 1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		lc.Insert(fk(i))
+	}
+	est := lc.Estimate()
+	if math.Abs(est-n)/n > 0.05 {
+		t.Fatalf("LC estimate %f too far from %d", est, n)
+	}
+}
+
+func TestLinearCountingDuplicatesIgnored(t *testing.T) {
+	lc := NewLinearCounting(1<<14, 2)
+	for i := 0; i < 1000; i++ {
+		lc.Insert(fk(42))
+	}
+	if est := lc.Estimate(); est > 3 {
+		t.Fatalf("duplicates inflated LC estimate: %f", est)
+	}
+}
+
+func TestLinearCountingResetAndSaturation(t *testing.T) {
+	lc := NewLinearCounting(64, 3)
+	for i := 0; i < 5000; i++ {
+		lc.Insert(fk(i))
+	}
+	if est := lc.Estimate(); math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Fatalf("saturated LC produced %f", est)
+	}
+	lc.Reset()
+	if lc.Estimate() != 0 {
+		t.Fatalf("reset LC estimate = %f", lc.Estimate())
+	}
+}
+
+func TestLinearCountingBytesRounding(t *testing.T) {
+	lc := NewLinearCountingBytes(100, 1)
+	if lc.MemoryBytes() < 100 {
+		t.Fatalf("memory %d below requested", lc.MemoryBytes())
+	}
+}
+
+func TestHyperLogLogAccuracy(t *testing.T) {
+	h := NewHyperLogLog(12, 1) // 4096 registers: ~1.6% std error
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Insert(fk(i))
+	}
+	est := h.Estimate()
+	if math.Abs(est-n)/n > 0.06 {
+		t.Fatalf("HLL estimate %f too far from %d", est, n)
+	}
+}
+
+func TestHyperLogLogSmallRangeCorrection(t *testing.T) {
+	h := NewHyperLogLog(12, 2)
+	for i := 0; i < 50; i++ {
+		h.Insert(fk(i))
+	}
+	est := h.Estimate()
+	if math.Abs(est-50) > 10 {
+		t.Fatalf("small-range estimate %f too far from 50", est)
+	}
+}
+
+func TestHyperLogLogMergeEqualsUnion(t *testing.T) {
+	a := NewHyperLogLog(10, 3)
+	b := NewHyperLogLog(10, 3)
+	u := NewHyperLogLog(10, 3)
+	for i := 0; i < 5000; i++ {
+		a.Insert(fk(i))
+		u.Insert(fk(i))
+	}
+	for i := 2500; i < 7500; i++ {
+		b.Insert(fk(i))
+		u.Insert(fk(i))
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merge not equal to union: %f vs %f", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestHyperLogLogMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHyperLogLog(10, 1).Merge(NewHyperLogLog(11, 1))
+}
+
+func TestHyperLogLogPrecisionValidation(t *testing.T) {
+	for _, p := range []uint{3, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%d should panic", p)
+				}
+			}()
+			NewHyperLogLog(p, 1)
+		}()
+	}
+}
+
+func TestHyperLogLogBytesBudget(t *testing.T) {
+	h := NewHyperLogLogBytes(100000, 1)
+	if h.MemoryBytes() > 100000 {
+		t.Fatalf("memory %d over budget", h.MemoryBytes())
+	}
+	if h.MemoryBytes() < 1<<16 {
+		t.Fatalf("memory %d surprisingly small for 100 KB budget", h.MemoryBytes())
+	}
+}
+
+func TestHyperLogLogReset(t *testing.T) {
+	h := NewHyperLogLog(8, 4)
+	for i := 0; i < 1000; i++ {
+		h.Insert(fk(i))
+	}
+	h.Reset()
+	if h.Estimate() != 0 {
+		t.Fatalf("reset estimate = %f", h.Estimate())
+	}
+}
+
+func TestMRBAccuracySmallAndLarge(t *testing.T) {
+	// A 4-component MRB of 64-bit bitmaps should track cardinalities well
+	// past a plain 64-bit bitmap's range.
+	for _, n := range []int{10, 50, 200, 500} {
+		m := NewMRB(4)
+		for i := 0; i < n; i++ {
+			m.Insert(uint64(i)*0x9E3779B97F4A7C15 + 12345)
+		}
+		est := m.Estimate()
+		if est < float64(n)*0.4 || est > float64(n)*2.5 {
+			t.Fatalf("MRB estimate for n=%d out of range: %f", n, est)
+		}
+	}
+}
+
+func TestMRBMergeMonotone(t *testing.T) {
+	a, b := NewMRB(4), NewMRB(4)
+	for i := 0; i < 100; i++ {
+		a.Insert(uint64(i) * 7919)
+	}
+	for i := 100; i < 200; i++ {
+		b.Insert(uint64(i) * 7919)
+	}
+	before := a.Estimate()
+	a.Merge(b)
+	if a.Estimate() < before {
+		t.Fatalf("merge decreased estimate: %f -> %f", before, a.Estimate())
+	}
+}
+
+func TestMRBResetAndValidation(t *testing.T) {
+	m := NewMRB(4)
+	m.Insert(123456789)
+	m.Reset()
+	if m.Estimate() != 0 {
+		t.Fatalf("reset estimate = %f", m.Estimate())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for c<2")
+		}
+	}()
+	NewMRB(1)
+}

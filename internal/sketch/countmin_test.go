@@ -1,0 +1,211 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omniwindow/internal/packet"
+)
+
+func fk(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: uint32(i), DstIP: uint32(i >> 8), SrcPort: uint16(i), DstPort: 80, Proto: 6}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(4, 1024, 1)
+	truth := map[packet.FlowKey]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := fk(rng.Intn(500))
+		v := uint64(rng.Intn(5) + 1)
+		cm.Update(k, v)
+		truth[k] += v
+	}
+	for k, v := range truth {
+		if got := cm.Query(k); got < v {
+			t.Fatalf("CM underestimated %v: got %d want >= %d", k, got, v)
+		}
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm := NewCountMin(4, 1<<14, 2)
+	for i := 0; i < 50; i++ {
+		cm.Update(fk(i), uint64(i+1))
+	}
+	for i := 0; i < 50; i++ {
+		if got := cm.Query(fk(i)); got != uint64(i+1) {
+			t.Fatalf("sparse CM not exact: key %d got %d", i, got)
+		}
+	}
+	if cm.Query(fk(999)) != 0 {
+		t.Fatal("unseen key should be 0 in sparse sketch")
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(2, 64, 3)
+	cm.Update(fk(1), 10)
+	cm.Reset()
+	if cm.Query(fk(1)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCountMinMergeEqualsCombinedStream(t *testing.T) {
+	a := NewCountMin(3, 256, 7)
+	b := NewCountMin(3, 256, 7)
+	c := NewCountMin(3, 256, 7)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		k := fk(rng.Intn(300))
+		if i%2 == 0 {
+			a.Update(k, 1)
+		} else {
+			b.Update(k, 1)
+		}
+		c.Update(k, 1)
+	}
+	a.Merge(b)
+	for i := 0; i < 300; i++ {
+		if a.Query(fk(i)) != c.Query(fk(i)) {
+			t.Fatalf("merge mismatch for key %d", i)
+		}
+	}
+}
+
+func TestCountMinMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCountMin(2, 64, 1).Merge(NewCountMin(2, 128, 1))
+}
+
+func TestCountMinBytesBudget(t *testing.T) {
+	cm := NewCountMinBytes(4, 8<<20, 1)
+	if cm.MemoryBytes() > 8<<20 {
+		t.Fatalf("memory %d exceeds budget", cm.MemoryBytes())
+	}
+	if cm.Width() != (8<<20)/(4*8) {
+		t.Fatalf("width = %d", cm.Width())
+	}
+	if cm.Depth() != 4 {
+		t.Fatalf("depth = %d", cm.Depth())
+	}
+	// Tiny budget still yields a usable sketch.
+	if NewCountMinBytes(4, 1, 1).Width() != 1 {
+		t.Fatal("tiny budget should clamp width to 1")
+	}
+}
+
+func TestSuMaxNeverUnderestimates(t *testing.T) {
+	sm := NewSuMax(4, 1024, 1)
+	truth := map[packet.FlowKey]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := fk(rng.Intn(500))
+		v := uint64(rng.Intn(3) + 1)
+		sm.Update(k, v)
+		truth[k] += v
+	}
+	for k, v := range truth {
+		if got := sm.Query(k); got < v {
+			t.Fatalf("SuMax underestimated %v: got %d want >= %d", k, got, v)
+		}
+	}
+}
+
+func TestSuMaxTighterThanCountMin(t *testing.T) {
+	// Conservative update must not be worse than Count-Min on total
+	// overestimation under a skewed load into a small sketch.
+	cm := NewCountMin(4, 128, 5)
+	sm := NewSuMax(4, 128, 5)
+	truth := map[packet.FlowKey]uint64{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30000; i++ {
+		k := fk(rng.Intn(2000))
+		cm.Update(k, 1)
+		sm.Update(k, 1)
+		truth[k]++
+	}
+	var cmErr, smErr uint64
+	for k, v := range truth {
+		cmErr += cm.Query(k) - v
+		smErr += sm.Query(k) - v
+	}
+	if smErr > cmErr {
+		t.Fatalf("SuMax error %d exceeds Count-Min error %d", smErr, cmErr)
+	}
+}
+
+func TestSuMaxResetAndMemory(t *testing.T) {
+	sm := NewSuMaxBytes(4, 1<<16, 9)
+	sm.Update(fk(1), 3)
+	if sm.Query(fk(1)) != 3 {
+		t.Fatal("query after update")
+	}
+	sm.Reset()
+	if sm.Query(fk(1)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if sm.MemoryBytes() > 1<<16 {
+		t.Fatalf("memory %d over budget", sm.MemoryBytes())
+	}
+}
+
+func TestCountMinQueryMonotoneProperty(t *testing.T) {
+	// Property: adding more updates never decreases any query.
+	f := func(keys []uint16) bool {
+		cm := NewCountMin(3, 128, 11)
+		probe := fk(42)
+		prev := cm.Query(probe)
+		for _, k := range keys {
+			cm.Update(fk(int(k)), 1)
+			if q := cm.Query(probe); q < prev {
+				return false
+			} else {
+				prev = q
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountMin(0, 10, 1) },
+		func() { NewCountMin(2, 0, 1) },
+		func() { NewSuMax(0, 10, 1) },
+		func() { NewMV(0, 10, 1) },
+		func() { NewHashPipe(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected dimension panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	cm := NewCountMin(4, 1<<16, 1)
+	for i := 0; i < b.N; i++ {
+		cm.Update(fk(i&1023), 1)
+	}
+}
+
+func BenchmarkSuMaxUpdate(b *testing.B) {
+	sm := NewSuMax(4, 1<<16, 1)
+	for i := 0; i < b.N; i++ {
+		sm.Update(fk(i&1023), 1)
+	}
+}

@@ -1,0 +1,74 @@
+package sketch
+
+import (
+	"sort"
+
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// CountSketch (Charikar, Chen, Farach-Colton) estimates frequencies with
+// signed updates: unlike Count-Min its error is two-sided and unbiased,
+// which is what UnivMon's recursive estimator needs.
+type CountSketch struct {
+	rows [][]int64
+	fam  *hashing.Family
+	w    int
+	// signSeed derives the per-row ±1 hashes.
+	signSeed uint64
+	// med is scratch space for the median.
+	med []int64
+}
+
+// NewCountSketch builds a d x w Count-Sketch.
+func NewCountSketch(d, w int, seed uint64) *CountSketch {
+	if d <= 0 || w <= 0 {
+		panic("sketch: CountSketch dimensions must be positive")
+	}
+	cs := &CountSketch{fam: hashing.NewFamily(d, seed), w: w, signSeed: seed ^ 0x51611, med: make([]int64, d)}
+	cs.rows = make([][]int64, d)
+	backing := make([]int64, d*w)
+	for i := range cs.rows {
+		cs.rows[i], backing = backing[:w], backing[w:]
+	}
+	return cs
+}
+
+// sign returns the ±1 hash of key k for row i.
+func (cs *CountSketch) sign(i int, k packet.FlowKey) int64 {
+	if hashing.Key64(k, cs.signSeed+uint64(i)*0x9E37)&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Update adds v (signed) to key k's estimate.
+func (cs *CountSketch) Update(k packet.FlowKey, v int64) {
+	for i, row := range cs.rows {
+		row[cs.fam.Index(i, k, cs.w)] += cs.sign(i, k) * v
+	}
+}
+
+// Estimate returns the median-of-rows unbiased estimate of k's frequency.
+func (cs *CountSketch) Estimate(k packet.FlowKey) int64 {
+	for i, row := range cs.rows {
+		cs.med[i] = cs.sign(i, k) * row[cs.fam.Index(i, k, cs.w)]
+	}
+	tmp := append([]int64(nil), cs.med...)
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Reset clears the sketch.
+func (cs *CountSketch) Reset() {
+	for _, row := range cs.rows {
+		clear(row)
+	}
+}
+
+// MemoryBytes reports the footprint.
+func (cs *CountSketch) MemoryBytes() int { return len(cs.rows) * cs.w * 8 }

@@ -1,0 +1,119 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// elasticBucket is one heavy-part bucket of the Elastic Sketch: the
+// resident key, its positive votes (packets of the resident) and negative
+// votes (packets of other keys hashing here).
+type elasticBucket struct {
+	key     packet.FlowKey
+	posVote uint64
+	negVote uint64
+	ejected bool // the resident was placed after an eviction: its
+	// earlier packets live in the light part
+	used bool
+}
+
+// ElasticBucketBytes is the modeled heavy-bucket footprint.
+const ElasticBucketBytes = 32
+
+// Elastic is the Elastic Sketch (Yang et al., SIGCOMM'18): a heavy part
+// of vote-based buckets that pins elephant flows exactly, backed by a
+// light part (a Count-Min-style counter array) that absorbs mice and the
+// evicted remainders. λ is the eviction threshold on negVote/posVote.
+type Elastic struct {
+	heavy  []elasticBucket
+	light  *CountMin
+	seed   uint64
+	lambda uint64
+}
+
+// NewElastic builds an Elastic Sketch with `buckets` heavy buckets and a
+// light part of lightMem bytes (depth 1, as in the original design's
+// one-array light part... the constructor uses depth 3 for robustness,
+// matching the paper's software version).
+func NewElastic(buckets, lightMem int, seed uint64) *Elastic {
+	if buckets <= 0 {
+		panic("sketch: Elastic needs heavy buckets")
+	}
+	return &Elastic{
+		heavy:  make([]elasticBucket, buckets),
+		light:  NewCountMinBytes(3, lightMem, seed^0x11A57),
+		seed:   seed,
+		lambda: 8,
+	}
+}
+
+// NewElasticBytes splits memoryBytes between the heavy part (1/4) and the
+// light part (3/4), the paper's recommended division.
+func NewElasticBytes(memoryBytes int, seed uint64) *Elastic {
+	buckets := memoryBytes / 4 / ElasticBucketBytes
+	if buckets < 1 {
+		buckets = 1
+	}
+	return NewElastic(buckets, memoryBytes*3/4, seed)
+}
+
+// Update implements Sketch.
+func (e *Elastic) Update(k packet.FlowKey, v uint64) {
+	b := &e.heavy[hashing.Index(k, e.seed, len(e.heavy))]
+	switch {
+	case !b.used:
+		*b = elasticBucket{key: k, posVote: v, used: true}
+	case b.key == k:
+		b.posVote += v
+	default:
+		b.negVote += v
+		if b.negVote >= e.lambda*b.posVote {
+			// Evict the resident to the light part; the newcomer takes
+			// the bucket with the "ejected" flag (its earlier packets,
+			// if any, are already in the light part).
+			e.light.Update(b.key, b.posVote)
+			*b = elasticBucket{key: k, posVote: v, ejected: true, used: true}
+		} else {
+			e.light.Update(k, v)
+		}
+	}
+}
+
+// Query implements Sketch.
+func (e *Elastic) Query(k packet.FlowKey) uint64 {
+	b := &e.heavy[hashing.Index(k, e.seed, len(e.heavy))]
+	if b.used && b.key == k {
+		if b.ejected {
+			return b.posVote + e.light.Query(k)
+		}
+		return b.posVote
+	}
+	return e.light.Query(k)
+}
+
+// HeavyKeys implements Invertible: the heavy part stores elephants with
+// their keys, so candidates come straight from the buckets.
+func (e *Elastic) HeavyKeys(threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	for i := range e.heavy {
+		if !e.heavy[i].used {
+			continue
+		}
+		k := e.heavy[i].key
+		if e.Query(k) >= threshold {
+			out = append(out, k)
+		}
+	}
+	return dedupeKeys(out)
+}
+
+// Reset implements Sketch.
+func (e *Elastic) Reset() {
+	clear(e.heavy)
+	e.light.Reset()
+}
+
+// MemoryBytes implements Sketch.
+func (e *Elastic) MemoryBytes() int {
+	return len(e.heavy)*ElasticBucketBytes + e.light.MemoryBytes()
+}

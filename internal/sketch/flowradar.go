@@ -1,0 +1,173 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// frCell is one FlowRadar counting-table cell: XOR of the flow keys that
+// hash here, how many distinct flows did, and their total packet count.
+type frCell struct {
+	flowXor  [packet.KeyBytes]byte
+	flowCnt  uint32
+	packetCt uint64
+}
+
+// FRCellBytes is the modeled per-cell footprint.
+const FRCellBytes = packet.KeyBytes + 4 + 8
+
+// FlowRadar (Li et al., NSDI'16) encodes per-flow counters for ALL flows
+// in constant per-packet work: a flow filter (Bloom) ensures each flow's
+// key is XORed into its cells exactly once, while every packet increments
+// the packet counters. The controller DECODES the structure offline by
+// peeling single-flow cells — the data plane cannot answer per-flow
+// queries, which is exactly why OmniWindow migrates FlowRadar's raw state
+// to the controller instead of generating AFRs (paper §8).
+type FlowRadar struct {
+	filter *Bloom
+	cells  []frCell
+	fam    *hashing.Family
+	k      int
+}
+
+// NewFlowRadar builds a FlowRadar with `cells` counting cells, k cell
+// hashes and a flow filter of filterBits bits.
+func NewFlowRadar(cells, k, filterBits int, seed uint64) *FlowRadar {
+	if cells <= 0 || k <= 0 {
+		panic("sketch: FlowRadar parameters must be positive")
+	}
+	return &FlowRadar{
+		filter: NewBloom(filterBits, 3, seed^0xF10),
+		cells:  make([]frCell, cells),
+		fam:    hashing.NewFamily(k, seed),
+		k:      k,
+	}
+}
+
+// NewFlowRadarBytes builds a FlowRadar within memoryBytes (80% counting
+// table, 20% flow filter).
+func NewFlowRadarBytes(memoryBytes int, seed uint64) *FlowRadar {
+	cells := memoryBytes * 4 / 5 / FRCellBytes
+	if cells < 1 {
+		cells = 1
+	}
+	return NewFlowRadar(cells, 3, memoryBytes/5*8, seed)
+}
+
+// Update records one packet of flow k.
+func (fr *FlowRadar) Update(k packet.FlowKey, v uint64) {
+	newFlow := !fr.filter.TestAndAdd(k)
+	kb := k.Bytes()
+	for i := 0; i < fr.k; i++ {
+		c := &fr.cells[fr.fam.Index(i, k, len(fr.cells))]
+		if newFlow {
+			for j := range kb {
+				c.flowXor[j] ^= kb[j]
+			}
+			c.flowCnt++
+		}
+		c.packetCt += v
+	}
+}
+
+// Decode recovers per-flow packet counts by iteratively peeling cells
+// that contain exactly one flow. ok is false when peeling stalls (too
+// many flows for the cell budget); the recovered subset is still
+// returned.
+func (fr *FlowRadar) Decode() (counts map[packet.FlowKey]uint64, ok bool) {
+	// Work on copies: decoding is destructive and the controller may
+	// decode a snapshot more than once.
+	cells := append([]frCell(nil), fr.cells...)
+	counts = make(map[packet.FlowKey]uint64)
+	for {
+		progressed := false
+		for i := range cells {
+			c := &cells[i]
+			if c.flowCnt != 1 {
+				continue
+			}
+			key := packet.KeyFromBytes(c.flowXor)
+			n := c.packetCt
+			counts[key] = n
+			kb := key.Bytes()
+			for j := 0; j < fr.k; j++ {
+				cc := &cells[fr.fam.Index(j, key, len(cells))]
+				for b := range kb {
+					cc.flowXor[b] ^= kb[b]
+				}
+				cc.flowCnt--
+				cc.packetCt -= n
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	for i := range cells {
+		if cells[i].flowCnt != 0 {
+			return counts, false
+		}
+	}
+	return counts, true
+}
+
+// RawCell exposes cell i's registers as four words for state migration
+// (§8): [xorLo, xorHi, flowCnt, packetCt].
+func (fr *FlowRadar) RawCell(i int) [4]uint64 {
+	c := &fr.cells[i]
+	var lo, hi uint64
+	for j := 0; j < 8; j++ {
+		lo |= uint64(c.flowXor[j]) << (8 * j)
+	}
+	for j := 8; j < packet.KeyBytes; j++ {
+		hi |= uint64(c.flowXor[j]) << (8 * (j - 8))
+	}
+	return [4]uint64{lo, hi, uint64(c.flowCnt), c.packetCt}
+}
+
+// RawState exposes the whole structure as flat words (RawCell
+// concatenated).
+func (fr *FlowRadar) RawState() []uint64 {
+	out := make([]uint64, 0, len(fr.cells)*4)
+	for i := range fr.cells {
+		c := fr.RawCell(i)
+		out = append(out, c[:]...)
+	}
+	return out
+}
+
+// FlowRadarFromRaw reconstructs a decodable FlowRadar from migrated raw
+// words (the controller-side half of state migration). The geometry and
+// seed must match the data-plane instance.
+func FlowRadarFromRaw(words []uint64, k int, seed uint64) *FlowRadar {
+	cells := len(words) / 4
+	fr := NewFlowRadar(cells, k, 64, seed)
+	for i := 0; i < cells; i++ {
+		lo, hi := words[i*4], words[i*4+1]
+		c := &fr.cells[i]
+		for j := 0; j < 8; j++ {
+			c.flowXor[j] = byte(lo >> (8 * j))
+		}
+		for j := 8; j < packet.KeyBytes; j++ {
+			c.flowXor[j] = byte(hi >> (8 * (j - 8)))
+		}
+		c.flowCnt = uint32(words[i*4+2])
+		c.packetCt = words[i*4+3]
+	}
+	return fr
+}
+
+// Cells returns the counting-table size (slots for migration/reset).
+func (fr *FlowRadar) Cells() int { return len(fr.cells) }
+
+// Reset clears the structure.
+func (fr *FlowRadar) Reset() {
+	fr.filter.Reset()
+	clear(fr.cells)
+}
+
+// MemoryBytes reports the footprint.
+func (fr *FlowRadar) MemoryBytes() int {
+	return len(fr.cells)*FRCellBytes + fr.filter.MemoryBytes()
+}

@@ -1,0 +1,123 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// hpSlot is one HashPipe table slot: a resident key and its counter.
+type hpSlot struct {
+	K packet.FlowKey
+	C uint64
+}
+
+// HPSlotBytes is the modeled per-slot footprint: 13-byte key padded to 16
+// plus an 8-byte counter.
+const HPSlotBytes = 24
+
+// HashPipe (Sivaraman et al., SOSR'17) tracks heavy hitters entirely in
+// the data plane with d pipelined stages of (key, count) tables. The first
+// stage always inserts the incoming key, evicting the resident entry,
+// which then "rolls" through later stages, swapping with lighter residents
+// — so heavy keys settle in the pipe while mice churn through.
+type HashPipe struct {
+	stages [][]hpSlot
+	fam    *hashing.Family
+	w      int
+}
+
+// NewHashPipe builds a HashPipe with d stages of w slots.
+func NewHashPipe(d, w int, seed uint64) *HashPipe {
+	if d <= 0 || w <= 0 {
+		panic("sketch: HashPipe dimensions must be positive")
+	}
+	hp := &HashPipe{fam: hashing.NewFamily(d, seed), w: w}
+	hp.stages = make([][]hpSlot, d)
+	backing := make([]hpSlot, d*w)
+	for i := range hp.stages {
+		hp.stages[i], backing = backing[:w], backing[w:]
+	}
+	return hp
+}
+
+// NewHashPipeBytes builds a HashPipe of depth d within memoryBytes.
+func NewHashPipeBytes(d, memoryBytes int, seed uint64) *HashPipe {
+	w := memoryBytes / (d * HPSlotBytes)
+	if w < 1 {
+		w = 1
+	}
+	return NewHashPipe(d, w, seed)
+}
+
+// Update implements Sketch.
+func (hp *HashPipe) Update(k packet.FlowKey, v uint64) {
+	// Stage 0: always insert, evicting the resident.
+	carryK, carryC := k, v
+	s0 := &hp.stages[0][hp.fam.Index(0, k, hp.w)]
+	if s0.K == carryK {
+		s0.C += carryC
+		return
+	}
+	s0.K, carryK = carryK, s0.K
+	s0.C, carryC = carryC, s0.C
+	if carryK.IsZero() {
+		return
+	}
+	// Later stages: merge on match, fill empty slots, or swap if the
+	// carried entry is heavier than the resident.
+	for i := 1; i < len(hp.stages); i++ {
+		s := &hp.stages[i][hp.fam.Index(i, carryK, hp.w)]
+		switch {
+		case s.K == carryK:
+			s.C += carryC
+			return
+		case s.K.IsZero():
+			s.K, s.C = carryK, carryC
+			return
+		case carryC > s.C:
+			s.K, carryK = carryK, s.K
+			s.C, carryC = carryC, s.C
+		}
+	}
+	// The final carried entry is dropped (HashPipe's bounded error).
+}
+
+// Query implements Sketch: the sum of this key's counters across stages
+// (a key may reside in several stages after evictions).
+func (hp *HashPipe) Query(k packet.FlowKey) uint64 {
+	var est uint64
+	for i, st := range hp.stages {
+		s := &st[hp.fam.Index(i, k, hp.w)]
+		if s.K == k {
+			est += s.C
+		}
+	}
+	return est
+}
+
+// HeavyKeys implements Invertible.
+func (hp *HashPipe) HeavyKeys(threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	for _, st := range hp.stages {
+		for i := range st {
+			k := st[i].K
+			if k.IsZero() {
+				continue
+			}
+			if hp.Query(k) >= threshold {
+				out = append(out, k)
+			}
+		}
+	}
+	return dedupeKeys(out)
+}
+
+// Reset implements Sketch.
+func (hp *HashPipe) Reset() {
+	for _, st := range hp.stages {
+		clear(st)
+	}
+}
+
+// MemoryBytes implements Sketch.
+func (hp *HashPipe) MemoryBytes() int { return len(hp.stages) * hp.w * HPSlotBytes }

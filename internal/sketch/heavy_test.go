@@ -1,0 +1,166 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"omniwindow/internal/packet"
+)
+
+// skewedStream sends `heavyCount` packets for each of nHeavy heavy keys
+// and 1-5 packets for each of nMice mice, shuffled.
+func skewedStream(seed int64, nHeavy, heavyCount, nMice int) ([]packet.FlowKey, map[packet.FlowKey]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := map[packet.FlowKey]uint64{}
+	var stream []packet.FlowKey
+	for h := 0; h < nHeavy; h++ {
+		k := fk(500000 + h)
+		for i := 0; i < heavyCount; i++ {
+			stream = append(stream, k)
+		}
+		truth[k] = uint64(heavyCount)
+	}
+	for m := 0; m < nMice; m++ {
+		k := fk(1000000 + m)
+		n := rng.Intn(5) + 1
+		for i := 0; i < n; i++ {
+			stream = append(stream, k)
+		}
+		truth[k] = uint64(n)
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	return stream, truth
+}
+
+func TestMVDetectsHeavyHitters(t *testing.T) {
+	stream, truth := skewedStream(1, 10, 500, 3000)
+	mv := NewMV(4, 2048, 1)
+	for _, k := range stream {
+		mv.Update(k, 1)
+	}
+	const thr = 400
+	reported := map[packet.FlowKey]bool{}
+	for _, k := range mv.HeavyKeys(thr) {
+		reported[k] = true
+	}
+	for k, c := range truth {
+		if c >= thr && !reported[k] {
+			t.Fatalf("MV missed heavy key %v (count %d)", k, c)
+		}
+	}
+	for k := range reported {
+		if truth[k] < thr/2 {
+			t.Fatalf("MV reported mouse %v (count %d)", k, truth[k])
+		}
+	}
+}
+
+func TestMVQueryAccurateForHeavy(t *testing.T) {
+	stream, truth := skewedStream(2, 5, 1000, 2000)
+	mv := NewMV(4, 2048, 2)
+	for _, k := range stream {
+		mv.Update(k, 1)
+	}
+	for k, c := range truth {
+		if c < 1000 {
+			continue
+		}
+		got := mv.Query(k)
+		if got < c*8/10 || got > c*12/10 {
+			t.Fatalf("MV heavy estimate off: key %v got %d want ~%d", k, got, c)
+		}
+	}
+}
+
+func TestMVReset(t *testing.T) {
+	mv := NewMV(2, 64, 3)
+	mv.Update(fk(1), 100)
+	mv.Reset()
+	if mv.Query(fk(1)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if len(mv.HeavyKeys(1)) != 0 {
+		t.Fatal("reset left candidates")
+	}
+}
+
+func TestMVBytesBudget(t *testing.T) {
+	mv := NewMVBytes(4, 8<<20, 1)
+	if mv.MemoryBytes() > 8<<20 {
+		t.Fatalf("memory %d over budget", mv.MemoryBytes())
+	}
+}
+
+func TestHashPipeDetectsHeavyHitters(t *testing.T) {
+	stream, truth := skewedStream(3, 10, 500, 3000)
+	hp := NewHashPipe(4, 2048, 1)
+	for _, k := range stream {
+		hp.Update(k, 1)
+	}
+	const thr = 400
+	reported := map[packet.FlowKey]bool{}
+	for _, k := range hp.HeavyKeys(thr) {
+		reported[k] = true
+	}
+	missed := 0
+	for k, c := range truth {
+		if c >= 500 && !reported[k] {
+			missed++
+		}
+	}
+	// HashPipe can split a key across stages losing some counts; allow a
+	// small miss budget but not systematic failure.
+	if missed > 2 {
+		t.Fatalf("HashPipe missed %d/10 heavy keys", missed)
+	}
+}
+
+func TestHashPipeNeverOverestimates(t *testing.T) {
+	// HashPipe only drops counts (evicted tails), so Query <= truth.
+	stream, truth := skewedStream(4, 5, 300, 2000)
+	hp := NewHashPipe(4, 1024, 9)
+	for _, k := range stream {
+		hp.Update(k, 1)
+	}
+	for k, c := range truth {
+		if got := hp.Query(k); got > c {
+			t.Fatalf("HashPipe overestimated %v: got %d want <= %d", k, got, c)
+		}
+	}
+}
+
+func TestHashPipeSameKeyAccumulatesInStage0(t *testing.T) {
+	hp := NewHashPipe(2, 64, 1)
+	for i := 0; i < 10; i++ {
+		hp.Update(fk(7), 1)
+	}
+	if got := hp.Query(fk(7)); got != 10 {
+		t.Fatalf("repeat key count = %d want 10", got)
+	}
+}
+
+func TestHashPipeResetAndMemory(t *testing.T) {
+	hp := NewHashPipeBytes(4, 1<<20, 1)
+	if hp.MemoryBytes() > 1<<20 {
+		t.Fatalf("memory %d over budget", hp.MemoryBytes())
+	}
+	hp.Update(fk(1), 5)
+	hp.Reset()
+	if hp.Query(fk(1)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func BenchmarkMVUpdate(b *testing.B) {
+	mv := NewMV(4, 1<<14, 1)
+	for i := 0; i < b.N; i++ {
+		mv.Update(fk(i&1023), 1)
+	}
+}
+
+func BenchmarkHashPipeUpdate(b *testing.B) {
+	hp := NewHashPipe(4, 1<<14, 1)
+	for i := 0; i < b.N; i++ {
+		hp.Update(fk(i&1023), 1)
+	}
+}

@@ -1,0 +1,153 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// PacketID identifies a single packet for loss detection: its flow key and
+// per-flow sequence number.
+type PacketID struct {
+	Key packet.FlowKey
+	Seq uint32
+}
+
+// lrCell is one invertible-Bloom-lookup-table cell: the signed element
+// count plus XOR accumulators for the key bytes, the sequence number, and
+// an integrity checksum used to recognize pure cells.
+type lrCell struct {
+	count    int64
+	keyXor   [packet.KeyBytes]byte
+	seqXor   uint32
+	checkXor uint64
+}
+
+// LRCellBytes is the modeled per-cell footprint.
+const LRCellBytes = 8 + packet.KeyBytes + 4 + 8
+
+// LossRadar (Li et al., CoNEXT'16) detects individual lost packets between
+// two meters: each switch inserts every packet into an IBLT; subtracting
+// the downstream meter from the upstream one leaves exactly the lost
+// packets, which Decode recovers by peeling pure cells. Both meters must
+// cover the *same* packet set — which is precisely the window-consistency
+// requirement OmniWindow's Lamport stamping provides (Exp#9).
+type LossRadar struct {
+	cells []lrCell
+	fam   *hashing.Family
+	m     int
+	check uint64
+}
+
+// NewLossRadar builds a LossRadar meter with m cells and k hash functions.
+func NewLossRadar(m, k int, seed uint64) *LossRadar {
+	if m <= 0 || k <= 0 {
+		panic("sketch: LossRadar parameters must be positive")
+	}
+	fam := hashing.NewFamily(k+1, seed)
+	return &LossRadar{cells: make([]lrCell, m), fam: fam, m: m, check: fam.Seed(k)}
+}
+
+// checksum produces the purity-detection digest of one packet identity.
+func (lr *LossRadar) checksum(id PacketID) uint64 {
+	return hashing.Pair64(id.Key, uint64(id.Seq), lr.check)
+}
+
+// cell returns the i-th cell index for a packet identity. The index hashes
+// the full (key, seq) identity: distinct packets of one flow must spread
+// across cells or peeling could never isolate them.
+func (lr *LossRadar) cell(i int, id PacketID) int {
+	h := hashing.Pair64(id.Key, uint64(id.Seq), lr.fam.Seed(i))
+	return int(uint64(uint32(h)) * uint64(lr.m) >> 32)
+}
+
+// Insert records a packet passing the meter.
+func (lr *LossRadar) Insert(id PacketID) {
+	kb := id.Key.Bytes()
+	cs := lr.checksum(id)
+	for i := 0; i < lr.fam.Size()-1; i++ {
+		c := &lr.cells[lr.cell(i, id)]
+		c.count++
+		for j := range kb {
+			c.keyXor[j] ^= kb[j]
+		}
+		c.seqXor ^= id.Seq
+		c.checkXor ^= cs
+	}
+}
+
+// Subtract removes another meter's contents cell-wise (downstream from
+// upstream), leaving the difference set. Both meters must share dimensions
+// and seed.
+func (lr *LossRadar) Subtract(o *LossRadar) {
+	if lr.m != o.m || lr.fam.Size() != o.fam.Size() {
+		panic("sketch: subtracting incompatible LossRadar meters")
+	}
+	for i := range lr.cells {
+		a, b := &lr.cells[i], &o.cells[i]
+		a.count -= b.count
+		for j := range a.keyXor {
+			a.keyXor[j] ^= b.keyXor[j]
+		}
+		a.seqXor ^= b.seqXor
+		a.checkXor ^= b.checkXor
+	}
+}
+
+// remove deletes one decoded element with the given sign from the table.
+func (lr *LossRadar) remove(id PacketID, sign int64) {
+	kb := id.Key.Bytes()
+	cs := lr.checksum(id)
+	for i := 0; i < lr.fam.Size()-1; i++ {
+		c := &lr.cells[lr.cell(i, id)]
+		c.count -= sign
+		for j := range kb {
+			c.keyXor[j] ^= kb[j]
+		}
+		c.seqXor ^= id.Seq
+		c.checkXor ^= cs
+	}
+}
+
+// Decode peels the table and returns the recovered difference: packets
+// with positive sign (seen upstream, missing downstream — i.e. lost) and
+// negative sign (seen only downstream, e.g. mis-windowed extras). ok is
+// false if peeling stalled before emptying the table (too many losses for
+// the cell budget).
+func (lr *LossRadar) Decode() (lost, extra []PacketID, ok bool) {
+	for {
+		progressed := false
+		for i := range lr.cells {
+			c := &lr.cells[i]
+			if c.count != 1 && c.count != -1 {
+				continue
+			}
+			id := PacketID{Key: packet.KeyFromBytes(c.keyXor), Seq: c.seqXor}
+			if lr.checksum(id) != c.checkXor {
+				continue // mixed cell that happens to have count ±1
+			}
+			sign := c.count
+			lr.remove(id, sign)
+			if sign > 0 {
+				lost = append(lost, id)
+			} else {
+				extra = append(extra, id)
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	for i := range lr.cells {
+		if lr.cells[i].count != 0 {
+			return lost, extra, false
+		}
+	}
+	return lost, extra, true
+}
+
+// Reset clears the meter for the next window.
+func (lr *LossRadar) Reset() { clear(lr.cells) }
+
+// MemoryBytes reports the table footprint.
+func (lr *LossRadar) MemoryBytes() int { return lr.m * LRCellBytes }

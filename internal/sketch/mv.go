@@ -1,0 +1,116 @@
+package sketch
+
+import (
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// mvBucket is one MV-Sketch bucket: the total value V, the majority-vote
+// candidate key K and its vote counter C.
+type mvBucket struct {
+	V uint64
+	K packet.FlowKey
+	C int64
+}
+
+// MV is the MV-Sketch (Tang, Huang, Lee — INFOCOM'19 / ToN'20): an
+// invertible sketch for heavy-flow detection. Each bucket tracks the total
+// update mass plus a majority-vote candidate, so heavy keys can be decoded
+// from the buckets themselves without an external key list.
+type MV struct {
+	rows [][]mvBucket
+	fam  *hashing.Family
+	w    int
+}
+
+// MVBucketBytes is the modeled per-bucket footprint: 8 (V) + 13 (key,
+// padded to 16) + 8 (C).
+const MVBucketBytes = 32
+
+// NewMV builds a d x w MV-Sketch.
+func NewMV(d, w int, seed uint64) *MV {
+	if d <= 0 || w <= 0 {
+		panic("sketch: MV dimensions must be positive")
+	}
+	mv := &MV{fam: hashing.NewFamily(d, seed), w: w}
+	mv.rows = make([][]mvBucket, d)
+	backing := make([]mvBucket, d*w)
+	for i := range mv.rows {
+		mv.rows[i], backing = backing[:w], backing[w:]
+	}
+	return mv
+}
+
+// NewMVBytes builds an MV-Sketch of depth d within memoryBytes.
+func NewMVBytes(d, memoryBytes int, seed uint64) *MV {
+	w := memoryBytes / (d * MVBucketBytes)
+	if w < 1 {
+		w = 1
+	}
+	return NewMV(d, w, seed)
+}
+
+// Update implements Sketch using the majority-vote rule.
+func (mv *MV) Update(k packet.FlowKey, v uint64) {
+	for i, row := range mv.rows {
+		b := &row[mv.fam.Index(i, k, mv.w)]
+		b.V += v
+		if b.K == k {
+			b.C += int64(v)
+			continue
+		}
+		b.C -= int64(v)
+		if b.C < 0 {
+			b.K = k
+			b.C = -b.C
+		}
+	}
+}
+
+// Query implements Sketch. For each row the estimate is (V+C)/2 when the
+// bucket's candidate is k (k holds at least that much of the mass) and
+// (V-C)/2 otherwise; the final estimate is the row minimum.
+func (mv *MV) Query(k packet.FlowKey) uint64 {
+	est := ^uint64(0)
+	for i, row := range mv.rows {
+		b := &row[mv.fam.Index(i, k, mv.w)]
+		var e uint64
+		if b.K == k {
+			e = (b.V + uint64(b.C)) / 2
+		} else {
+			e = (b.V - uint64(b.C)) / 2
+		}
+		if e < est {
+			est = e
+		}
+	}
+	return est
+}
+
+// HeavyKeys implements Invertible: every bucket's candidate whose queried
+// estimate reaches the threshold is reported.
+func (mv *MV) HeavyKeys(threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	for _, row := range mv.rows {
+		for i := range row {
+			k := row[i].K
+			if k.IsZero() {
+				continue
+			}
+			if mv.Query(k) >= threshold {
+				out = append(out, k)
+			}
+		}
+	}
+	return dedupeKeys(out)
+}
+
+// Reset implements Sketch.
+func (mv *MV) Reset() {
+	for _, row := range mv.rows {
+		clear(row)
+	}
+}
+
+// MemoryBytes implements Sketch.
+func (mv *MV) MemoryBytes() int { return len(mv.rows) * mv.w * MVBucketBytes }

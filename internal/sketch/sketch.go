@@ -1,0 +1,74 @@
+// Package sketch implements the streaming data structures the paper
+// evaluates OmniWindow with (Exp#2, Exp#6, Exp#9, Exp#10):
+//
+//   - Count-Min Sketch and SuMax Sketch (per-flow frequency estimation)
+//   - MV-Sketch and HashPipe (invertible heavy-hitter detection)
+//   - SpreadSketch and Vector Bloom Filter (super-spreader detection)
+//   - Linear Counting and HyperLogLog (cardinality estimation)
+//   - Bloom filter (flowkey de-duplication in Algorithm 1)
+//   - LossRadar (invertible Bloom lookup table for packet-loss detection)
+//   - Sliding Sketch (the baseline sliding-window framework of Exp#2/#10)
+//
+// Every sketch is written over plain Go slices so the same implementation
+// serves the data plane (wrapped by the two-region window state manager),
+// the offline ideal baselines, and the controller. Each constructor takes
+// an explicit memory budget or dimensions so experiments can reproduce the
+// paper's allocations (e.g. 8 MB per original window, depth 4).
+package sketch
+
+import "omniwindow/internal/packet"
+
+// Sketch is the common frequency-style interface: per-key additive updates
+// and point queries.
+type Sketch interface {
+	// Update adds v to key k's statistic.
+	Update(k packet.FlowKey, v uint64)
+	// Query estimates key k's statistic.
+	Query(k packet.FlowKey) uint64
+	// Reset clears all state for the next window.
+	Reset()
+	// MemoryBytes reports the configured memory footprint.
+	MemoryBytes() int
+}
+
+// Invertible is a sketch that can enumerate candidate heavy keys without
+// an external key list (MV-Sketch, HashPipe, SpreadSketch).
+type Invertible interface {
+	Sketch
+	// HeavyKeys returns the candidate keys whose estimate reaches the
+	// threshold.
+	HeavyKeys(threshold uint64) []packet.FlowKey
+}
+
+// Spread estimates per-source distinct destinations (super-spreaders).
+type Spread interface {
+	// UpdateSpread records that src contacted dst.
+	UpdateSpread(src, dst packet.FlowKey)
+	// QuerySpread estimates the number of distinct destinations of src.
+	QuerySpread(src packet.FlowKey) uint64
+	Reset()
+	MemoryBytes() int
+}
+
+// Estimator estimates stream cardinality (Linear Counting, HyperLogLog).
+type Estimator interface {
+	// Insert adds an element.
+	Insert(k packet.FlowKey)
+	// Estimate returns the estimated number of distinct elements.
+	Estimate() float64
+	Reset()
+	MemoryBytes() int
+}
+
+// dedupeKeys removes duplicates preserving first-seen order.
+func dedupeKeys(keys []packet.FlowKey) []packet.FlowKey {
+	seen := make(map[packet.FlowKey]bool, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// spsBucket is one SpreadSketch bucket: a multiresolution bitmap counting
+// distinct destinations, plus the candidate source key with the highest
+// observed sampling level (heavier spreaders produce higher levels more
+// often, so the candidate converges to the bucket's heaviest spreader).
+type spsBucket struct {
+	mrb   *MRB
+	key   packet.FlowKey
+	level int
+	used  bool
+}
+
+// SpreadSketch (Tang, Huang, Lee — INFOCOM'20) detects super-spreaders
+// invertibly: d rows of buckets indexed by source key.
+type SpreadSketch struct {
+	rows [][]spsBucket
+	fam  *hashing.Family
+	w    int
+	comp int
+	// pairSeed hashes (src,dst) pairs into MRB elements.
+	pairSeed uint64
+}
+
+// SPSBucketBytes is the modeled per-bucket footprint with c components:
+// c*8 (MRB) + 16 (key) + 1 (level), rounded up.
+func SPSBucketBytes(c int) int { return c*8 + 17 }
+
+// NewSpreadSketch builds a d x w SpreadSketch with c MRB components per
+// bucket.
+func NewSpreadSketch(d, w, c int, seed uint64) *SpreadSketch {
+	if d <= 0 || w <= 0 {
+		panic("sketch: SpreadSketch dimensions must be positive")
+	}
+	fam := hashing.NewFamily(d+1, seed)
+	s := &SpreadSketch{fam: fam, w: w, comp: c, pairSeed: fam.Seed(d)}
+	s.rows = make([][]spsBucket, d)
+	for i := range s.rows {
+		s.rows[i] = make([]spsBucket, w)
+		for j := range s.rows[i] {
+			s.rows[i][j].mrb = NewMRB(c)
+		}
+	}
+	return s
+}
+
+// NewSpreadSketchBytes builds a SpreadSketch of depth d within memoryBytes
+// using 4-component MRBs.
+func NewSpreadSketchBytes(d, memoryBytes int, seed uint64) *SpreadSketch {
+	const c = 4
+	w := memoryBytes / (d * SPSBucketBytes(c))
+	if w < 1 {
+		w = 1
+	}
+	return NewSpreadSketch(d, w, c, seed)
+}
+
+// UpdateSpread implements Spread.
+func (s *SpreadSketch) UpdateSpread(src, dst packet.FlowKey) {
+	pair := hashing.Pair64(src, hashing.Key64(dst, s.pairSeed), s.pairSeed)
+	lvl := bits.TrailingZeros64(^pair) // geometric level of this pair
+	for i, row := range s.rows {
+		b := &row[s.fam.Index(i, src, s.w)]
+		b.mrb.Insert(pair)
+		if !b.used || lvl >= b.level {
+			b.key = src
+			b.level = lvl
+			b.used = true
+		}
+	}
+}
+
+// QuerySpread implements Spread: the minimum MRB estimate across rows.
+func (s *SpreadSketch) QuerySpread(src packet.FlowKey) uint64 {
+	est := -1.0
+	for i, row := range s.rows {
+		b := &row[s.fam.Index(i, src, s.w)]
+		e := b.mrb.Estimate()
+		if est < 0 || e < est {
+			est = e
+		}
+	}
+	if est < 0 {
+		return 0
+	}
+	return uint64(est + 0.5)
+}
+
+// Summary returns the MRB components of the bucket with the minimum
+// estimate for src — the mergeable distinct summary an AFR carries for
+// distinction statistics. Requires 4-component buckets.
+func (s *SpreadSketch) Summary(src packet.FlowKey) [4]uint64 {
+	var out [4]uint64
+	best := -1.0
+	for i, row := range s.rows {
+		b := &row[s.fam.Index(i, src, s.w)]
+		e := b.mrb.Estimate()
+		if best < 0 || e < best {
+			best = e
+			comps := b.mrb.Components()
+			for j := 0; j < len(out) && j < len(comps); j++ {
+				out[j] = comps[j]
+			}
+		}
+	}
+	return out
+}
+
+// HeavySpreaders returns candidate sources whose estimated spread reaches
+// the threshold (the invertibility property of SpreadSketch).
+func (s *SpreadSketch) HeavySpreaders(threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	for _, row := range s.rows {
+		for i := range row {
+			if !row[i].used {
+				continue
+			}
+			k := row[i].key
+			if s.QuerySpread(k) >= threshold {
+				out = append(out, k)
+			}
+		}
+	}
+	return dedupeKeys(out)
+}
+
+// Reset implements Spread.
+func (s *SpreadSketch) Reset() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i].mrb.Reset()
+			row[i].key = packet.FlowKey{}
+			row[i].level = 0
+			row[i].used = false
+		}
+	}
+}
+
+// MemoryBytes implements Spread.
+func (s *SpreadSketch) MemoryBytes() int {
+	return len(s.rows) * s.w * SPSBucketBytes(s.comp)
+}
+
+// VBF is the Vector Bloom Filter (Liu et al., TIFS'16) for super-spreader
+// detection: several arrays of small bitmaps; a source indexes one bitmap
+// per array and its distinct-destination count is the minimum
+// linear-counting estimate among them. VBF itself is not invertible, so
+// detection queries the keys tracked elsewhere (in OmniWindow, the AFR
+// flowkey list — exactly the paper's integration).
+type VBF struct {
+	arrays [][]uint64 // arrays[i][bitmap] packed: one uint64 per bitmap
+	fam    *hashing.Family
+	nb     int // bitmaps per array
+	dseed  uint64
+}
+
+// vbfBits is the width of each per-source bitmap.
+const vbfBits = 64
+
+// NewVBF builds a VBF with `arrays` arrays of `bitmaps` 64-bit bitmaps
+// (the paper's Exp#2 uses five arrays of 4096 bitmaps).
+func NewVBF(arrays, bitmaps int, seed uint64) *VBF {
+	if arrays <= 0 || bitmaps <= 0 {
+		panic("sketch: VBF dimensions must be positive")
+	}
+	fam := hashing.NewFamily(arrays+1, seed)
+	v := &VBF{fam: fam, nb: bitmaps, dseed: fam.Seed(arrays)}
+	v.arrays = make([][]uint64, arrays)
+	for i := range v.arrays {
+		v.arrays[i] = make([]uint64, bitmaps)
+	}
+	return v
+}
+
+// UpdateSpread implements Spread.
+func (v *VBF) UpdateSpread(src, dst packet.FlowKey) {
+	bit := hashing.Key64(dst, v.dseed) % vbfBits
+	for i, arr := range v.arrays {
+		arr[v.fam.Index(i, src, v.nb)] |= 1 << bit
+	}
+}
+
+// QuerySpread implements Spread: minimum linear-counting estimate over the
+// source's bitmaps.
+func (v *VBF) QuerySpread(src packet.FlowKey) uint64 {
+	best := -1.0
+	for i, arr := range v.arrays {
+		bm := arr[v.fam.Index(i, src, v.nb)]
+		e := bitmapLC(bm)
+		if best < 0 || e < best {
+			best = e
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return uint64(best + 0.5)
+}
+
+// bitmapLC is the linear-counting estimate of one 64-bit bitmap.
+func bitmapLC(bm uint64) float64 {
+	z := float64(vbfBits - bits.OnesCount64(bm))
+	if z == 0 {
+		z = 1
+	}
+	return vbfBits * math.Log(vbfBits/z)
+}
+
+// SummaryBitmap returns the bitmap with the fewest set bits among the
+// source's per-array bitmaps — the mergeable summary the VBF-backed
+// telemetry app embeds in AFRs (interpreted by VBFDistinctCounter).
+func (v *VBF) SummaryBitmap(src packet.FlowKey) uint64 {
+	var best uint64
+	bestOnes := -1
+	for i, arr := range v.arrays {
+		bm := arr[v.fam.Index(i, src, v.nb)]
+		if n := bits.OnesCount64(bm); bestOnes < 0 || n < bestOnes {
+			bestOnes = n
+			best = bm
+		}
+	}
+	return best
+}
+
+// VBFDistinctCounter counts an OR-merged VBF summary: the first word is a
+// plain linear-counting bitmap.
+func VBFDistinctCounter(sum [4]uint64) uint64 {
+	return uint64(bitmapLC(sum[0]) + 0.5)
+}
+
+// Reset implements Spread.
+func (v *VBF) Reset() {
+	for _, arr := range v.arrays {
+		clear(arr)
+	}
+}
+
+// MemoryBytes implements Spread.
+func (v *VBF) MemoryBytes() int { return len(v.arrays) * v.nb * 8 }

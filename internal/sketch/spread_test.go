@@ -1,0 +1,134 @@
+package sketch
+
+import (
+	"testing"
+
+	"omniwindow/internal/packet"
+)
+
+func srcKey(i int) packet.FlowKey { return packet.FlowKey{SrcIP: uint32(0xC0A80000 + i), Proto: 17} }
+func dstKey(i int) packet.FlowKey { return packet.FlowKey{DstIP: uint32(0x0A000000 + i), Proto: 17} }
+
+func TestSpreadSketchSeparatesSpreaders(t *testing.T) {
+	s := NewSpreadSketch(4, 4096, 4, 1)
+	// 5 super-spreaders with 400 distinct destinations, 500 normal
+	// sources with 2 each.
+	for h := 0; h < 5; h++ {
+		for d := 0; d < 400; d++ {
+			s.UpdateSpread(srcKey(h), dstKey(h*1000+d))
+		}
+	}
+	for m := 0; m < 500; m++ {
+		s.UpdateSpread(srcKey(100+m), dstKey(50000+m))
+		s.UpdateSpread(srcKey(100+m), dstKey(60000+m))
+	}
+	for h := 0; h < 5; h++ {
+		est := s.QuerySpread(srcKey(h))
+		if est < 150 {
+			t.Fatalf("spreader %d estimate too low: %d", h, est)
+		}
+	}
+	low := 0
+	for m := 0; m < 500; m++ {
+		if s.QuerySpread(srcKey(100+m)) < 50 {
+			low++
+		}
+	}
+	if low < 450 {
+		t.Fatalf("too many normal sources look heavy: only %d/500 low", low)
+	}
+}
+
+func TestSpreadSketchInvertible(t *testing.T) {
+	s := NewSpreadSketch(4, 4096, 4, 2)
+	for h := 0; h < 3; h++ {
+		for d := 0; d < 500; d++ {
+			s.UpdateSpread(srcKey(h), dstKey(h*1000+d))
+		}
+	}
+	for m := 0; m < 300; m++ {
+		s.UpdateSpread(srcKey(100+m), dstKey(90000+m))
+	}
+	found := map[packet.FlowKey]bool{}
+	for _, k := range s.HeavySpreaders(200) {
+		found[k] = true
+	}
+	for h := 0; h < 3; h++ {
+		if !found[srcKey(h)] {
+			t.Fatalf("HeavySpreaders missed spreader %d", h)
+		}
+	}
+}
+
+func TestSpreadSketchDuplicateDestinationsIgnored(t *testing.T) {
+	s := NewSpreadSketch(4, 1024, 4, 3)
+	for i := 0; i < 1000; i++ {
+		s.UpdateSpread(srcKey(1), dstKey(7)) // same destination repeatedly
+	}
+	if est := s.QuerySpread(srcKey(1)); est > 5 {
+		t.Fatalf("duplicate destinations inflated spread: %d", est)
+	}
+}
+
+func TestSpreadSketchReset(t *testing.T) {
+	s := NewSpreadSketch(2, 64, 4, 4)
+	s.UpdateSpread(srcKey(1), dstKey(1))
+	s.Reset()
+	if s.QuerySpread(srcKey(1)) != 0 {
+		t.Fatalf("reset spread = %d", s.QuerySpread(srcKey(1)))
+	}
+	if len(s.HeavySpreaders(1)) != 0 {
+		t.Fatal("reset left candidates")
+	}
+}
+
+func TestSpreadSketchBytesBudget(t *testing.T) {
+	s := NewSpreadSketchBytes(4, 8<<20, 5)
+	if s.MemoryBytes() > 8<<20 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+}
+
+func TestVBFSeparatesSpreaders(t *testing.T) {
+	v := NewVBF(5, 4096, 1) // the paper's Exp#2 configuration
+	for d := 0; d < 40; d++ {
+		v.UpdateSpread(srcKey(1), dstKey(d))
+	}
+	v.UpdateSpread(srcKey(2), dstKey(1))
+	v.UpdateSpread(srcKey(2), dstKey(2))
+	heavy := v.QuerySpread(srcKey(1))
+	light := v.QuerySpread(srcKey(2))
+	if heavy < 25 {
+		t.Fatalf("heavy spreader estimate too low: %d", heavy)
+	}
+	if light > 10 {
+		t.Fatalf("light source estimate too high: %d", light)
+	}
+}
+
+func TestVBFDuplicateDestinations(t *testing.T) {
+	v := NewVBF(5, 1024, 2)
+	for i := 0; i < 500; i++ {
+		v.UpdateSpread(srcKey(3), dstKey(9))
+	}
+	if est := v.QuerySpread(srcKey(3)); est > 4 {
+		t.Fatalf("duplicates inflated VBF estimate: %d", est)
+	}
+}
+
+func TestVBFResetAndMemory(t *testing.T) {
+	v := NewVBF(5, 4096, 3)
+	v.UpdateSpread(srcKey(1), dstKey(1))
+	v.Reset()
+	if v.QuerySpread(srcKey(1)) != 0 {
+		t.Fatalf("reset VBF spread = %d", v.QuerySpread(srcKey(1)))
+	}
+	if v.MemoryBytes() != 5*4096*8 {
+		t.Fatalf("memory = %d", v.MemoryBytes())
+	}
+}
+
+func TestSpreadInterfacesSatisfied(t *testing.T) {
+	var _ Spread = NewSpreadSketch(2, 64, 4, 1)
+	var _ Spread = NewVBF(2, 64, 1)
+}

@@ -1,0 +1,209 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+)
+
+// univLevel is one sampling level of UnivMon: a Count-Sketch over the
+// flows whose hash has at least `level` leading one-bits, plus the
+// level's tracked heavy hitters.
+type univLevel struct {
+	cs    *CountSketch
+	heavy map[packet.FlowKey]int64
+}
+
+// UnivMon (Liu et al., SIGCOMM'16) is a universal sketch: L sampling
+// levels, each halving the flow population, each running a Count-Sketch
+// and tracking its top-k heavy flows. One instance answers any
+// G-sum statistic Sum(g(f_i)) over per-flow frequencies — heavy hitters,
+// cardinality, entropy — via the recursive Y_L..Y_0 estimator.
+type UnivMon struct {
+	levels []univLevel
+	topK   int
+	seed   uint64
+}
+
+// NewUnivMon builds a UnivMon with `levels` levels of d x w Count-Sketches
+// tracking topK heavy flows per level.
+func NewUnivMon(levels, d, w, topK int, seed uint64) *UnivMon {
+	if levels <= 0 || topK <= 0 {
+		panic("sketch: UnivMon needs levels and topK")
+	}
+	u := &UnivMon{topK: topK, seed: seed}
+	for l := 0; l < levels; l++ {
+		u.levels = append(u.levels, univLevel{
+			cs:    NewCountSketch(d, w, seed+uint64(l)*0xA5),
+			heavy: make(map[packet.FlowKey]int64),
+		})
+	}
+	return u
+}
+
+// NewUnivMonBytes builds a UnivMon within memoryBytes (levels of equal
+// Count-Sketches, depth 5, topK 64).
+func NewUnivMonBytes(levels, memoryBytes int, seed uint64) *UnivMon {
+	const d, topK = 5, 64
+	per := memoryBytes / levels
+	w := per / (d * 8)
+	if w < 8 {
+		w = 8
+	}
+	return NewUnivMon(levels, d, w, topK, seed)
+}
+
+// level returns the deepest sampling level of key k (number of leading
+// one-bits of its sampling hash, capped).
+func (u *UnivMon) level(k packet.FlowKey) int {
+	h := hashing.Key64(k, u.seed^0x17171717)
+	l := 0
+	for l < len(u.levels)-1 && h&(1<<uint(l)) != 0 {
+		l++
+	}
+	return l
+}
+
+// Update records v packets of flow k.
+func (u *UnivMon) Update(k packet.FlowKey, v uint64) {
+	deepest := u.level(k)
+	for l := 0; l <= deepest; l++ {
+		lv := &u.levels[l]
+		lv.cs.Update(k, int64(v))
+		// Track the level's heavy flows: admit if already tracked, or
+		// if there is room, or if the estimate beats the current
+		// minimum (software top-k stand-in for the hardware heap).
+		if _, ok := lv.heavy[k]; ok {
+			lv.heavy[k] += int64(v)
+			continue
+		}
+		est := lv.cs.Estimate(k)
+		if len(lv.heavy) < u.topK {
+			lv.heavy[k] = est
+			continue
+		}
+		var minK packet.FlowKey
+		minV := int64(math.MaxInt64)
+		for hk, hv := range lv.heavy {
+			if hv < minV {
+				minK, minV = hk, hv
+			}
+		}
+		if est > minV {
+			delete(lv.heavy, minK)
+			lv.heavy[k] = est
+		}
+	}
+}
+
+// refreshHeavy re-estimates the tracked flows from the level sketch (the
+// running values drift from admission-time estimates).
+func (u *UnivMon) refreshHeavy(l int) map[packet.FlowKey]int64 {
+	lv := &u.levels[l]
+	out := make(map[packet.FlowKey]int64, len(lv.heavy))
+	for k := range lv.heavy {
+		if e := lv.cs.Estimate(k); e > 0 {
+			out[k] = e
+		}
+	}
+	return out
+}
+
+// GSum estimates Sum over distinct flows of g(frequency) with the
+// recursive estimator: Y_L = sum of g over level-L heavy flows;
+// Y_l = 2*Y_{l+1} + sum over level-l heavy flows of g(f) * (1 - 2*I[flow
+// sampled into level l+1]).
+func (u *UnivMon) GSum(g func(freq float64) float64) float64 {
+	L := len(u.levels) - 1
+	y := 0.0
+	for k, f := range u.refreshHeavy(L) {
+		_ = k
+		y += g(float64(f))
+	}
+	for l := L - 1; l >= 0; l-- {
+		yl := 2 * y
+		for k, f := range u.refreshHeavy(l) {
+			ind := 0.0
+			if u.level(k) > l {
+				ind = 1
+			}
+			yl += g(float64(f)) * (1 - 2*ind)
+		}
+		if yl < 0 {
+			yl = 0
+		}
+		y = yl
+	}
+	return y
+}
+
+// Cardinality estimates the number of distinct flows (g = 1).
+func (u *UnivMon) Cardinality() float64 {
+	return u.GSum(func(float64) float64 { return 1 })
+}
+
+// Entropy estimates the empirical entropy of the flow-size distribution
+// (in nats) using the G-sum of f*ln(f) and the total volume.
+func (u *UnivMon) Entropy() float64 {
+	total := u.GSum(func(f float64) float64 { return f })
+	if total <= 0 {
+		return 0
+	}
+	flnf := u.GSum(func(f float64) float64 {
+		if f <= 0 {
+			return 0
+		}
+		return f * math.Log(f)
+	})
+	return math.Log(total) - flnf/total
+}
+
+// HeavyKeys returns level-0 tracked flows whose estimate reaches the
+// threshold, sorted by descending estimate.
+func (u *UnivMon) HeavyKeys(threshold uint64) []packet.FlowKey {
+	type kv struct {
+		k packet.FlowKey
+		v int64
+	}
+	var all []kv
+	for k, v := range u.refreshHeavy(0) {
+		if v >= int64(threshold) {
+			all = append(all, kv{k, v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	out := make([]packet.FlowKey, len(all))
+	for i := range all {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// Query estimates flow k's frequency from level 0 (clamped at zero).
+func (u *UnivMon) Query(k packet.FlowKey) uint64 {
+	e := u.levels[0].cs.Estimate(k)
+	if e < 0 {
+		return 0
+	}
+	return uint64(e)
+}
+
+// Reset clears every level.
+func (u *UnivMon) Reset() {
+	for l := range u.levels {
+		u.levels[l].cs.Reset()
+		u.levels[l].heavy = make(map[packet.FlowKey]int64)
+	}
+}
+
+// MemoryBytes reports the footprint (sketches + tracked keys).
+func (u *UnivMon) MemoryBytes() int {
+	b := 0
+	for l := range u.levels {
+		b += u.levels[l].cs.MemoryBytes()
+		b += u.topK * (packet.KeyBytes + 8)
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"omniwindow/internal/packet"
+)
+
+func TestCountSketchUnbiasedEstimates(t *testing.T) {
+	cs := NewCountSketch(5, 2048, 1)
+	truth := map[packet.FlowKey]int64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		k := fk(rng.Intn(800))
+		cs.Update(k, 1)
+		truth[k]++
+	}
+	// Heavy flows estimate closely; aggregate bias stays small.
+	var errSum float64
+	for k, c := range truth {
+		e := cs.Estimate(k)
+		errSum += float64(e - c)
+		if c > 300 {
+			if d := math.Abs(float64(e - c)); d > float64(c)/5 {
+				t.Fatalf("heavy flow %v estimate %d truth %d", k, e, c)
+			}
+		}
+	}
+	if math.Abs(errSum)/float64(len(truth)) > 10 {
+		t.Fatalf("mean bias too large: %f", errSum/float64(len(truth)))
+	}
+}
+
+func TestCountSketchSignedUpdates(t *testing.T) {
+	cs := NewCountSketch(3, 512, 2)
+	cs.Update(fk(1), 10)
+	cs.Update(fk(1), -10)
+	if got := cs.Estimate(fk(1)); got != 0 {
+		t.Fatalf("cancelled flow estimates %d", got)
+	}
+}
+
+func TestCountSketchResetAndValidation(t *testing.T) {
+	cs := NewCountSketch(3, 64, 3)
+	cs.Update(fk(1), 5)
+	cs.Reset()
+	if cs.Estimate(fk(1)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCountSketch(0, 64, 1)
+}
+
+// univStream builds a Zipf-ish stream and its exact per-flow counts.
+func univStream(seed int64, flows, pkts int) ([]packet.FlowKey, map[packet.FlowKey]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(flows-1))
+	truth := map[packet.FlowKey]uint64{}
+	stream := make([]packet.FlowKey, 0, pkts)
+	for i := 0; i < pkts; i++ {
+		k := fk(int(zipf.Uint64()) + 1)
+		stream = append(stream, k)
+		truth[k]++
+	}
+	return stream, truth
+}
+
+func TestUnivMonHeavyHitters(t *testing.T) {
+	stream, truth := univStream(3, 5000, 60000)
+	u := NewUnivMon(8, 5, 4096, 64, 1)
+	for _, k := range stream {
+		u.Update(k, 1)
+	}
+	// The top flows of a Zipf stream must surface.
+	type kv struct {
+		k packet.FlowKey
+		v uint64
+	}
+	var top []kv
+	for k, v := range truth {
+		top = append(top, kv{k, v})
+	}
+	// selection of the top-5 truth flows
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].v > top[i].v {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	found := map[packet.FlowKey]bool{}
+	for _, k := range u.HeavyKeys(1) {
+		found[k] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !found[top[i].k] {
+			t.Fatalf("UnivMon missed top flow %v (count %d)", top[i].k, top[i].v)
+		}
+	}
+	// Level-0 point queries are usable for heavy flows.
+	if q := u.Query(top[0].k); q < top[0].v/2 || q > top[0].v*2 {
+		t.Fatalf("top flow query %d truth %d", q, top[0].v)
+	}
+}
+
+func TestUnivMonCardinality(t *testing.T) {
+	stream, truth := univStream(5, 2000, 40000)
+	u := NewUnivMon(10, 5, 4096, 128, 2)
+	for _, k := range stream {
+		u.Update(k, 1)
+	}
+	est := u.Cardinality()
+	n := float64(len(truth))
+	if math.Abs(est-n)/n > 0.35 {
+		t.Fatalf("cardinality %f truth %f", est, n)
+	}
+}
+
+func TestUnivMonEntropy(t *testing.T) {
+	stream, truth := univStream(7, 3000, 50000)
+	u := NewUnivMon(10, 5, 4096, 128, 3)
+	total := 0.0
+	for _, k := range stream {
+		u.Update(k, 1)
+	}
+	var exact float64
+	for _, c := range truth {
+		total += float64(c)
+	}
+	for _, c := range truth {
+		p := float64(c) / total
+		exact -= p * math.Log(p)
+	}
+	est := u.Entropy()
+	if math.Abs(est-exact) > 0.5 {
+		t.Fatalf("entropy %f exact %f", est, exact)
+	}
+}
+
+func TestUnivMonGSumFrequencyTotal(t *testing.T) {
+	// g(f)=f: the G-sum is the total packet count, which the estimator
+	// should recover within a modest factor on a skewed stream.
+	stream, _ := univStream(9, 2000, 30000)
+	u := NewUnivMon(10, 5, 4096, 128, 4)
+	for _, k := range stream {
+		u.Update(k, 1)
+	}
+	est := u.GSum(func(f float64) float64 { return f })
+	if est < 30000*0.6 || est > 30000*1.6 {
+		t.Fatalf("F1 estimate %f truth 30000", est)
+	}
+}
+
+func TestUnivMonResetAndMemory(t *testing.T) {
+	u := NewUnivMonBytes(8, 1<<20, 5)
+	if u.MemoryBytes() > 1<<20+8*64*(packet.KeyBytes+8) {
+		t.Fatalf("memory %d over budget", u.MemoryBytes())
+	}
+	u.Update(fk(1), 100)
+	u.Reset()
+	if u.Cardinality() != 0 {
+		t.Fatalf("reset cardinality %f", u.Cardinality())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUnivMon(0, 1, 1, 1, 1)
+}

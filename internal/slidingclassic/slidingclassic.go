@@ -1,0 +1,250 @@
+// Package slidingclassic implements the classic END-HOST sliding-window
+// algorithms the paper's related work contrasts OmniWindow against (§10):
+//
+//   - membership query: the Aging Bloom Filter with two active buffers
+//     (Yoon, TKDE'10);
+//   - frequency estimation: Exponential Histograms (Datar, Gionis,
+//     Indyk, Motwani) counting events in the trailing window;
+//   - heavy-hitter detection: a Space-Saving table whose counters are
+//     per-key Exponential Histograms, supporting sliding-window queries.
+//
+// Each solves ONE application, keeps per-element timing state the data
+// plane cannot afford, and supports no general merging — the §10 point
+// that motivates a general window framework. The comparison bench
+// contrasts their memory against OmniWindow's sub-window approach.
+package slidingclassic
+
+import (
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+)
+
+// AgingBloom answers sliding-window membership with two alternating Bloom
+// filters: inserts go to the active buffer; once it has absorbed its
+// capacity of distinct elements, the old buffer is cleared and the roles
+// swap. An element inserted within the last `capacity` distinct inserts is
+// always found; elements older than two generations are always aged out.
+type AgingBloom struct {
+	active, old *sketch.Bloom
+	capacity    int
+	inserted    int
+}
+
+// NewAgingBloom builds an aging filter whose generations hold `capacity`
+// distinct elements in `bits`-bit buffers.
+func NewAgingBloom(bits, hashes, capacity int, seed uint64) *AgingBloom {
+	if capacity <= 0 {
+		panic("slidingclassic: capacity must be positive")
+	}
+	return &AgingBloom{
+		active:   sketch.NewBloom(bits, hashes, seed),
+		old:      sketch.NewBloom(bits, hashes, seed),
+		capacity: capacity,
+	}
+}
+
+// Insert adds k to the active generation, aging out the oldest buffer
+// when the generation fills.
+func (a *AgingBloom) Insert(k packet.FlowKey) {
+	if a.active.TestAndAdd(k) {
+		return // already in the active generation
+	}
+	a.inserted++
+	if a.inserted >= a.capacity {
+		a.old.Reset()
+		a.active, a.old = a.old, a.active
+		a.inserted = 0
+	}
+}
+
+// Contains reports whether k was inserted within the last one to two
+// generations (no false negatives within one generation).
+func (a *AgingBloom) Contains(k packet.FlowKey) bool {
+	return a.active.Contains(k) || a.old.Contains(k)
+}
+
+// MemoryBytes reports the two-buffer footprint.
+func (a *AgingBloom) MemoryBytes() int {
+	return a.active.MemoryBytes() + a.old.MemoryBytes()
+}
+
+// ehBucket is one Exponential Histogram bucket: `size` events whose most
+// recent one happened at `last`.
+type ehBucket struct {
+	size uint64
+	last int64
+}
+
+// EH is an Exponential Histogram counting events in the trailing window
+// of `window` ns with relative error at most 1/k: buckets hold
+// exponentially growing event counts and at most k+1 buckets of each size
+// are kept, merging the two oldest of a size when the bound is exceeded.
+type EH struct {
+	k       int
+	window  int64
+	buckets []ehBucket // oldest first
+	total   uint64
+}
+
+// NewEH builds a histogram with error parameter k over a window.
+func NewEH(k int, window int64) *EH {
+	if k <= 0 || window <= 0 {
+		panic("slidingclassic: EH parameters must be positive")
+	}
+	return &EH{k: k, window: window}
+}
+
+// Add records one event at time now (non-decreasing).
+func (e *EH) Add(now int64) {
+	e.expire(now)
+	e.buckets = append(e.buckets, ehBucket{size: 1, last: now})
+	e.total++
+	// Enforce at most k+1 buckets per size, merging oldest pairs.
+	for size := uint64(1); ; size *= 2 {
+		count, firstIdx := 0, -1
+		for i := range e.buckets {
+			if e.buckets[i].size == size {
+				if firstIdx < 0 {
+					firstIdx = i
+				}
+				count++
+			}
+		}
+		if count <= e.k+1 {
+			break
+		}
+		// Merge the two oldest buckets of this size.
+		second := firstIdx + 1
+		for second < len(e.buckets) && e.buckets[second].size != size {
+			second++
+		}
+		e.buckets[second].size *= 2
+		if e.buckets[firstIdx].last > e.buckets[second].last {
+			e.buckets[second].last = e.buckets[firstIdx].last
+		}
+		e.buckets = append(e.buckets[:firstIdx], e.buckets[firstIdx+1:]...)
+	}
+}
+
+// expire drops buckets entirely outside the window.
+func (e *EH) expire(now int64) {
+	cut := now - e.window
+	for len(e.buckets) > 0 && e.buckets[0].last <= cut {
+		e.total -= e.buckets[0].size
+		e.buckets = e.buckets[1:]
+	}
+}
+
+// Count estimates the events in (now-window, now]: all surviving buckets,
+// with the straddling oldest bucket contributing half its size (the
+// standard EH estimator).
+func (e *EH) Count(now int64) uint64 {
+	e.expire(now)
+	if len(e.buckets) == 0 {
+		return 0
+	}
+	return e.total - e.buckets[0].size/2
+}
+
+// Buckets returns the current bucket count (memory proxy).
+func (e *EH) Buckets() int { return len(e.buckets) }
+
+// MemoryBytes reports the histogram footprint (16 bytes per bucket).
+func (e *EH) MemoryBytes() int { return len(e.buckets) * 16 }
+
+// shhEntry is one Space-Saving slot with a sliding counter.
+type shhEntry struct {
+	key packet.FlowKey
+	eh  *EH
+}
+
+// SlidingHH detects heavy hitters over a sliding time window: a
+// Space-Saving-style table of candidate keys whose counters are per-key
+// Exponential Histograms, so counts age out with the window. This is the
+// classic end-host construction — accurate, but every candidate needs a
+// multi-bucket histogram, which is exactly the per-key timing state a
+// switch pipeline cannot hold (§10).
+type SlidingHH struct {
+	slots  []shhEntry
+	k      int
+	window int64
+	seed   uint64
+}
+
+// NewSlidingHH builds a detector with `slots` candidate slots, EH error
+// parameter k and the sliding window length.
+func NewSlidingHH(slots, k int, window int64, seed uint64) *SlidingHH {
+	if slots <= 0 {
+		panic("slidingclassic: slots must be positive")
+	}
+	return &SlidingHH{slots: make([]shhEntry, slots), k: k, window: window, seed: seed}
+}
+
+// Add records one packet of flow key at time now.
+func (s *SlidingHH) Add(key packet.FlowKey, now int64) {
+	// Resident?
+	minIdx, minCount := -1, uint64(0)
+	for i := range s.slots {
+		e := &s.slots[i]
+		if e.eh == nil {
+			e.key = key
+			e.eh = NewEH(s.k, s.window)
+			e.eh.Add(now)
+			return
+		}
+		if e.key == key {
+			e.eh.Add(now)
+			return
+		}
+		c := e.eh.Count(now)
+		if minIdx < 0 || c < minCount {
+			minIdx, minCount = i, c
+		}
+	}
+	// Space-Saving eviction: the smallest resident yields its slot when
+	// it has aged to (near) zero; otherwise the newcomer is dropped —
+	// the window itself provides the aging Space-Saving usually gets
+	// from counter inheritance.
+	if minCount == 0 {
+		s.slots[minIdx].key = key
+		s.slots[minIdx].eh = NewEH(s.k, s.window)
+		s.slots[minIdx].eh.Add(now)
+	}
+}
+
+// Heavy returns the candidates whose trailing-window count reaches the
+// threshold.
+func (s *SlidingHH) Heavy(now int64, threshold uint64) []packet.FlowKey {
+	var out []packet.FlowKey
+	for i := range s.slots {
+		if s.slots[i].eh == nil {
+			continue
+		}
+		if s.slots[i].eh.Count(now) >= threshold {
+			out = append(out, s.slots[i].key)
+		}
+	}
+	return out
+}
+
+// Query estimates key's trailing-window count (0 if not resident).
+func (s *SlidingHH) Query(key packet.FlowKey, now int64) uint64 {
+	for i := range s.slots {
+		if s.slots[i].eh != nil && s.slots[i].key == key {
+			return s.slots[i].eh.Count(now)
+		}
+	}
+	return 0
+}
+
+// MemoryBytes reports the table footprint including per-key histograms.
+func (s *SlidingHH) MemoryBytes() int {
+	b := 0
+	for i := range s.slots {
+		b += packet.KeyBytes
+		if s.slots[i].eh != nil {
+			b += s.slots[i].eh.MemoryBytes()
+		}
+	}
+	return b
+}

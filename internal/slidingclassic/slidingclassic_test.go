@@ -1,0 +1,220 @@
+package slidingclassic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"omniwindow/internal/packet"
+)
+
+func fk(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: uint32(i), DstPort: 80, Proto: packet.ProtoTCP}
+}
+
+func TestAgingBloomRecentAlwaysFound(t *testing.T) {
+	a := NewAgingBloom(1<<14, 3, 100, 1)
+	for i := 0; i < 80; i++ {
+		a.Insert(fk(i))
+	}
+	for i := 0; i < 80; i++ {
+		if !a.Contains(fk(i)) {
+			t.Fatalf("recent element %d missing", i)
+		}
+	}
+}
+
+func TestAgingBloomAgesOut(t *testing.T) {
+	a := NewAgingBloom(1<<14, 3, 50, 2)
+	a.Insert(fk(9999))
+	// Two full generations of fresh elements must age it out.
+	for i := 0; i < 120; i++ {
+		a.Insert(fk(i))
+	}
+	if a.Contains(fk(9999)) {
+		t.Fatal("ancient element still present after two generations")
+	}
+	// The newest generation is still there.
+	if !a.Contains(fk(119)) {
+		t.Fatal("fresh element missing")
+	}
+}
+
+func TestAgingBloomDuplicatesDontAge(t *testing.T) {
+	a := NewAgingBloom(1<<14, 3, 10, 3)
+	a.Insert(fk(1))
+	for i := 0; i < 100; i++ {
+		a.Insert(fk(1)) // duplicates must not count toward the generation
+	}
+	if !a.Contains(fk(1)) {
+		t.Fatal("duplicate-only stream aged out its own element")
+	}
+}
+
+func TestEHExactWhenSmall(t *testing.T) {
+	e := NewEH(4, 1000)
+	for i := int64(1); i <= 5; i++ {
+		e.Add(i * 10)
+	}
+	// With few events every bucket has size 1: the estimator's half-
+	// bucket correction on the oldest still counts 4..5.
+	if c := e.Count(60); c < 4 || c > 5 {
+		t.Fatalf("small count = %d", c)
+	}
+}
+
+func TestEHWindowExpiry(t *testing.T) {
+	e := NewEH(4, 100)
+	for i := int64(0); i < 50; i++ {
+		e.Add(i)
+	}
+	if c := e.Count(1000); c != 0 {
+		t.Fatalf("expired events still counted: %d", c)
+	}
+}
+
+func TestEHRelativeErrorBound(t *testing.T) {
+	// k=8 guarantees <= 1/8 relative error; verify empirically across a
+	// steady stream and several query points.
+	const k, window = 8, int64(10_000)
+	e := NewEH(k, window)
+	var times []int64
+	for i := int64(0); i < 50_000; i += 3 {
+		e.Add(i)
+		times = append(times, i)
+		if i%5000 != 0 || i < window {
+			continue
+		}
+		exact := 0
+		for _, ts := range times {
+			if ts > i-window && ts <= i {
+				exact++
+			}
+		}
+		got := float64(e.Count(i))
+		if relErr := math.Abs(got-float64(exact)) / float64(exact); relErr > 1.0/float64(k) {
+			t.Fatalf("at %d: est %f exact %d relErr %f > 1/%d", i, got, exact, relErr, k)
+		}
+	}
+}
+
+func TestEHLogarithmicMemory(t *testing.T) {
+	e := NewEH(4, 1<<40)
+	for i := int64(0); i < 100_000; i++ {
+		e.Add(i)
+	}
+	// Buckets grow as O(k log n), not O(n).
+	if e.Buckets() > 4*(4+1)*20 {
+		t.Fatalf("EH buckets = %d, not logarithmic", e.Buckets())
+	}
+	if e.MemoryBytes() != e.Buckets()*16 {
+		t.Fatal("memory accounting inconsistent")
+	}
+}
+
+func TestEHMonotoneNonNegativeProperty(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		e := NewEH(4, 500)
+		now := int64(0)
+		for _, g := range gaps {
+			now += int64(g%100) + 1
+			e.Add(now)
+			if e.Count(now) == 0 { // just added: must be visible
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingHHDetectsAndAges(t *testing.T) {
+	const window = int64(1000)
+	s := NewSlidingHH(16, 8, window, 1)
+	// A heavy flow early, then silence.
+	for i := int64(0); i < 200; i++ {
+		s.Add(fk(1), i)
+	}
+	heavy := s.Heavy(200, 100)
+	if len(heavy) != 1 || heavy[0] != fk(1) {
+		t.Fatalf("heavy = %v", heavy)
+	}
+	// After the window slides past the burst, the flow is no longer
+	// heavy — the fine-grained deletion tumbling windows cannot do.
+	if got := s.Heavy(5000, 100); len(got) != 0 {
+		t.Fatalf("aged-out flow still heavy: %v", got)
+	}
+}
+
+func TestSlidingHHQueryTracksWindow(t *testing.T) {
+	const window = int64(1000)
+	s := NewSlidingHH(8, 8, window, 2)
+	for i := int64(0); i < 100; i++ {
+		s.Add(fk(3), i*10)
+	}
+	full := s.Query(fk(3), 990)
+	if full < 80 {
+		t.Fatalf("full-window count = %d", full)
+	}
+	half := s.Query(fk(3), 1490) // window now covers [490,1490]: ~half the packets
+	if half >= full || half < 30 {
+		t.Fatalf("half-window count = %d (full %d)", half, full)
+	}
+	if s.Query(fk(99), 990) != 0 {
+		t.Fatal("non-resident flow should be 0")
+	}
+}
+
+func TestSlidingHHEvictionNeedsAgedSlot(t *testing.T) {
+	s := NewSlidingHH(2, 8, 100, 3)
+	s.Add(fk(1), 0)
+	s.Add(fk(2), 1)
+	s.Add(fk(3), 2) // both residents active: newcomer dropped
+	if s.Query(fk(3), 3) != 0 {
+		t.Fatal("newcomer admitted over active residents")
+	}
+	s.Add(fk(3), 500) // residents aged out: slot freed
+	if s.Query(fk(3), 501) == 0 {
+		t.Fatal("newcomer not admitted into aged slot")
+	}
+}
+
+func TestMemoryComparisonClassicVsSubWindows(t *testing.T) {
+	// §10's argument quantified: tracking N candidate flows over a
+	// sliding window with per-key Exponential Histograms needs
+	// per-key timing state, while OmniWindow's sub-window approach pays
+	// one counter per key per region regardless of window/slide ratio.
+	const window = int64(1_000_000)
+	const candidates = 256
+	s := NewSlidingHH(candidates, 8, window, 4)
+	for i := int64(0); i < 100_000; i++ {
+		s.Add(fk(int(i)%candidates), i*10)
+	}
+	perKeyClassic := s.MemoryBytes() / candidates
+	// OmniWindow: two regions x 8-byte counter per key.
+	perKeyOmni := 2 * 8
+	if perKeyClassic < 4*perKeyOmni {
+		t.Fatalf("classic per-key state (%d B) should far exceed sub-window state (%d B)",
+			perKeyClassic, perKeyOmni)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAgingBloom(64, 1, 0, 1) },
+		func() { NewEH(0, 10) },
+		func() { NewEH(4, 0) },
+		func() { NewSlidingHH(0, 4, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,175 @@
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegSpec declares a register a program needs.
+type RegSpec struct {
+	Name    string
+	Feature string
+	Entries int
+	Width   int
+	// After lists items that must be placed in strictly earlier stages
+	// (RMT match dependencies: a dependent table cannot share its
+	// producer's stage).
+	After []string
+}
+
+// MATSpec declares a match-action table a program needs.
+type MATSpec struct {
+	Name     string
+	Feature  string
+	SRAMKB   int
+	VLIWs    int
+	Gateways int
+	After    []string
+}
+
+// ProgramSpec is a declarative switch program: the compiler (Place)
+// assigns stages respecting dependencies and per-stage budgets, the way a
+// P4 compiler lays tables out on the RMT pipeline.
+type ProgramSpec struct {
+	Registers []RegSpec
+	MATs      []MATSpec
+}
+
+// Placement is the result of compiling a ProgramSpec onto a switch.
+type Placement struct {
+	// Stage maps every item name to its assigned stage.
+	Stage map[string]int
+	// Registers holds the allocated registers by name.
+	Registers map[string]*Register[uint64]
+}
+
+// item is the unified view the solver works on.
+type placeItem struct {
+	name    string
+	feature string
+	after   []string
+	reg     *RegSpec
+	mat     *MATSpec
+}
+
+// Place compiles spec onto sw: items are topologically ordered by their
+// dependencies and greedily assigned the earliest stage that satisfies
+// both the ordering constraint (strictly after every dependency) and the
+// stage's remaining SRAM/SALU/VLIW/gateway budget. It returns an error on
+// unknown or cyclic dependencies and when no stage can host an item.
+func Place(sw *Switch, spec ProgramSpec) (*Placement, error) {
+	items := make(map[string]*placeItem)
+	var order []string
+	add := func(it *placeItem) error {
+		if _, dup := items[it.name]; dup {
+			return fmt.Errorf("switchsim: duplicate program item %q", it.name)
+		}
+		items[it.name] = it
+		order = append(order, it.name)
+		return nil
+	}
+	for i := range spec.Registers {
+		r := &spec.Registers[i]
+		if err := add(&placeItem{name: r.Name, feature: r.Feature, after: r.After, reg: r}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range spec.MATs {
+		m := &spec.MATs[i]
+		if err := add(&placeItem{name: m.Name, feature: m.Feature, after: m.After, mat: m}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Topological sort (stable: preserves declaration order among
+	// independent items).
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var topo []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("switchsim: dependency cycle through %q", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		it := items[name]
+		deps := append([]string(nil), it.after...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := items[d]; !ok {
+				return fmt.Errorf("switchsim: item %q depends on unknown %q", name, d)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		topo = append(topo, name)
+		return nil
+	}
+	for _, name := range order {
+		if err := visit(name); err != nil {
+			return nil, err
+		}
+	}
+
+	pl := &Placement{Stage: make(map[string]int), Registers: make(map[string]*Register[uint64])}
+	for _, name := range topo {
+		it := items[name]
+		min := 0
+		for _, d := range it.after {
+			if s := pl.Stage[d]; s+1 > min {
+				min = s + 1
+			}
+		}
+		stage, err := firstFit(sw, it, min)
+		if err != nil {
+			return nil, err
+		}
+		pl.Stage[name] = stage
+		sw.SetFeature(featureOr(it.feature))
+		if it.reg != nil {
+			r, err := AllocRegister[uint64](sw, it.name, stage, it.reg.Entries, it.reg.Width)
+			if err != nil {
+				return nil, err
+			}
+			pl.Registers[it.name] = r
+		} else {
+			if err := sw.AllocMAT(it.name, stage, it.mat.SRAMKB, it.mat.VLIWs, it.mat.Gateways); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pl, nil
+}
+
+// firstFit finds the earliest stage >= min with room for the item.
+func firstFit(sw *Switch, it *placeItem, min int) (int, error) {
+	cap := sw.ledger.capacity
+	for stage := min; stage < cap.Stages; stage++ {
+		used := sw.ledger.perStage[stage]
+		if it.reg != nil {
+			kb := (it.reg.Entries*it.reg.Width + 1023) / 1024
+			if used.SALUs+1 <= cap.SALUsPerStage && used.SRAMKB+kb <= cap.SRAMKBPerStage {
+				return stage, nil
+			}
+			continue
+		}
+		m := it.mat
+		if used.SRAMKB+m.SRAMKB <= cap.SRAMKBPerStage &&
+			used.VLIWs+m.VLIWs <= cap.VLIWsPerStage &&
+			used.Gateways+m.Gateways <= cap.GatewaysPerStage {
+			return stage, nil
+		}
+	}
+	return 0, fmt.Errorf("switchsim: no stage can host %q (min stage %d) — the program exceeds the pipeline (C3/C4)", it.name, min)
+}
+
+func featureOr(f string) string {
+	if f == "" {
+		return "uncategorized"
+	}
+	return f
+}

@@ -1,0 +1,120 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlaceChainRespectsDependencies(t *testing.T) {
+	sw := New(0)
+	pl, err := Place(sw, ProgramSpec{
+		Registers: []RegSpec{
+			{Name: "a", Feature: "F", Entries: 16, Width: 8},
+			{Name: "b", Feature: "F", Entries: 16, Width: 8, After: []string{"a"}},
+			{Name: "c", Feature: "F", Entries: 16, Width: 8, After: []string{"b"}},
+		},
+		MATs: []MATSpec{
+			{Name: "gate", Feature: "F", VLIWs: 2, Gateways: 1, After: []string{"c"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pl.Stage["a"] < pl.Stage["b"] && pl.Stage["b"] < pl.Stage["c"] && pl.Stage["c"] < pl.Stage["gate"]) {
+		t.Fatalf("dependency order broken: %v", pl.Stage)
+	}
+	if pl.Registers["a"] == nil || pl.Registers["a"].Entries() != 16 {
+		t.Fatal("register not allocated")
+	}
+}
+
+func TestPlacePacksIndependentItems(t *testing.T) {
+	sw := New(0)
+	spec := ProgramSpec{}
+	for i := 0; i < 6; i++ {
+		spec.Registers = append(spec.Registers, RegSpec{
+			Name: string(rune('a' + i)), Feature: "F", Entries: 16, Width: 8,
+		})
+	}
+	pl, err := Place(sw, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 SALUs per stage: six independent registers need exactly 2 stages.
+	maxStage := 0
+	for _, s := range pl.Stage {
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	if maxStage != 1 {
+		t.Fatalf("six registers used stages 0..%d, want 0..1", maxStage)
+	}
+}
+
+func TestPlaceSpillsOnSRAM(t *testing.T) {
+	sw := New(0)
+	big := DefaultCapacity().SRAMKBPerStage * 1024 * 3 / 4
+	pl, err := Place(sw, ProgramSpec{
+		Registers: []RegSpec{
+			{Name: "big1", Entries: big, Width: 1},
+			{Name: "big2", Entries: big, Width: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stage["big1"] == pl.Stage["big2"] {
+		t.Fatal("two 3/4-SRAM registers packed into one stage")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(New(0), ProgramSpec{
+		Registers: []RegSpec{{Name: "x", Entries: 8, Width: 8}, {Name: "x", Entries: 8, Width: 8}},
+	}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate not caught: %v", err)
+	}
+	if _, err := Place(New(0), ProgramSpec{
+		Registers: []RegSpec{{Name: "x", Entries: 8, Width: 8, After: []string{"ghost"}}},
+	}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown dep not caught: %v", err)
+	}
+	if _, err := Place(New(0), ProgramSpec{
+		Registers: []RegSpec{
+			{Name: "x", Entries: 8, Width: 8, After: []string{"y"}},
+			{Name: "y", Entries: 8, Width: 8, After: []string{"x"}},
+		},
+	}); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not caught: %v", err)
+	}
+	// A chain longer than the pipeline cannot place.
+	var spec ProgramSpec
+	prev := ""
+	for i := 0; i < DefaultCapacity().Stages+1; i++ {
+		r := RegSpec{Name: string(rune('A' + i)), Entries: 8, Width: 8}
+		if prev != "" {
+			r.After = []string{prev}
+		}
+		prev = r.Name
+		spec.Registers = append(spec.Registers, r)
+	}
+	if _, err := Place(New(0), spec); err == nil {
+		t.Fatal("over-long chain placed")
+	}
+}
+
+func TestPlaceFeatureAttribution(t *testing.T) {
+	sw := New(0)
+	_, err := Place(sw, ProgramSpec{
+		Registers: []RegSpec{{Name: "r", Feature: "Signal", Entries: 16, Width: 8}},
+		MATs:      []MATSpec{{Name: "m", Feature: "Signal", VLIWs: 1, Gateways: 1, After: []string{"r"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sw.Ledger().Feature("Signal")
+	if f.SALUs != 1 || f.VLIWs != 1 || f.Stages != 2 {
+		t.Fatalf("feature attribution wrong: %+v", f)
+	}
+}

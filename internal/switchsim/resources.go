@@ -1,0 +1,163 @@
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resources summarizes hardware usage of one feature or of a whole program
+// (paper Table 2 columns). Stage counts are de-duplicated at the ledger
+// level because features share stages.
+type Resources struct {
+	Stages   int
+	SRAMKB   int
+	SALUs    int
+	VLIWs    int
+	Gateways int
+}
+
+// Add accumulates raw resource counts (Stages excluded; stage totals come
+// from stage-set unions in the ledger).
+func (r *Resources) Add(o Resources) {
+	r.SRAMKB += o.SRAMKB
+	r.SALUs += o.SALUs
+	r.VLIWs += o.VLIWs
+	r.Gateways += o.Gateways
+}
+
+// Capacity describes the totals available on the simulated ASIC, loosely
+// following published Tofino figures: 12 stages, ~120 KB of register SRAM
+// accounted per stage (the simulator tracks the slice telemetry may use),
+// 4 SALUs per stage, 24 VLIW slots and 16 gateways per stage.
+type Capacity struct {
+	Stages           int
+	SRAMKBPerStage   int
+	SALUsPerStage    int
+	VLIWsPerStage    int
+	GatewaysPerStage int
+}
+
+// DefaultCapacity returns the modeled ASIC capacity.
+func DefaultCapacity() Capacity {
+	return Capacity{
+		Stages:           12,
+		SRAMKBPerStage:   1024,
+		SALUsPerStage:    4,
+		VLIWsPerStage:    24,
+		GatewaysPerStage: 16,
+	}
+}
+
+// Ledger attributes allocated resources to named features so Exp#5 can
+// print a per-feature breakdown. A feature's Stage figure is the number of
+// distinct stages it touches; the program total is the size of the union.
+type Ledger struct {
+	capacity Capacity
+	perStage []Resources
+	features map[string]*Resources
+	stages   map[string]map[int]bool
+	order    []string
+}
+
+// NewLedger creates a ledger for the given capacity.
+func NewLedger(capacity Capacity) *Ledger {
+	return &Ledger{
+		capacity: capacity,
+		perStage: make([]Resources, capacity.Stages),
+		features: make(map[string]*Resources),
+		stages:   make(map[string]map[int]bool),
+	}
+}
+
+// charge books resources in a stage under a feature, enforcing capacity.
+func (l *Ledger) charge(feature string, stage int, r Resources) error {
+	if stage < 0 || stage >= l.capacity.Stages {
+		return fmt.Errorf("switchsim: stage %d out of range [0,%d)", stage, l.capacity.Stages)
+	}
+	s := &l.perStage[stage]
+	if s.SRAMKB+r.SRAMKB > l.capacity.SRAMKBPerStage {
+		return fmt.Errorf("switchsim: stage %d SRAM exhausted (%d+%d > %d KB)", stage, s.SRAMKB, r.SRAMKB, l.capacity.SRAMKBPerStage)
+	}
+	if s.SALUs+r.SALUs > l.capacity.SALUsPerStage {
+		return fmt.Errorf("switchsim: stage %d SALUs exhausted (%d+%d > %d)", stage, s.SALUs, r.SALUs, l.capacity.SALUsPerStage)
+	}
+	if s.VLIWs+r.VLIWs > l.capacity.VLIWsPerStage {
+		return fmt.Errorf("switchsim: stage %d VLIW slots exhausted (%d+%d > %d)", stage, s.VLIWs, r.VLIWs, l.capacity.VLIWsPerStage)
+	}
+	if s.Gateways+r.Gateways > l.capacity.GatewaysPerStage {
+		return fmt.Errorf("switchsim: stage %d gateways exhausted (%d+%d > %d)", stage, s.Gateways, r.Gateways, l.capacity.GatewaysPerStage)
+	}
+	s.Add(r)
+
+	f, ok := l.features[feature]
+	if !ok {
+		f = &Resources{}
+		l.features[feature] = f
+		l.stages[feature] = make(map[int]bool)
+		l.order = append(l.order, feature)
+	}
+	f.Add(r)
+	l.stages[feature][stage] = true
+	return nil
+}
+
+// Feature returns the booked resources of one feature, with its Stage count
+// filled in from the stage set.
+func (l *Ledger) Feature(name string) Resources {
+	f, ok := l.features[name]
+	if !ok {
+		return Resources{}
+	}
+	r := *f
+	r.Stages = len(l.stages[name])
+	return r
+}
+
+// Features lists feature names in allocation order.
+func (l *Ledger) Features() []string {
+	return append([]string(nil), l.order...)
+}
+
+// Total returns the whole program's usage. Stages is the union of all
+// feature stage sets; the other columns sum raw bookings.
+func (l *Ledger) Total() Resources {
+	var t Resources
+	union := map[int]bool{}
+	for _, name := range l.order {
+		t.Add(*l.features[name])
+		for s := range l.stages[name] {
+			union[s] = true
+		}
+	}
+	t.Stages = len(union)
+	return t
+}
+
+// Utilization returns per-column usage fractions against capacity.
+func (l *Ledger) Utilization() map[string]float64 {
+	t := l.Total()
+	c := l.capacity
+	return map[string]float64{
+		"Stage":   float64(t.Stages) / float64(c.Stages),
+		"SRAM":    float64(t.SRAMKB) / float64(c.Stages*c.SRAMKBPerStage),
+		"SALU":    float64(t.SALUs) / float64(c.Stages*c.SALUsPerStage),
+		"VLIW":    float64(t.VLIWs) / float64(c.Stages*c.VLIWsPerStage),
+		"Gateway": float64(t.Gateways) / float64(c.Stages*c.GatewaysPerStage),
+	}
+}
+
+// Table renders the Exp#5-style per-feature breakdown.
+func (l *Ledger) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %6s %9s %5s %5s %8s\n", "Feature", "Stage", "SRAM(KB)", "SALU", "VLIW", "Gateway")
+	names := append([]string(nil), l.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		r := l.Feature(name)
+		fmt.Fprintf(&b, "%-22s %6d %9d %5d %5d %8d\n", name, r.Stages, r.SRAMKB, r.SALUs, r.VLIWs, r.Gateways)
+	}
+	t := l.Total()
+	fmt.Fprintf(&b, "%-22s %6d %9d %5d %5d %8d\n", "Total", t.Stages, t.SRAMKB, t.SALUs, t.VLIWs, t.Gateways)
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"omniwindow/internal/packet"
+)
+
+// Binary trace files let experiments snapshot a generated workload and
+// replay it across tools and runs: a fixed 16-byte header followed by one
+// 32-byte big-endian record per packet.
+//
+//	header: magic "OWTR" | version u8 | pad[3] | count u64
+//	record: time i64 | key[13] | size u32 | flags u8 | seq u32 | pad[2]
+
+const (
+	traceMagic   = "OWTR"
+	traceVersion = 1
+	recordSize   = 8 + packet.KeyBytes + 4 + 1 + 4 + 2
+)
+
+// Errors returned by the trace reader.
+var (
+	ErrBadTraceMagic   = errors.New("trace: bad magic")
+	ErrBadTraceVersion = errors.New("trace: unsupported version")
+)
+
+// Write streams packets to w in the binary trace format.
+func Write(w io.Writer, pkts []packet.Packet) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:4], traceMagic)
+	hdr[4] = traceVersion
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(pkts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := range pkts {
+		p := &pkts[i]
+		binary.BigEndian.PutUint64(rec[0:], uint64(p.Time))
+		kb := p.Key.Bytes()
+		copy(rec[8:], kb[:])
+		binary.BigEndian.PutUint32(rec[8+packet.KeyBytes:], p.Size)
+		rec[12+packet.KeyBytes] = p.TCPFlags
+		binary.BigEndian.PutUint32(rec[13+packet.KeyBytes:], p.Seq)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a binary trace from r.
+func Read(r io.Reader) ([]packet.Packet, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, ErrBadTraceMagic
+	}
+	if hdr[4] != traceVersion {
+		return nil, ErrBadTraceVersion
+	}
+	count := binary.BigEndian.Uint64(hdr[8:])
+	const sanity = 1 << 30
+	if count > sanity {
+		return nil, fmt.Errorf("trace: implausible packet count %d", count)
+	}
+	pkts := make([]packet.Packet, count)
+	var rec [recordSize]byte
+	var kb [packet.KeyBytes]byte
+	for i := range pkts {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		p := &pkts[i]
+		p.Time = int64(binary.BigEndian.Uint64(rec[0:]))
+		copy(kb[:], rec[8:])
+		p.Key = packet.KeyFromBytes(kb)
+		p.Size = binary.BigEndian.Uint32(rec[8+packet.KeyBytes:])
+		p.TCPFlags = rec[12+packet.KeyBytes]
+		p.Seq = binary.BigEndian.Uint32(rec[13+packet.KeyBytes:])
+	}
+	return pkts, nil
+}
+
+// WriteFile saves packets to path.
+func WriteFile(path string, pkts []packet.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, pkts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads packets from path.
+func ReadFile(path string) ([]packet.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(17)
+	cfg.Flows = 800
+	cfg.Duration = 300 * Millisecond
+	pkts := New(cfg).Generate()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("count %d want %d", len(got), len(pkts))
+	}
+	for i := range got {
+		a, b := &got[i], &pkts[i]
+		if a.Time != b.Time || a.Key != b.Key || a.Size != b.Size ||
+			a.TCPFlags != b.TCPFlags || a.Seq != b.Seq {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceFileOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.owtr")
+	pkts := New(Config{Seed: 3, Flows: 100, Duration: 50 * Millisecond}).Generate()
+	if err := WriteFile(path, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("count %d want %d", len(got), len(pkts))
+	}
+}
+
+func TestTraceFileErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("short"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	bad := append([]byte("XXXX"), make([]byte, 12)...)
+	if _, err := Read(bytes.NewReader(bad)); err != ErrBadTraceMagic {
+		t.Fatalf("bad magic: %v", err)
+	}
+	badv := append([]byte("OWTR"), make([]byte, 12)...)
+	badv[4] = 99
+	if _, err := Read(bytes.NewReader(badv)); err != ErrBadTraceVersion {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Header promises more records than present.
+	var buf bytes.Buffer
+	if err := Write(&buf, New(Config{Seed: 1, Flows: 10, Duration: Millisecond * 10}).Generate()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	// Implausible count.
+	huge := append([]byte("OWTR"), 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := Read(bytes.NewReader(huge)); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}

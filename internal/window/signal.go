@@ -1,0 +1,104 @@
+// Package window implements OmniWindow's core contribution: splitting
+// telemetry windows into fine-grained sub-windows that the data plane
+// monitors and the controller merges back into tumbling, sliding, session
+// or user-defined windows of arbitrary size.
+//
+// The package provides:
+//
+//   - termination signals (§5): timeout, counter, session, user-defined;
+//   - the Lamport-style consistency model (§5): first-hop stamping,
+//     embedded sub-window adoption, out-of-order preservation, latency
+//     spikes;
+//   - the two-region shared state layout with the flat-array single-SALU
+//     optimization (§6);
+//   - the merge plan describing which sub-windows form complete windows
+//     (G1: arbitrary size, G2: arbitrary slide).
+package window
+
+import "omniwindow/internal/packet"
+
+// Signal decides which sub-window a packet belongs to at the local switch.
+// Implementations are stateful and must only be consulted by the
+// first-hop/local path — downstream switches adopt the embedded stamp via
+// the Stamper instead.
+type Signal interface {
+	// Target returns the sub-window index for a packet arriving at
+	// virtual time now while the switch is in sub-window cur. The result
+	// must be >= cur (sub-windows only move forward).
+	Target(cur uint64, p *packet.Packet, now int64) uint64
+}
+
+// TimeoutSignal yields fixed-length time-based sub-windows: sub-window i
+// covers [i*Interval, (i+1)*Interval).
+type TimeoutSignal struct {
+	// Interval is the sub-window length in virtual nanoseconds.
+	Interval int64
+}
+
+// Target implements Signal.
+func (s TimeoutSignal) Target(cur uint64, _ *packet.Packet, now int64) uint64 {
+	if s.Interval <= 0 {
+		return cur
+	}
+	t := uint64(now / s.Interval)
+	if t < cur {
+		return cur
+	}
+	return t
+}
+
+// CounterSignal terminates a sub-window when a condition has matched
+// Threshold packets ("e.g., a counter for TCP packets" — §5). The counter
+// occupies one data-plane register.
+type CounterSignal struct {
+	// Cond selects the packets that advance the counter; nil counts all.
+	Cond func(*packet.Packet) bool
+	// Threshold is the count at which the sub-window terminates.
+	Threshold uint64
+
+	count uint64
+}
+
+// Target implements Signal.
+func (s *CounterSignal) Target(cur uint64, p *packet.Packet, _ int64) uint64 {
+	if s.Cond == nil || s.Cond(p) {
+		s.count++
+	}
+	if s.Threshold > 0 && s.count >= s.Threshold {
+		s.count = 0
+		return cur + 1
+	}
+	return cur
+}
+
+// SessionSignal terminates a sub-window after IdleGap with no traffic, so
+// windows track activity sessions of varying length (§5).
+type SessionSignal struct {
+	// IdleGap is the silence that ends a session, in virtual ns.
+	IdleGap int64
+
+	last    int64
+	started bool
+}
+
+// Target implements Signal.
+func (s *SessionSignal) Target(cur uint64, _ *packet.Packet, now int64) uint64 {
+	defer func() { s.last, s.started = now, true }()
+	if s.started && s.IdleGap > 0 && now-s.last > s.IdleGap {
+		return cur + 1
+	}
+	return cur
+}
+
+// UserSignal follows application-embedded window boundaries: packets carry
+// a monotonically increasing number (e.g. the DML training iteration of
+// Exp#3) and the sub-window simply adopts it.
+type UserSignal struct{}
+
+// Target implements Signal.
+func (UserSignal) Target(cur uint64, p *packet.Packet, _ int64) uint64 {
+	if p.OW.HasUserSignal && p.OW.UserSignal > cur {
+		return p.OW.UserSignal
+	}
+	return cur
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"testing"
+
+	"omniwindow/internal/packet"
+)
+
+// FuzzDecode hammers the datagram parser with arbitrary bytes: it must
+// never panic, and whatever it accepts must survive a semantic round trip
+// (decode → encode → decode yields an identical header). Byte identity is
+// not required: boolean fields accept any non-zero byte on the wire but
+// re-encode canonically as 1.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode(nil, samplePacket())
+	f.Add(seed)
+	empty, _ := Encode(nil, &packet.Packet{})
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0x4F, 0x57, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(nil, p)
+		if err != nil {
+			// Decoded packets can exceed the encode bound only if the
+			// parser accepted more AFRs than Encode allows.
+			if len(p.OW.AFRs) <= MaxAFRsPerDatagram {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			return
+		}
+		if len(out) != len(data) {
+			t.Fatalf("canonical size mismatch: %d vs %d", len(out), len(data))
+		}
+		q, err := Decode(out)
+		if err != nil {
+			t.Fatalf("canonical form did not decode: %v", err)
+		}
+		if !headerEqual(&p.OW, &q.OW) {
+			t.Fatalf("semantic round trip mismatch:\n%+v\n%+v", p.OW, q.OW)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package wire serializes the OmniWindow custom header for transmission
+// between switches and the controller. On hardware the header sits
+// between the Ethernet and IP headers (paper §8); here it becomes the
+// payload of UDP datagrams so a controller can run as an ordinary network
+// service (see the collector server in internal/controller).
+//
+// Encoding is fixed-layout big-endian via encoding/binary — no reflection
+// on the hot path, no allocations beyond the output buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"omniwindow/internal/packet"
+)
+
+// Magic ("OW" in ASCII) and Version identify OmniWindow datagrams.
+const (
+	Magic   uint16 = 0x4F57
+	Version uint8  = 1
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTruncated  = errors.New("wire: truncated datagram")
+)
+
+// afrSize is the encoded size of one AFR: key(13) + attr(8) +
+// subwindow(8) + seq(4) + app(1) + flags(1) + distinct(32).
+const afrSize = packet.KeyBytes + 8 + 8 + 4 + 1 + 1 + 32
+
+// headerSize is the fixed prefix: magic(2) + version(1) + flag(1) +
+// subwindow(8) + hasSub(1) + index(4) + keycount(4) + app(1) + key(13) +
+// userSignal(8) + hasUser(1) + nAFRs(2) + nRaw(2).
+const headerSize = 2 + 1 + 1 + 8 + 1 + 4 + 4 + 1 + packet.KeyBytes + 8 + 1 + 2 + 2
+
+// MaxAFRsPerDatagram bounds records per datagram so encoded packets fit
+// comfortably in one MTU-sized-ish datagram (the simulation is not bound
+// by a real MTU; the bound keeps encodings sane).
+const MaxAFRsPerDatagram = 128
+
+// EncodedSize returns the byte size Encode will produce for p.
+func EncodedSize(p *packet.Packet) int {
+	return headerSize + len(p.OW.AFRs)*afrSize + len(p.OW.RawWords)*8
+}
+
+// Encode serializes p's OmniWindow header into buf, growing it as needed,
+// and returns the resulting slice.
+func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
+	if len(p.OW.AFRs) > MaxAFRsPerDatagram {
+		return nil, fmt.Errorf("wire: %d AFRs exceed the %d per-datagram bound", len(p.OW.AFRs), MaxAFRsPerDatagram)
+	}
+	need := EncodedSize(p)
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:0]
+
+	buf = binary.BigEndian.AppendUint16(buf, magicValue)
+	buf = append(buf, Version, byte(p.OW.Flag))
+	buf = binary.BigEndian.AppendUint64(buf, p.OW.SubWindow)
+	buf = append(buf, b2u(p.OW.HasSubWindow))
+	buf = binary.BigEndian.AppendUint32(buf, p.OW.Index)
+	buf = binary.BigEndian.AppendUint32(buf, p.OW.KeyCount)
+	buf = append(buf, p.OW.App)
+	kb := p.OW.Key.Bytes()
+	buf = append(buf, kb[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, p.OW.UserSignal)
+	buf = append(buf, b2u(p.OW.HasUserSignal))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.AFRs)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.RawWords)))
+
+	for i := range p.OW.AFRs {
+		r := &p.OW.AFRs[i]
+		rk := r.Key.Bytes()
+		buf = append(buf, rk[:]...)
+		buf = binary.BigEndian.AppendUint64(buf, r.Attr)
+		buf = binary.BigEndian.AppendUint64(buf, r.SubWindow)
+		buf = binary.BigEndian.AppendUint32(buf, r.Seq)
+		buf = append(buf, r.App, b2u(r.HasDistinct))
+		for _, w := range r.Distinct {
+			buf = binary.BigEndian.AppendUint64(buf, w)
+		}
+	}
+	for _, w := range p.OW.RawWords {
+		buf = binary.BigEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// Decode parses a datagram produced by Encode into a fresh packet holding
+// only the OmniWindow header (the simulated payload does not travel).
+func Decode(data []byte) (*packet.Packet, error) {
+	if len(data) < headerSize {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data) != magicValue {
+		return nil, ErrBadMagic
+	}
+	if data[2] != Version {
+		return nil, ErrBadVersion
+	}
+	p := &packet.Packet{}
+	p.OW.Flag = packet.OWFlag(data[3])
+	p.OW.SubWindow = binary.BigEndian.Uint64(data[4:])
+	p.OW.HasSubWindow = data[12] != 0
+	p.OW.Index = binary.BigEndian.Uint32(data[13:])
+	p.OW.KeyCount = binary.BigEndian.Uint32(data[17:])
+	p.OW.App = data[21]
+	var kb [packet.KeyBytes]byte
+	copy(kb[:], data[22:])
+	p.OW.Key = packet.KeyFromBytes(kb)
+	off := 22 + packet.KeyBytes
+	p.OW.UserSignal = binary.BigEndian.Uint64(data[off:])
+	p.OW.HasUserSignal = data[off+8] != 0
+	nAFR := int(binary.BigEndian.Uint16(data[off+9:]))
+	nRaw := int(binary.BigEndian.Uint16(data[off+11:]))
+	off += 13
+
+	if len(data) != headerSize+nAFR*afrSize+nRaw*8 {
+		return nil, ErrTruncated
+	}
+	if nAFR > 0 {
+		p.OW.AFRs = make([]packet.AFR, nAFR)
+		for i := 0; i < nAFR; i++ {
+			r := &p.OW.AFRs[i]
+			copy(kb[:], data[off:])
+			r.Key = packet.KeyFromBytes(kb)
+			off += packet.KeyBytes
+			r.Attr = binary.BigEndian.Uint64(data[off:])
+			r.SubWindow = binary.BigEndian.Uint64(data[off+8:])
+			r.Seq = binary.BigEndian.Uint32(data[off+16:])
+			r.App = data[off+20]
+			r.HasDistinct = data[off+21] != 0
+			off += 22
+			for w := range r.Distinct {
+				r.Distinct[w] = binary.BigEndian.Uint64(data[off:])
+				off += 8
+			}
+		}
+	}
+	if nRaw > 0 {
+		p.OW.RawWords = make([]uint64, nRaw)
+		for i := range p.OW.RawWords {
+			p.OW.RawWords[i] = binary.BigEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	return p, nil
+}
+
+// magicValue aliases Magic internally.
+const magicValue = Magic
+
+func b2u(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package omniwindow
+
+import (
+	"testing"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/window"
+)
+
+// multiAppConfig co-deploys a heavy-hitter counter and a per-flow byte
+// counter on one switch.
+func multiAppConfig() Config {
+	cfg := freqConfig(window.Tumbling(5), 0, false)
+	cfg.AppFactory = nil
+	cfg.Apps = []AppSpec{
+		{
+			Name: "packets",
+			Factory: func(region int) StateApp {
+				return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 4096, uint64(region+1)), 4096)
+			},
+			Kind:          Frequency,
+			Threshold:     100,
+			CaptureValues: true,
+		},
+		{
+			Name: "bytes",
+			Factory: func(region int) StateApp {
+				app := telemetry.NewFrequencyApp(sketch.NewSuMax(4, 1024, uint64(region+7)), 1024)
+				app.VolumeOf = func(p *packet.Packet) uint64 { return uint64(p.Size) }
+				return app
+			},
+			Kind:          Frequency,
+			Threshold:     5000, // bytes
+			CaptureValues: true,
+		},
+	}
+	return cfg
+}
+
+func TestMultiAppDeployment(t *testing.T) {
+	d, err := New(multiAppConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := burstTrace(map[int64][]int{50 * ms: {1}, 250 * ms: {1, 2}}, 80)
+	d.RunFor(pkts, 500*ms)
+
+	if got := d.AppNames(); len(got) != 2 || got[0] != "packets" || got[1] != "bytes" {
+		t.Fatalf("app names = %v", got)
+	}
+	pk := d.ResultsFor(0)
+	by := d.ResultsFor(1)
+	if len(pk) != 1 || len(by) != 1 {
+		t.Fatalf("windows: packets=%d bytes=%d", len(pk), len(by))
+	}
+	// Both apps observed the same traffic through ONE shared tracker and
+	// ONE C&R round per sub-window.
+	if pk[0].Values[fk(1)] != 160 {
+		t.Fatalf("packet count = %d want 160", pk[0].Values[fk(1)])
+	}
+	if by[0].Values[fk(1)] != 160*100 {
+		t.Fatalf("byte count = %d want %d", by[0].Values[fk(1)], 160*100)
+	}
+	if pk[0].Values[fk(2)] != 80 || by[0].Values[fk(2)] != 80*100 {
+		t.Fatalf("flow 2: pk=%d by=%d", pk[0].Values[fk(2)], by[0].Values[fk(2)])
+	}
+	// Detection thresholds apply per app.
+	if len(pk[0].Detected) != 1 || pk[0].Detected[0] != fk(1) {
+		t.Fatalf("packets app detected %v", pk[0].Detected)
+	}
+	if len(by[0].Detected) != 2 {
+		t.Fatalf("bytes app detected %v", by[0].Detected)
+	}
+	// Results() aliases app 0.
+	if len(d.Results()) != 1 || d.Results()[0].Values[fk(1)] != 160 {
+		t.Fatal("Results() does not alias the first app")
+	}
+}
+
+func TestMultiAppSharedCollection(t *testing.T) {
+	// One C&R round serves both apps: the AFR count doubles but the
+	// recirculation pass count does not (one enumeration pass emits all
+	// apps' records for a key).
+	single, _ := New(freqConfig(window.Tumbling(5), 100, false))
+	multi, _ := New(multiAppConfig())
+	pkts := burstTrace(map[int64][]int{50 * ms: {1, 2, 3}}, 30)
+	single.RunFor(pkts, 500*ms)
+	multi.RunFor(pkts, 500*ms)
+	ss, ms2 := single.Stats(), multi.Stats()
+	if ms2.AFRs != 2*ss.AFRs {
+		t.Fatalf("multi-app AFRs = %d want %d", ms2.AFRs, 2*ss.AFRs)
+	}
+	// Pass counts differ only through the app-slot maximum in the reset
+	// phase; enumeration passes are shared. Allow the reset delta.
+	if ms2.RecircPasses > ss.RecircPasses {
+		t.Fatalf("multi-app used more passes (%d) than single (%d)", ms2.RecircPasses, ss.RecircPasses)
+	}
+}
+
+func TestMultiAppValidation(t *testing.T) {
+	cfg := multiAppConfig()
+	cfg.Apps[1].Factory = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	cfg = multiAppConfig()
+	cfg.RDMA = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("multi-app RDMA accepted")
+	}
+	// An app whose slots exceed the configured reset budget is rejected.
+	cfg = multiAppConfig()
+	cfg.Apps[1].Factory = func(region int) StateApp {
+		return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 8192, 1), 8192)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("oversized app accepted")
+	}
+}

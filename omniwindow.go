@@ -1,0 +1,371 @@
+// Package omniwindow is a from-scratch reproduction of "OmniWindow: A
+// General and Efficient Window Mechanism Framework for Network Telemetry"
+// (SIGCOMM 2023). It provides the public API over the internal substrates:
+// a Deployment wires a simulated RMT switch (data plane), the sub-window
+// mechanism, the AFR collect-and-reset machinery and the controller into a
+// complete system that turns a packet trace into per-window telemetry
+// results under tumbling, sliding, session or user-defined windows of
+// arbitrary size.
+//
+// Quickstart:
+//
+//	app := func(region int) afr.StateApp {
+//		return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 1<<14, uint64(region)), 1<<14)
+//	}
+//	d, err := omniwindow.New(omniwindow.Config{
+//		SubWindow:  100 * time.Millisecond,
+//		Plan:       window.SlidingPlan(5, 1), // 500 ms window, 100 ms slide
+//		Kind:       afr.Frequency,
+//		Threshold:  1000,
+//		AppFactory: app,
+//		Slots:      1 << 14,
+//	})
+//	results := d.Run(pkts)
+package omniwindow
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/controller"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/rdma"
+	"omniwindow/internal/switchsim"
+	"omniwindow/internal/window"
+)
+
+// Config describes an OmniWindow deployment on one switch plus its
+// controller.
+type Config struct {
+	// SubWindow is the sub-window duration for the default timeout
+	// signal. Ignored when Signal is set.
+	SubWindow time.Duration
+	// Signal optionally replaces the timeout signal (counter-, session-
+	// or user-defined windows, §5).
+	Signal window.Signal
+	// Plan maps sub-windows to complete windows (size and slide in
+	// sub-window units).
+	Plan window.Plan
+	// Kind is the merge pattern of the telemetry statistic.
+	Kind afr.Kind
+	// Threshold is the detection threshold over merged window values.
+	Threshold uint64
+	// Detector optionally replaces threshold detection.
+	Detector func(k packet.FlowKey, v uint64) bool
+	// DistinctCounter optionally overrides distinct-summary counting.
+	DistinctCounter afr.DistinctCounter
+	// CaptureValues copies merged per-flow values into window results.
+	CaptureValues bool
+
+	// AppFactory builds one region's application state, sized for one
+	// sub-window's traffic. Called once per memory region.
+	AppFactory func(region int) afr.StateApp
+	// Apps optionally co-deploys several telemetry applications on the
+	// same switch: they share the window mechanism and flowkey tracking
+	// (one C&R round serves all), each with its own state and its own
+	// controller table. When set, AppFactory/Kind/Threshold/Detector/
+	// DistinctCounter/CaptureValues are ignored in favour of the specs.
+	// The RDMA path currently supports single-app deployments only.
+	Apps []AppSpec
+	// KeyOf is the application's flowkey definition for tracking (§4.1):
+	// it maps a packet to the key the AFR machinery enumerates; ok=false
+	// skips tracking (e.g. the packet fails the query's filter). Nil
+	// tracks every packet's 5-tuple.
+	KeyOf func(p *packet.Packet) (packet.FlowKey, bool)
+	// Slots is the per-register entry count the in-switch reset
+	// enumerates (usually the app's row width).
+	Slots int
+	// Tracker sizes the flowkey tracking structures; zero value uses
+	// DefaultTrackerConfig.
+	Tracker afr.TrackerConfig
+	// CollectionPackets is the number of concurrently recirculating
+	// collection/clear packets (the paper uses 3 without RDMA, 16 with).
+	CollectionPackets int
+	// Grace is how long after a sub-window terminates the controller
+	// waits before starting AFR generation, absorbing out-of-order
+	// packets (§4.2). Defaults to the cost model's ControllerWait.
+	Grace time.Duration
+
+	// RDMA enables the §7 collection path: AFRs land in registered
+	// controller memory via simulated WRITE verbs, with hot keys cached
+	// in a switch-side address MAT.
+	RDMA bool
+	// HotThreshold is how many sub-window appearances make a key hot.
+	HotThreshold int
+	// AddressMATSize bounds the switch-side address MAT.
+	AddressMATSize int
+
+	// Costs is the virtual-time cost model; zero value uses defaults.
+	Costs switchsim.CostModel
+}
+
+// Stats aggregates a deployment run's behaviour for the micro-benchmarks.
+type Stats struct {
+	// Packets is the number of trace packets processed.
+	Packets int
+	// SubWindows is the number of terminated-and-collected sub-windows.
+	SubWindows int
+	// Spills counts flow keys spilled to the controller because the
+	// flowkey array was full.
+	Spills int
+	// Spikes counts latency-spike packets forwarded to the controller.
+	Spikes int
+	// AFRs counts collected flow records.
+	AFRs int
+	// HotAFRs and ColdAFRs split the RDMA path's records.
+	HotAFRs, ColdAFRs int
+	// Retransmitted counts AFRs recovered by the reliability protocol.
+	Retransmitted int
+	// CollectVirtual is the total modeled C&R time across sub-windows
+	// (enumeration + reset recirculation + injection).
+	CollectVirtual time.Duration
+	// MaxCollectVirtual is the worst single sub-window's C&R time; it
+	// must stay below the sub-window duration for two regions to
+	// suffice (§6).
+	MaxCollectVirtual time.Duration
+	// ControllerCPUVirtual is the modeled controller-CPU time spent
+	// receiving and parsing (zero for RDMA hot-path records).
+	ControllerCPUVirtual time.Duration
+	// RecircPasses is the total number of recirculation pipeline passes.
+	RecircPasses int
+}
+
+// AppSpec describes one co-deployed telemetry application.
+type AppSpec struct {
+	// Name labels the app in results.
+	Name string
+	// Factory builds the app's per-region state.
+	Factory func(region int) afr.StateApp
+	// Kind is the statistic's merge pattern.
+	Kind afr.Kind
+	// Threshold, Detector, DistinctCounter and CaptureValues parameterize
+	// the app's controller, as in the single-app Config fields.
+	Threshold       uint64
+	Detector        func(k packet.FlowKey, v uint64) bool
+	DistinctCounter afr.DistinctCounter
+	CaptureValues   bool
+}
+
+// Deployment is a running OmniWindow instance.
+type Deployment struct {
+	cfg     Config
+	apps    []AppSpec
+	sw      *switchsim.Switch
+	manager *window.Manager
+	engine  *afr.Engine
+	// ctrls holds one controller per co-deployed app; ctrl aliases
+	// ctrls[0] for the single-app fast paths.
+	ctrls []*controller.Controller
+	ctrl  *controller.Controller
+
+	// RDMA path.
+	mr        *rdma.MemoryRegion
+	nic       *rdma.NIC
+	mat       *rdma.AddressMAT
+	collector *rdma.Collector
+	hot       *controller.HotTracker
+	hotRows   map[packet.FlowKey]int
+
+	spilled map[uint64][]packet.FlowKey
+	pending []pendingCR
+	// results aliases appResults[0]; per-app windows live in appResults.
+	results    []controller.WindowResult
+	appResults [][]controller.WindowResult
+	stats      Stats
+	now        int64
+
+	// regionOwner tracks which sub-window's state each memory region
+	// currently holds, so stale terminations cannot reset a region a
+	// newer sub-window has taken over.
+	regionOwner [2]uint64
+	regionOwned [2]bool
+
+	// testAFRLoss, when set, drops the i-th AFR packet before delivery —
+	// a fault-injection hook for exercising the reliability protocol.
+	testAFRLoss func(i int) bool
+	afrPktCount int
+}
+
+// pendingCR is a terminated sub-window awaiting its grace period.
+type pendingCR struct {
+	sw  uint64
+	due int64
+}
+
+// New validates the configuration and builds a deployment.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.Signal == nil {
+		if cfg.SubWindow <= 0 {
+			return nil, fmt.Errorf("omniwindow: SubWindow must be positive when no custom Signal is given")
+		}
+		cfg.Signal = window.TimeoutSignal{Interval: int64(cfg.SubWindow)}
+	}
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		if cfg.AppFactory == nil {
+			return nil, fmt.Errorf("omniwindow: AppFactory (or Apps) is required")
+		}
+		apps = []AppSpec{{
+			Name:            "app",
+			Factory:         cfg.AppFactory,
+			Kind:            cfg.Kind,
+			Threshold:       cfg.Threshold,
+			Detector:        cfg.Detector,
+			DistinctCounter: cfg.DistinctCounter,
+			CaptureValues:   cfg.CaptureValues,
+		}}
+	}
+	for i, a := range apps {
+		if a.Factory == nil {
+			return nil, fmt.Errorf("omniwindow: app %d has no factory", i)
+		}
+	}
+	if cfg.RDMA && len(apps) > 1 {
+		return nil, fmt.Errorf("omniwindow: the RDMA path supports single-app deployments only")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("omniwindow: Slots must be positive")
+	}
+	if cfg.Tracker.BloomBits == 0 {
+		cfg.Tracker = afr.DefaultTrackerConfig()
+	}
+	cfg.Tracker.Regions = 2
+	if cfg.CollectionPackets <= 0 {
+		if cfg.RDMA {
+			cfg.CollectionPackets = 16
+		} else {
+			cfg.CollectionPackets = 3
+		}
+	}
+	if cfg.Costs == (switchsim.CostModel{}) {
+		cfg.Costs = switchsim.DefaultCosts()
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = cfg.Costs.ControllerWait
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 3
+	}
+	if cfg.AddressMATSize <= 0 {
+		cfg.AddressMATSize = 4096
+	}
+
+	d := &Deployment{
+		cfg:     cfg,
+		apps:    apps,
+		spilled: make(map[uint64][]packet.FlowKey),
+		hotRows: make(map[packet.FlowKey]int),
+	}
+	d.sw = switchsim.NewWithCapacity(0, switchsim.DefaultCapacity(), cfg.Costs)
+
+	regions := window.NewRegions(2, cfg.Slots)
+	d.manager = window.NewManager(cfg.Signal, regions)
+
+	perRegion := make([][]afr.StateApp, 2)
+	for r := range perRegion {
+		for ai, spec := range apps {
+			a := spec.Factory(r)
+			if a == nil {
+				return nil, fmt.Errorf("omniwindow: app %d factory returned nil for region %d", ai, r)
+			}
+			if len(apps) == 1 && a.Slots() != cfg.Slots {
+				return nil, fmt.Errorf("omniwindow: region %d app has %d slots, config says %d", r, a.Slots(), cfg.Slots)
+			}
+			if a.Slots() > cfg.Slots {
+				return nil, fmt.Errorf("omniwindow: app %d has %d slots exceeding the configured %d", ai, a.Slots(), cfg.Slots)
+			}
+			perRegion[r] = append(perRegion[r], a)
+		}
+	}
+	d.engine = afr.NewMultiEngine(afr.NewTracker(cfg.Tracker), perRegion, regions)
+	if cfg.KeyOf != nil {
+		d.engine.SetKeyFunc(cfg.KeyOf)
+	}
+
+	d.appResults = make([][]controller.WindowResult, len(apps))
+	for _, spec := range apps {
+		d.ctrls = append(d.ctrls, controller.New(controller.Config{
+			Plan:            cfg.Plan,
+			Kind:            spec.Kind,
+			Threshold:       spec.Threshold,
+			Detector:        spec.Detector,
+			DistinctCounter: spec.DistinctCounter,
+			CaptureValues:   spec.CaptureValues,
+		}))
+	}
+	d.ctrl = d.ctrls[0]
+
+	if cfg.RDMA {
+		lanes := cfg.Plan.Size
+		d.mr = rdma.NewMemoryRegion(cfg.AddressMATSize, lanes, 1<<18)
+		d.nic = rdma.NewNIC(d.mr)
+		d.mat = rdma.NewAddressMAT(cfg.AddressMATSize)
+		d.collector = rdma.NewCollector(d.mat, d.nic)
+		d.hot = controller.NewHotTracker(cfg.AddressMATSize, cfg.HotThreshold)
+	}
+
+	if err := d.deployResources(); err != nil {
+		return nil, err
+	}
+	d.installProgram()
+	return d, nil
+}
+
+// Switch exposes the simulated switch (resource ledger, cost model).
+func (d *Deployment) Switch() *switchsim.Switch { return d.sw }
+
+// Controller exposes the controller (per-sub-window timing breakdowns).
+func (d *Deployment) Controller() *controller.Controller { return d.ctrl }
+
+// Stats returns run statistics.
+func (d *Deployment) Stats() Stats { return d.stats }
+
+// Feasibility is the §6 deployment check: with two shared memory regions,
+// every sub-window's collect-and-reset must finish strictly inside one
+// sub-window, or the region being collected would be needed for new
+// traffic before it is ready.
+type Feasibility struct {
+	// SubWindow is the configured sub-window length (zero for
+	// signal-driven windows with no fixed length).
+	SubWindow time.Duration
+	// WorstCR is the largest observed C&R virtual time.
+	WorstCR time.Duration
+	// Headroom is SubWindow/WorstCR (0 when unknown).
+	Headroom float64
+	// TwoRegionsSufficient reports whether the §6 invariant held for
+	// every collected sub-window so far.
+	TwoRegionsSufficient bool
+}
+
+// Feasibility reports whether the run so far satisfied the two-region
+// invariant. Call after (or during) a run.
+func (d *Deployment) Feasibility() Feasibility {
+	f := Feasibility{SubWindow: d.cfg.SubWindow, WorstCR: d.stats.MaxCollectVirtual}
+	if f.SubWindow > 0 && f.WorstCR > 0 {
+		f.Headroom = float64(f.SubWindow) / float64(f.WorstCR)
+	}
+	f.TwoRegionsSufficient = f.SubWindow == 0 || f.WorstCR < f.SubWindow
+	return f
+}
+
+// Results returns the windows completed so far (the first app's, which is
+// the only one in single-app deployments).
+func (d *Deployment) Results() []controller.WindowResult { return d.results }
+
+// ResultsFor returns a co-deployed app's completed windows by index.
+func (d *Deployment) ResultsFor(app int) []controller.WindowResult {
+	return d.appResults[app]
+}
+
+// AppNames lists the co-deployed apps in result order.
+func (d *Deployment) AppNames() []string {
+	names := make([]string, len(d.apps))
+	for i, a := range d.apps {
+		names[i] = a.Name
+	}
+	return names
+}

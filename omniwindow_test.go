@@ -1,0 +1,326 @@
+package omniwindow
+
+import (
+	"testing"
+	"time"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
+	"omniwindow/internal/telemetry"
+	"omniwindow/internal/trace"
+	"omniwindow/internal/window"
+)
+
+const ms = trace.Millisecond
+
+func fk(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: uint32(i), DstIP: 99, SrcPort: uint16(i), DstPort: 443, Proto: packet.ProtoTCP}
+}
+
+// burstTrace emits `count` packets for each listed flow centered at the
+// given times.
+func burstTrace(bursts map[int64][]int, count int) []packet.Packet {
+	var pkts []packet.Packet
+	for at, flows := range bursts {
+		for _, f := range flows {
+			for i := 0; i < count; i++ {
+				pkts = append(pkts, packet.Packet{
+					Key:  fk(f),
+					Size: 100,
+					Seq:  uint32(i),
+					Time: at + int64(i)*((90*ms)/int64(count)) - 45*ms,
+				})
+			}
+		}
+	}
+	// sort by time
+	for i := 1; i < len(pkts); i++ {
+		for j := i; j > 0 && pkts[j].Time < pkts[j-1].Time; j-- {
+			pkts[j], pkts[j-1] = pkts[j-1], pkts[j]
+		}
+	}
+	return pkts
+}
+
+func freqConfig(plan window.Plan, threshold uint64, rdmaMode bool) Config {
+	return Config{
+		SubWindow: 100 * time.Millisecond,
+		Plan:      plan,
+		Kind:      afr.Frequency,
+		Threshold: threshold,
+		AppFactory: func(region int) afr.StateApp {
+			return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 4096, uint64(region+1)), 4096)
+		},
+		Slots:         4096,
+		Tracker:       afr.TrackerConfig{BufferKeys: 1024, BloomBits: 1 << 16, BloomHashes: 3},
+		CaptureValues: true,
+		RDMA:          rdmaMode,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := freqConfig(window.Tumbling(5), 10, false)
+	cases := []func(*Config){
+		func(c *Config) { c.SubWindow = 0 },
+		func(c *Config) { c.Plan = window.Plan{} },
+		func(c *Config) { c.AppFactory = nil },
+		func(c *Config) { c.Slots = 0 },
+		func(c *Config) { c.Slots = 100 }, // mismatch with app's 4096
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestTumblingMergesSubWindowBursts(t *testing.T) {
+	// Flow 1 bursts in sub-windows 0 and 1 of the same 500 ms window
+	// (60+80 packets, threshold 100): only the merged window sees it —
+	// the §4.1 motivating example.
+	pkts := append(burstTrace(map[int64][]int{50 * ms: {1}}, 60),
+		burstTrace(map[int64][]int{150 * ms: {1}}, 80)...)
+	d, err := New(freqConfig(window.Tumbling(5), 100, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := d.RunFor(pkts, 500*ms)
+	if len(results) != 1 {
+		t.Fatalf("windows = %d", len(results))
+	}
+	if len(results[0].Detected) != 1 || results[0].Detected[0] != fk(1) {
+		t.Fatalf("detected = %v", results[0].Detected)
+	}
+	if got := results[0].Values[fk(1)]; got != 140 {
+		t.Fatalf("merged value = %d want 140", got)
+	}
+	if err := d.assertConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingCatchesBoundaryBurst(t *testing.T) {
+	// Figure 1: a burst straddling the 500 ms tumbling boundary. The
+	// tumbling deployment misses it; the sliding one reports it.
+	pkts := append(burstTrace(map[int64][]int{460 * ms: {1}}, 60),
+		burstTrace(map[int64][]int{540 * ms: {1}}, 60)...)
+
+	dt, _ := New(freqConfig(window.Tumbling(5), 100, false))
+	tumbling := dt.RunFor(pkts, 1000*ms)
+	for _, w := range tumbling {
+		if len(w.Detected) != 0 {
+			t.Fatalf("tumbling window [%d,%d] should miss the boundary burst: %v (values %v)",
+				w.Start, w.End, w.Detected, w.Values)
+		}
+	}
+
+	ds, _ := New(freqConfig(window.SlidingPlan(5, 1), 100, false))
+	sliding := ds.RunFor(pkts, 1000*ms)
+	found := false
+	for _, w := range sliding {
+		for _, k := range w.Detected {
+			if k == fk(1) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sliding window missed the boundary burst")
+	}
+}
+
+func TestSpilledKeysAreStillCollected(t *testing.T) {
+	// Flowkey buffer of 8: most keys spill to the controller, but every
+	// flow must still appear in the merged window.
+	cfg := freqConfig(window.Tumbling(1), 1, false)
+	cfg.Tracker = afr.TrackerConfig{BufferKeys: 8, BloomBits: 1 << 16, BloomHashes: 3}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	pkts := burstTrace(map[int64][]int{50 * ms: flows}, 10)
+	results := d.RunFor(pkts, 100*ms)
+	if d.Stats().Spills == 0 {
+		t.Fatal("test premise: keys should spill")
+	}
+	if len(results) == 0 {
+		t.Fatal("no windows")
+	}
+	got := map[packet.FlowKey]uint64{}
+	for _, w := range results {
+		for k, v := range w.Values {
+			got[k] += v
+		}
+	}
+	for _, f := range flows {
+		if got[fk(f)] != 10 {
+			t.Fatalf("flow %d merged value = %d want 10", f, got[fk(f)])
+		}
+	}
+}
+
+func TestRDMAModeMatchesPacketMode(t *testing.T) {
+	pkts := burstTrace(map[int64][]int{
+		50 * ms:  {1, 2, 3},
+		150 * ms: {1, 2, 4},
+		250 * ms: {1, 5},
+		350 * ms: {1, 2},
+		450 * ms: {1, 6},
+	}, 20)
+
+	dPkt, _ := New(freqConfig(window.Tumbling(5), 1, false))
+	dRDMA, _ := New(freqConfig(window.Tumbling(5), 1, true))
+	rPkt := dPkt.RunFor(pkts, 500*ms)
+	rRDMA := dRDMA.RunFor(pkts, 500*ms)
+	if len(rPkt) != len(rRDMA) {
+		t.Fatalf("window counts differ: %d vs %d", len(rPkt), len(rRDMA))
+	}
+	for i := range rPkt {
+		for k, v := range rPkt[i].Values {
+			if rRDMA[i].Values[k] != v {
+				t.Fatalf("window %d key %v: packet=%d rdma=%d", i, k, v, rRDMA[i].Values[k])
+			}
+		}
+	}
+	st := dRDMA.Stats()
+	if st.HotAFRs == 0 {
+		t.Fatalf("hot path never used: %+v", st)
+	}
+}
+
+func TestReliabilityRetransmission(t *testing.T) {
+	// Drop some AFR packets between switch and controller; the sequence
+	// check must recover them.
+	cfg := freqConfig(window.Tumbling(1), 1, false)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intercept: wrap deliverAFRs by dropping every 3rd AFR packet. We
+	// simulate loss by removing records before delivery.
+	d.testAFRLoss = func(i int) bool { return i%3 == 0 }
+	pkts := burstTrace(map[int64][]int{50 * ms: {1, 2, 3, 4, 5, 6}}, 5)
+	results := d.RunFor(pkts, 100*ms)
+	if d.Stats().Retransmitted == 0 {
+		t.Fatal("no retransmissions despite loss")
+	}
+	got := map[packet.FlowKey]uint64{}
+	for _, w := range results {
+		for k, v := range w.Values {
+			got[k] += v
+		}
+	}
+	for f := 1; f <= 6; f++ {
+		if got[fk(f)] != 5 {
+			t.Fatalf("flow %d value = %d want 5 (loss not recovered)", f, got[fk(f)])
+		}
+	}
+}
+
+func TestStatsAndVirtualTimeBudget(t *testing.T) {
+	gen := trace.New(trace.Config{Seed: 3, Flows: 4000, Duration: 1000 * ms})
+	pkts := gen.Generate()
+	cfg := freqConfig(window.Tumbling(5), 50, false)
+	cfg.Tracker = afr.TrackerConfig{BufferKeys: 4096, BloomBits: 1 << 18, BloomHashes: 3}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RunFor(pkts, 1000*ms)
+	st := d.Stats()
+	if st.Packets != len(pkts) {
+		t.Fatalf("packets = %d want %d", st.Packets, len(pkts))
+	}
+	if st.SubWindows < 9 {
+		t.Fatalf("sub-windows = %d", st.SubWindows)
+	}
+	if st.AFRs == 0 || st.RecircPasses == 0 {
+		t.Fatalf("collection did not run: %+v", st)
+	}
+	// The §6 invariant: C&R completes within a sub-window, so two
+	// regions suffice.
+	if st.MaxCollectVirtual > 100*time.Millisecond {
+		t.Fatalf("C&R too slow: %v", st.MaxCollectVirtual)
+	}
+	if err := d.assertConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserDefinedSignalWindows(t *testing.T) {
+	// Packets carry iteration numbers; windows follow them (Exp#3).
+	cfg := freqConfig(window.Tumbling(1), 1, false)
+	cfg.Signal = window.UserSignal{}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []packet.Packet
+	for iter := uint64(0); iter < 3; iter++ {
+		for i := 0; i < 10; i++ {
+			pkts = append(pkts, packet.Packet{
+				Key:  fk(1),
+				Size: 100,
+				Time: int64(iter)*10*ms + int64(i)*ms/2,
+				OW:   packet.OWHeader{UserSignal: iter, HasUserSignal: true},
+			})
+		}
+	}
+	results := d.Run(pkts)
+	if len(results) != 3 {
+		t.Fatalf("windows = %d want 3 (one per iteration)", len(results))
+	}
+	for i, w := range results {
+		if w.Values[fk(1)] != 10 {
+			t.Fatalf("iteration %d count = %d", i, w.Values[fk(1)])
+		}
+	}
+}
+
+func TestIdleGapProducesEmptyWindows(t *testing.T) {
+	// Traffic in sub-window 0, then silence until sub-window 9: the gap
+	// windows must exist (empty), and no stale region state may leak.
+	pkts := append(burstTrace(map[int64][]int{50 * ms: {1}}, 20),
+		burstTrace(map[int64][]int{950 * ms: {2}}, 20)...)
+	d, _ := New(freqConfig(window.Tumbling(2), 1, false))
+	results := d.Run(pkts)
+	if len(results) < 5 {
+		t.Fatalf("windows = %d want >= 5", len(results))
+	}
+	for _, w := range results {
+		if w.Start >= 2 && w.End <= 7 && len(w.Detected) != 0 {
+			t.Fatalf("idle window [%d,%d] detected %v", w.Start, w.End, w.Detected)
+		}
+	}
+	// First window has flow 1 only; last has flow 2 only.
+	if results[0].Values[fk(1)] != 20 || results[0].Values[fk(2)] != 0 {
+		t.Fatalf("first window values: %v", results[0].Values)
+	}
+	last := results[len(results)-1]
+	if last.Values[fk(2)] != 20 || last.Values[fk(1)] != 0 {
+		t.Fatalf("last window values: %v", last.Values)
+	}
+}
+
+func TestResourceLedgerHasAllFeatures(t *testing.T) {
+	d, _ := New(freqConfig(window.Tumbling(5), 1, true))
+	ledger := d.Switch().Ledger()
+	for _, feat := range []string{"Signal", "Consistency model", "Address location",
+		"Flowkey tracking", "AFR generation", "RDMA opt.", "In-switch reset"} {
+		r := ledger.Feature(feat)
+		if r.Stages == 0 {
+			t.Fatalf("feature %q not deployed: %+v", feat, r)
+		}
+	}
+	total := ledger.Total()
+	if total.SALUs == 0 || total.SRAMKB == 0 {
+		t.Fatalf("ledger empty: %+v", total)
+	}
+}

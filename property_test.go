@@ -1,0 +1,128 @@
+package omniwindow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/baseline"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/window"
+)
+
+// exactStateApp is a collision-free StateApp: with it, the whole
+// OmniWindow machine (tracking, C&R, merging, window assembly) must
+// reproduce offline ground truth EXACTLY — any deviation is a framework
+// bug, not sketch noise.
+type exactStateApp struct {
+	counts map[packet.FlowKey]uint64
+	slots  int
+}
+
+func newExactStateApp(slots int) *exactStateApp {
+	return &exactStateApp{counts: make(map[packet.FlowKey]uint64), slots: slots}
+}
+
+func (a *exactStateApp) Update(p *packet.Packet) { a.counts[p.Key]++ }
+func (a *exactStateApp) Query(k packet.FlowKey) afr.Attr {
+	return afr.Attr{Value: a.counts[k]}
+}
+func (a *exactStateApp) ResetSlot(i int) {
+	if i == a.slots-1 {
+		a.counts = make(map[packet.FlowKey]uint64)
+	}
+}
+func (a *exactStateApp) Slots() int { return a.slots }
+
+// randomTrace builds a random but time-sorted workload.
+func randomTrace(rng *rand.Rand, flows, maxPkts int, duration int64) []packet.Packet {
+	var pkts []packet.Packet
+	for f := 0; f < flows; f++ {
+		key := fk(f + 1)
+		n := rng.Intn(maxPkts) + 1
+		start := rng.Int63n(duration * 3 / 4)
+		span := rng.Int63n(duration-start) + 1
+		for i := 0; i < n; i++ {
+			pkts = append(pkts, packet.Packet{
+				Key: key, Size: 100, Seq: uint32(i),
+				Time: start + rng.Int63n(span),
+			})
+		}
+	}
+	// sort
+	for i := 1; i < len(pkts); i++ {
+		for j := i; j > 0 && pkts[j].Time < pkts[j-1].Time; j-- {
+			pkts[j], pkts[j-1] = pkts[j-1], pkts[j]
+		}
+	}
+	return pkts
+}
+
+// TestFrameworkExactnessProperty: for random traces and random window
+// plans, an OmniWindow deployment built on exact per-region state matches
+// the offline ideal for EVERY window, both tumbling and sliding.
+func TestFrameworkExactnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const slots = 64
+	for trial := 0; trial < 12; trial++ {
+		duration := (400 + rng.Int63n(400)) * ms
+		subWin := (40 + rng.Int63n(60)) * ms
+		size := rng.Intn(4) + 2
+		slide := rng.Intn(size) + 1
+		flows := rng.Intn(60) + 10
+		pkts := randomTrace(rng, flows, 40, duration)
+
+		plan := window.SlidingPlan(size, slide)
+		d, err := New(Config{
+			SubWindow: time.Duration(subWin),
+			Plan:      plan,
+			Kind:      afr.Frequency,
+			Threshold: ^uint64(0),
+			AppFactory: func(region int) afr.StateApp {
+				return newExactStateApp(slots)
+			},
+			Slots:         slots,
+			CaptureValues: true,
+			Tracker:       afr.TrackerConfig{BufferKeys: 512, BloomBits: 1 << 16, BloomHashes: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := d.RunFor(pkts, duration)
+
+		winNs := subWin * int64(size)
+		slideNs := subWin * int64(slide)
+		ideal := baseline.RunIdeal(pkts, duration, winNs, slideNs, func(win []packet.Packet) map[packet.FlowKey]uint64 {
+			m := make(map[packet.FlowKey]uint64)
+			for i := range win {
+				m[win[i].Key]++
+			}
+			return m
+		})
+
+		if len(results) > len(ideal) {
+			t.Fatalf("trial %d: more windows (%d) than ideal (%d)", trial, len(results), len(ideal))
+		}
+		for i := range results {
+			got, want := results[i].Values, ideal[i].Values
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("trial %d (sub=%dms size=%d slide=%d) window %d key %v: got %d want %d",
+						trial, subWin/ms, size, slide, i, k, got[k], v)
+				}
+			}
+			for k, v := range got {
+				if v != 0 && want[k] != v {
+					t.Fatalf("trial %d window %d phantom key %v = %d (want %d)",
+						trial, i, k, v, want[k])
+				}
+			}
+		}
+		if len(results) < len(ideal) {
+			// RunFor flushes every sub-window within duration, so the
+			// only permissible shortfall is zero.
+			t.Fatalf("trial %d: fewer windows (%d) than ideal (%d)", trial, len(results), len(ideal))
+		}
+	}
+}
