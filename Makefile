@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz examples reproduce fmt vet clean
+.PHONY: all build test race bench fuzz examples reproduce fmt vet clean \
+	ci fmt-check fuzz-smoke bench-smoke
 
 all: build vet test
 
@@ -14,7 +15,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/controller/ ./internal/wire/ .
+	$(GO) test -race ./...
+
+# ci mirrors .github/workflows/ci.yml so the same gates run locally.
+ci: build vet fmt-check test race fuzz-smoke bench-smoke
+
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+# Short fuzz and bench runs that surface parser/perf regressions in PRs.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkController -benchtime 1x .
 
 # Regenerate every paper table/figure once (tables in the bench log).
 bench:

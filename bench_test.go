@@ -10,11 +10,19 @@ package omniwindow_test
 // simulated substrate (see DESIGN.md); the comparisons mirror the paper's.
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
+	"omniwindow/internal/afr"
+	"omniwindow/internal/controller"
 	"omniwindow/internal/dml"
 	"omniwindow/internal/experiments"
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
 	"omniwindow/internal/switchsim"
+	"omniwindow/internal/window"
 )
 
 const benchSeed = 2023
@@ -170,6 +178,71 @@ func BenchmarkAblationSubWindowCount(b *testing.B) {
 		if i == 0 {
 			b.Logf("Ablation A5 (sub-window count)\n%s", res.Table())
 		}
+	}
+}
+
+// BenchmarkControllerSharded measures the controller's O2 (insert) + O3
+// (merge) hot path — one full sub-window ingested and assembled per
+// iteration — as the shard count grows. shards=1 is the sequential
+// baseline; higher shard counts fan the key-value table work across
+// cores (ingest is additionally driven from GOMAXPROCS goroutines, as the
+// concurrent collector would). The per-iteration flow population mirrors
+// the paper's 64K flows per 100 ms sub-window.
+func BenchmarkControllerSharded(b *testing.B) {
+	const flows = 1 << 16
+	procs := runtime.GOMAXPROCS(0)
+	shardCounts := []int{1, 2, 4}
+	if procs > 4 {
+		shardCounts = append(shardCounts, procs)
+	}
+	// Pre-generate one sub-window's records: unique well-spread keys,
+	// rewritten to the iteration's sub-window number inside the loop.
+	base := make([]packet.AFR, flows)
+	for i := range base {
+		h := hashing.Mix64(uint64(i) + 1)
+		base[i] = packet.AFR{
+			Key: packet.FlowKey{
+				SrcIP: uint32(h), DstIP: uint32(h >> 32),
+				SrcPort: uint16(i), DstPort: 443, Proto: packet.ProtoTCP,
+			},
+			Attr: uint64(i%100 + 1),
+			Seq:  uint32(i),
+		}
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ctrl := controller.New(controller.Config{
+				Plan: window.Tumbling(1), Kind: afr.Frequency,
+				Threshold: flows + 1, Shards: shards,
+			})
+			recs := make([]packet.AFR, flows)
+			copy(recs, base)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw := uint64(i)
+				for j := range recs {
+					recs[j].SubWindow = sw
+				}
+				// Concurrent ingest, one chunk per core.
+				var wg sync.WaitGroup
+				chunk := (flows + procs - 1) / procs
+				for at := 0; at < flows; at += chunk {
+					end := at + chunk
+					if end > flows {
+						end = flows
+					}
+					wg.Add(1)
+					go func(part []packet.AFR) {
+						defer wg.Done()
+						ctrl.IngestAFRs(part)
+					}(recs[at:end])
+				}
+				wg.Wait()
+				ctrl.FinishSubWindow(sw)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "AFRs/s")
+		})
 	}
 }
 

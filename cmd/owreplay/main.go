@@ -54,6 +54,9 @@ func main() {
 		pkts = trace.New(cfg).Generate()
 	}
 
+	if *subWindow <= 0 {
+		fatal(fmt.Errorf("sub-window (%v) must be positive", *subWindow))
+	}
 	size := int(*windowLen / *subWindow)
 	slideSub := int(*slide / *subWindow)
 	if size < 1 || slideSub < 1 || *windowLen%*subWindow != 0 || *slide%*subWindow != 0 {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"time"
 
 	"omniwindow/internal/afr"
@@ -39,12 +40,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl := controller.NewAsync(controller.New(controller.Config{
+	// The switch side sends AFR bursts faster than a timeshared reader
+	// can drain; a deep kernel buffer absorbs them (DPDK's RX ring).
+	if uc, ok := serverConn.(*net.UDPConn); ok {
+		_ = uc.SetReadBuffer(8 << 20)
+	}
+	// NewWithError (not New): a collector service must reject a bad
+	// window plan gracefully instead of crashing on a panic.
+	inner, err := controller.NewWithError(controller.Config{
 		Plan:          window.Tumbling(windowSub),
 		Kind:          afr.Frequency,
 		Threshold:     400,
 		CaptureValues: true,
-	}))
+		Shards:        runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		log.Fatalf("rejecting controller config: %v", err)
+	}
+	ctrl := controller.NewAsync(inner)
 	col := controller.NewCollector(serverConn, ctrl)
 	defer ctrl.Close()
 
@@ -54,10 +67,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer uplink.Close()
+	sent := 0
 	send := func(p *packet.Packet) {
 		if err := controller.SendDatagram(uplink, col.Addr(), p); err != nil {
 			log.Fatal(err)
 		}
+		sent++
 	}
 
 	mgr := window.NewManager(window.TimeoutSignal{Interval: subWindow}, window.NewRegions(2, slots))
@@ -132,10 +147,13 @@ func main() {
 	collect(last)
 
 	// ---- Controller machine: wait for delivery, assemble the window. ----
+	deadline := time.Now().Add(3 * time.Second)
+	for col.Received() < sent && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
 	for sub := uint64(0); sub <= last; sub++ {
-		deadline := time.Now().Add(3 * time.Second)
-		for ctrl.MissingSeqs(sub) != nil && time.Now().Before(deadline) {
-			time.Sleep(2 * time.Millisecond)
+		if missing := ctrl.MissingSeqs(sub); missing != nil {
+			fmt.Printf("sub %d: %d AFRs lost in flight\n", sub, len(missing))
 		}
 		for _, w := range ctrl.FinishSubWindow(sub) {
 			fmt.Printf("window [sub %d..%d]: %d flows merged, heavy hitters:\n",

@@ -4,13 +4,25 @@
 // windows according to the merge plan, answers telemetry queries over the
 // merged table, and evicts retired sub-windows (the O1–O5 operations
 // measured in Exp#4).
+//
+// The key-value table is partitioned into Config.Shards hash-sharded
+// slices so the O2 insert, O3 merge, O4 query evaluation and O5 eviction
+// of FinishSubWindow run across cores, while ingest (Receive/IngestAFRs)
+// is safe for concurrent callers and fans records out to their owning
+// shard. Shards=1 degenerates to the fully sequential controller; results
+// are deterministic and identical for every shard count (see DESIGN.md,
+// "Controller concurrency model").
 package controller
 
 import (
+	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"omniwindow/internal/afr"
+	"omniwindow/internal/hashing"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/window"
 )
@@ -24,14 +36,23 @@ type Config struct {
 	// Threshold is the default detection threshold applied to merged
 	// values when Detector is nil.
 	Threshold uint64
-	// Detector optionally overrides threshold detection.
+	// Detector optionally overrides threshold detection. It may be
+	// called concurrently from shard workers and must be safe for
+	// concurrent use (pure predicates are).
 	Detector func(k packet.FlowKey, merged uint64) bool
 	// DistinctCounter optionally overrides how OR-merged distinct
-	// summaries are counted (see afr.DistinctCounter).
+	// summaries are counted (see afr.DistinctCounter). Like Detector it
+	// may be called concurrently and must be a pure function.
 	DistinctCounter afr.DistinctCounter
 	// CaptureValues copies every flow's merged value into each
 	// WindowResult (needed by ARE metrics; costs a table scan).
 	CaptureValues bool
+	// Shards is the number of partitions of the key-value table. Each
+	// shard owns the flows hashing to it and is processed by its own
+	// worker during FinishSubWindow. <= 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 preserves the exact sequential behaviour
+	// (no worker goroutines are spawned).
+	Shards int
 }
 
 // contrib is one sub-window's contribution to a flow.
@@ -48,11 +69,23 @@ type entry struct {
 	merged   afr.Merged
 }
 
-// batch accumulates one sub-window's received AFRs before insertion.
-type batch struct {
-	afrs []packet.AFR
-	seen map[uint32]bool
-	// expected is the key count announced by the trigger packet, or -1.
+// shard owns one partition of the key-value table plus the routed-but-not-
+// yet-inserted records for each open sub-window. Its mutex serializes
+// concurrent ingest appends against the FinishSubWindow worker that drains
+// and merges them; table entries are only ever touched by the worker that
+// owns the shard, so no per-entry locking is needed.
+type shard struct {
+	mu      sync.Mutex
+	table   map[packet.FlowKey]*entry
+	pending map[uint64][]packet.AFR
+}
+
+// dedup is the per-sub-window arrival state shared by every shard: the
+// AFR sequence numbers seen so far (duplicate suppression, §8 reliability)
+// and the key count announced by the trigger packet (-1 when unknown).
+type dedup struct {
+	mu       sync.Mutex
+	seen     map[uint32]bool
 	expected int
 }
 
@@ -87,51 +120,109 @@ type WindowResult struct {
 	Values map[packet.FlowKey]uint64
 }
 
-// Controller assembles windows from AFR batches.
+// Controller assembles windows from AFR batches. Ingest (Receive,
+// IngestAFRs) is safe for concurrent callers; FinishSubWindow serializes
+// against itself but may run concurrently with ingest.
 type Controller struct {
-	cfg     Config
-	table   map[packet.FlowKey]*entry
-	batches map[uint64]*batch
-	times   map[uint64]*OpTimes
+	cfg    Config
+	shards []*shard
+
+	// mu guards dedups and times. Per-shard and per-sub-window state
+	// have their own finer locks so concurrent ingest mostly avoids
+	// this one.
+	mu     sync.Mutex
+	dedups map[uint64]*dedup
+	times  map[uint64]*OpTimes
+
+	// finishMu serializes window assembly: FinishSubWindow drains and
+	// merges every shard, so two assemblies must not interleave.
+	finishMu sync.Mutex
+}
+
+// NewWithError validates the configuration and builds a controller. An
+// invalid merge plan is reported as an error so network-facing callers
+// (e.g. the UDP collector path) can reject bad configs without crashing.
+func NewWithError(cfg Config) (*Controller, error) {
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	c := &Controller{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		dedups: make(map[uint64]*dedup),
+		times:  make(map[uint64]*OpTimes),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			table:   make(map[packet.FlowKey]*entry),
+			pending: make(map[uint64][]packet.AFR),
+		}
+	}
+	return c, nil
 }
 
 // New builds a controller. Invalid plans panic: a controller cannot run
-// without a window definition.
+// without a window definition. Use NewWithError to handle the failure.
 func New(cfg Config) *Controller {
-	if err := cfg.Plan.Validate(); err != nil {
+	c, err := NewWithError(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Controller{
-		cfg:     cfg,
-		table:   make(map[packet.FlowKey]*entry),
-		batches: make(map[uint64]*batch),
-		times:   make(map[uint64]*OpTimes),
-	}
+	return c
 }
+
+// Shards reports the number of key-value table partitions in use.
+func (c *Controller) Shards() int { return len(c.shards) }
 
 // TableSize returns the number of flows currently in the key-value table.
-func (c *Controller) TableSize() int { return len(c.table) }
-
-func (c *Controller) batchFor(sw uint64) *batch {
-	b, ok := c.batches[sw]
-	if !ok {
-		b = &batch{seen: make(map[uint32]bool), expected: -1}
-		c.batches[sw] = b
+func (c *Controller) TableSize() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.table)
+		s.mu.Unlock()
 	}
-	return b
+	return n
 }
 
-func (c *Controller) timesFor(sw uint64) *OpTimes {
+// shardIndex maps a flow key to its owning shard.
+func (c *Controller) shardIndex(k packet.FlowKey) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return hashing.Shard(k, len(c.shards))
+}
+
+func (c *Controller) dedupFor(sw uint64) *dedup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dedups[sw]
+	if !ok {
+		d = &dedup{seen: make(map[uint32]bool), expected: -1}
+		c.dedups[sw] = d
+	}
+	return d
+}
+
+// addCollect charges O1 time to a sub-window (concurrent-safe).
+func (c *Controller) addCollect(sw uint64, dt time.Duration) {
+	c.mu.Lock()
 	t, ok := c.times[sw]
 	if !ok {
 		t = &OpTimes{}
 		c.times[sw] = t
 	}
-	return t
+	t.Collect += dt
+	c.mu.Unlock()
 }
 
 // Times returns the recorded O1–O5 breakdown for a sub-window.
 func (c *Controller) Times(sw uint64) OpTimes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if t, ok := c.times[sw]; ok {
 		return *t
 	}
@@ -139,38 +230,89 @@ func (c *Controller) Times(sw uint64) OpTimes {
 }
 
 // Receive ingests one switch-to-controller packet: AFR payloads, trigger
-// announcements and spilled flow keys are all accepted (O1).
+// announcements and spilled flow keys are all accepted (O1). Safe for
+// concurrent callers: records fan out to their owning shard.
 func (c *Controller) Receive(p *packet.Packet) {
 	start := time.Now()
 	switch p.OW.Flag {
 	case packet.OWAFR:
 		for _, r := range p.OW.AFRs {
-			b := c.batchFor(r.SubWindow)
-			if b.seen[r.Seq] {
-				continue // duplicate delivery
-			}
-			b.seen[r.Seq] = true
-			b.afrs = append(b.afrs, r)
-			c.timesFor(r.SubWindow).Collect += time.Since(start)
+			c.ingestOne(r)
+			c.addCollect(r.SubWindow, time.Since(start))
 			start = time.Now()
 		}
 	case packet.OWTrigger:
-		b := c.batchFor(p.OW.SubWindow)
-		b.expected = int(p.OW.KeyCount)
-		c.timesFor(p.OW.SubWindow).Collect += time.Since(start)
+		d := c.dedupFor(p.OW.SubWindow)
+		d.mu.Lock()
+		d.expected = int(p.OW.KeyCount)
+		d.mu.Unlock()
+		c.addCollect(p.OW.SubWindow, time.Since(start))
 	}
 }
 
+// ingestOne dedups one record and routes it to its shard.
+func (c *Controller) ingestOne(r packet.AFR) {
+	si := c.shardIndex(r.Key)
+	d := c.dedupFor(r.SubWindow)
+	d.mu.Lock()
+	if d.seen[r.Seq] {
+		d.mu.Unlock()
+		return // duplicate delivery
+	}
+	d.seen[r.Seq] = true
+	d.mu.Unlock()
+	s := c.shards[si]
+	s.mu.Lock()
+	s.pending[r.SubWindow] = append(s.pending[r.SubWindow], r)
+	s.mu.Unlock()
+}
+
 // IngestAFRs adds records directly (the RDMA path delivers memory writes,
-// not packets). Dedup by sequence still applies.
+// not packets). Dedup by sequence still applies. Safe for concurrent
+// callers; the batch is hashed lock-free, deduplicated per sub-window,
+// then appended to each shard with one lock acquisition.
 func (c *Controller) IngestAFRs(recs []packet.AFR) {
-	for _, r := range recs {
-		b := c.batchFor(r.SubWindow)
-		if b.seen[r.Seq] {
+	if len(recs) == 0 {
+		return
+	}
+	// Route lock-free first so the hash work runs outside any lock.
+	sis := make([]int, len(recs))
+	for i, r := range recs {
+		sis[i] = c.shardIndex(r.Key)
+	}
+	// Dedup under the sub-window's lock, partitioning survivors by
+	// shard. Batches are usually single-sub-window, so the lock is
+	// taken once per run of equal sub-windows.
+	parts := make([][]packet.AFR, len(c.shards))
+	var d *dedup
+	var dsw uint64
+	for i, r := range recs {
+		if d == nil || r.SubWindow != dsw {
+			if d != nil {
+				d.mu.Unlock()
+			}
+			d, dsw = c.dedupFor(r.SubWindow), r.SubWindow
+			d.mu.Lock()
+		}
+		if d.seen[r.Seq] {
 			continue
 		}
-		b.seen[r.Seq] = true
-		b.afrs = append(b.afrs, r)
+		d.seen[r.Seq] = true
+		parts[sis[i]] = append(parts[sis[i]], r)
+	}
+	if d != nil {
+		d.mu.Unlock()
+	}
+	for si, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		for _, r := range part {
+			s.pending[r.SubWindow] = append(s.pending[r.SubWindow], r)
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -178,82 +320,185 @@ func (c *Controller) IngestAFRs(recs []packet.AFR) {
 // for a sub-window, given the key count announced by the trigger packet.
 // It returns nil when nothing is known to be missing (§8, reliability).
 func (c *Controller) MissingSeqs(sw uint64) []uint32 {
-	b, ok := c.batches[sw]
-	if !ok || b.expected < 0 {
+	c.mu.Lock()
+	d, ok := c.dedups[sw]
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.expected < 0 {
 		return nil
 	}
 	var missing []uint32
-	for s := 0; s < b.expected; s++ {
-		if !b.seen[uint32(s)] {
+	for s := 0; s < d.expected; s++ {
+		if !d.seen[uint32(s)] {
 			missing = append(missing, uint32(s))
 		}
 	}
 	return missing
 }
 
+// forEachShard runs f once per shard — inline when there is a single
+// shard, on a worker goroutine per shard otherwise.
+func (c *Controller) forEachShard(f func(i int, s *shard)) {
+	if len(c.shards) == 1 {
+		f(0, c.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(c.shards))
+	for i, s := range c.shards {
+		go func(i int, s *shard) {
+			defer wg.Done()
+			f(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+}
+
 // FinishSubWindow inserts the sub-window's batch into the key-value table
 // (O2), merges per-flow statistics (O3), and — when a complete window ends
 // here per the plan — processes the query (O4) and evicts retired
 // sub-windows (O5). It returns the completed windows, usually zero or one.
+//
+// All four operations run across shards on a worker pool; per-shard
+// durations are summed into the sub-window's OpTimes so Exp#4's breakdown
+// reports total CPU work, not wall-clock. Per-shard results are folded
+// deterministically (a single packetKeyLess sort over the concatenated
+// detections), so the output is byte-for-byte identical for every shard
+// count.
 func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
-	t := c.timesFor(sw)
-	b := c.batchFor(sw)
+	c.finishMu.Lock()
+	defer c.finishMu.Unlock()
 
-	// O2: key-value table insertion.
-	start := time.Now()
-	touched := make([]*entry, 0, len(b.afrs))
-	for _, r := range b.afrs {
-		e, ok := c.table[r.Key]
-		if !ok {
-			e = &entry{merged: afr.NewMergedWithCounter(c.cfg.Kind, c.cfg.DistinctCounter)}
-			c.table[r.Key] = e
+	// O2 + O3 per shard: drain the routed records, insert, merge.
+	type o23 struct{ insert, merge time.Duration }
+	o23s := make([]o23, len(c.shards))
+	c.forEachShard(func(i int, s *shard) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		recs := s.pending[sw]
+		delete(s.pending, sw)
+
+		start := time.Now()
+		touched := make([]*entry, 0, len(recs))
+		for _, r := range recs {
+			e, ok := s.table[r.Key]
+			if !ok {
+				e = &entry{merged: afr.NewMergedWithCounter(c.cfg.Kind, c.cfg.DistinctCounter)}
+				s.table[r.Key] = e
+			}
+			e.contribs = append(e.contribs, contrib{
+				sw: r.SubWindow, attr: r.Attr, distinct: r.Distinct, hasDistinct: r.HasDistinct,
+			})
+			touched = append(touched, e)
 		}
-		e.contribs = append(e.contribs, contrib{
-			sw: r.SubWindow, attr: r.Attr, distinct: r.Distinct, hasDistinct: r.HasDistinct,
-		})
-		touched = append(touched, e)
-	}
-	t.Insert += time.Since(start)
+		o23s[i].insert = time.Since(start)
 
-	// O3: merge the new contributions into running values.
-	start = time.Now()
-	for i, e := range touched {
-		r := b.afrs[i]
-		e.merged.Absorb(r.Attr, r.Distinct, r.HasDistinct)
+		start = time.Now()
+		for j, e := range touched {
+			r := recs[j]
+			e.merged.Absorb(r.Attr, r.Distinct, r.HasDistinct)
+		}
+		o23s[i].merge = time.Since(start)
+	})
+
+	c.mu.Lock()
+	t, ok := c.times[sw]
+	if !ok {
+		t = &OpTimes{}
+		c.times[sw] = t
 	}
-	t.Merge += time.Since(start)
-	delete(c.batches, sw)
+	for _, o := range o23s {
+		t.Insert += o.insert
+		t.Merge += o.merge
+	}
+	delete(c.dedups, sw)
+	c.mu.Unlock()
 
 	wStart, ok := c.cfg.Plan.Ends(sw)
 	if !ok {
 		return nil
 	}
 
-	// O4: evaluate the query over the merged table.
-	start = time.Now()
-	res := WindowResult{Start: wStart, End: sw}
-	if c.cfg.CaptureValues {
-		res.Values = make(map[packet.FlowKey]uint64, len(c.table))
+	// O4: evaluate the query over each shard's slice of the merged
+	// table, then fold.
+	type o4 struct {
+		detected []packet.FlowKey
+		values   map[packet.FlowKey]uint64
+		size     int
+		scan     time.Duration
 	}
-	for k, e := range c.table {
-		v := e.merged.Value()
-		if c.detect(k, v) {
-			res.Detected = append(res.Detected, k)
+	o4s := make([]o4, len(c.shards))
+	c.forEachShard(func(i int, s *shard) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		start := time.Now()
+		if c.cfg.CaptureValues {
+			o4s[i].values = make(map[packet.FlowKey]uint64, len(s.table))
 		}
-		if res.Values != nil {
+		for k, e := range s.table {
+			v := e.merged.Value()
+			if c.detect(k, v) {
+				o4s[i].detected = append(o4s[i].detected, k)
+			}
+			if o4s[i].values != nil {
+				o4s[i].values[k] = v
+			}
+		}
+		o4s[i].size = len(s.table)
+		o4s[i].scan = time.Since(start)
+	})
+
+	start := time.Now()
+	res := WindowResult{Start: wStart, End: sw}
+	total := 0
+	for _, o := range o4s {
+		total += o.size
+	}
+	if c.cfg.CaptureValues {
+		res.Values = make(map[packet.FlowKey]uint64, total)
+	}
+	for _, o := range o4s {
+		res.Detected = append(res.Detected, o.detected...)
+		for k, v := range o.values {
 			res.Values[k] = v
 		}
 	}
 	sort.Slice(res.Detected, func(i, j int) bool {
 		return packetKeyLess(res.Detected[i], res.Detected[j])
 	})
-	t.Process += time.Since(start)
+	fold := time.Since(start)
+
+	c.mu.Lock()
+	for _, o := range o4s {
+		t.Process += o.scan
+	}
+	t.Process += fold
+	c.mu.Unlock()
 
 	// O5: retire sub-windows that no future window needs.
 	if retire, ok := c.cfg.Plan.Retire(sw); ok {
-		start = time.Now()
-		c.evict(retire)
-		t.Evict += time.Since(start)
+		evicts := make([]time.Duration, len(c.shards))
+		c.forEachShard(func(i int, s *shard) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			start := time.Now()
+			c.evictShard(s, retire)
+			evicts[i] = time.Since(start)
+		})
+		c.mu.Lock()
+		for _, dt := range evicts {
+			t.Evict += dt
+		}
+		for old := range c.dedups {
+			if old <= retire {
+				delete(c.dedups, old)
+			}
+		}
+		c.mu.Unlock()
 	}
 	return []WindowResult{res}
 }
@@ -266,12 +511,13 @@ func (c *Controller) detect(k packet.FlowKey, v uint64) bool {
 	return v >= c.cfg.Threshold
 }
 
-// evict removes contributions of sub-windows <= retire, rebuilding merged
-// values from the surviving contributions, and deletes flows whose every
-// contribution retired (the paper's O5: "updating the merged value and
-// deleting the flows that only appear in the oldest sub-window").
-func (c *Controller) evict(retire uint64) {
-	for k, e := range c.table {
+// evictShard removes contributions of sub-windows <= retire from one
+// shard, rebuilding merged values from the surviving contributions, and
+// deletes flows whose every contribution retired (the paper's O5:
+// "updating the merged value and deleting the flows that only appear in
+// the oldest sub-window"). Caller holds s.mu.
+func (c *Controller) evictShard(s *shard, retire uint64) {
+	for k, e := range s.table {
 		kept := e.contribs[:0]
 		for _, cb := range e.contribs {
 			if cb.sw > retire {
@@ -279,7 +525,7 @@ func (c *Controller) evict(retire uint64) {
 			}
 		}
 		if len(kept) == 0 {
-			delete(c.table, k)
+			delete(s.table, k)
 			continue
 		}
 		if len(kept) != len(e.contribs) {
@@ -292,9 +538,9 @@ func (c *Controller) evict(retire uint64) {
 			e.contribs = kept
 		}
 	}
-	for sw := range c.batches {
+	for sw := range s.pending {
 		if sw <= retire {
-			delete(c.batches, sw)
+			delete(s.pending, sw)
 		}
 	}
 }

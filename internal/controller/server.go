@@ -3,6 +3,7 @@ package controller
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -10,152 +11,188 @@ import (
 	"omniwindow/internal/wire"
 )
 
-// Async serializes access to a Controller behind a single goroutine, so a
-// network collector and the window-assembly driver can share it safely.
-// All methods are safe for concurrent use; operations execute in arrival
-// order on the owning goroutine (the paper's controller likewise pins the
-// collection loop to dedicated DPDK cores).
+// Async guards a Controller for shared use by a network collector and the
+// window-assembly driver. The controller itself is safe for concurrent use
+// (ingest fans out to hash-partitioned shards), so unlike the earlier
+// command-loop design, Receive/IngestAFRs calls from many collector
+// goroutines proceed in parallel rather than serializing behind a single
+// owner goroutine — the concurrent analogue of the paper's multi-core
+// DPDK RX path. Async only adds a closed gate so late packets after Close
+// are dropped instead of touching retired state.
 type Async struct {
-	// ctrl is set once at construction and then touched only by the
-	// command-loop goroutine.
-	ctrl *Controller
-	cmds chan func()
-	wg   sync.WaitGroup
-
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	closed bool
+	ctrl   *Controller
 }
 
-// NewAsync starts the command loop around ctrl. The caller must not use
-// ctrl directly afterwards.
+// NewAsync wraps ctrl. The caller must not use ctrl directly afterwards.
 func NewAsync(ctrl *Controller) *Async {
-	a := &Async{ctrl: ctrl, cmds: make(chan func(), 1024)}
-	a.wg.Add(1)
-	go func() {
-		defer a.wg.Done()
-		for f := range a.cmds {
-			f()
-		}
-	}()
-	return a
+	return &Async{ctrl: ctrl}
 }
 
-// submit enqueues an operation unless the loop is closed.
-func (a *Async) submit(f func()) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.closed {
-		return false
-	}
-	a.cmds <- f
-	return true
-}
-
-// Receive enqueues a switch-to-controller packet (async, O1).
+// Receive ingests a switch-to-controller packet (O1); concurrent-safe.
 func (a *Async) Receive(p *packet.Packet) {
-	a.submit(func() { a.c().Receive(p) })
-}
-
-// IngestAFRs enqueues direct records (the RDMA path).
-func (a *Async) IngestAFRs(recs []packet.AFR) {
-	a.submit(func() { a.c().IngestAFRs(recs) })
-}
-
-// FinishSubWindow runs window assembly synchronously and returns the
-// completed windows.
-func (a *Async) FinishSubWindow(sw uint64) []WindowResult {
-	ch := make(chan []WindowResult, 1)
-	if !a.submit(func() { ch <- a.c().FinishSubWindow(sw) }) {
-		return nil
-	}
-	return <-ch
-}
-
-// MissingSeqs queries the reliability state synchronously.
-func (a *Async) MissingSeqs(sw uint64) []uint32 {
-	ch := make(chan []uint32, 1)
-	if !a.submit(func() { ch <- a.c().MissingSeqs(sw) }) {
-		return nil
-	}
-	return <-ch
-}
-
-// TableSize reports the key-value table size synchronously.
-func (a *Async) TableSize() int {
-	ch := make(chan int, 1)
-	if !a.submit(func() { ch <- a.c().TableSize() }) {
-		return 0
-	}
-	return <-ch
-}
-
-// Close drains and stops the command loop.
-func (a *Async) Close() {
-	a.mu.Lock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if a.closed {
-		a.mu.Unlock()
 		return
 	}
-	a.closed = true
-	a.mu.Unlock()
-	close(a.cmds)
-	a.wg.Wait()
+	a.ctrl.Receive(p)
 }
 
-// c returns the wrapped controller (command-loop goroutine only).
-func (a *Async) c() *Controller { return a.ctrl }
+// IngestAFRs ingests direct records (the RDMA path); concurrent-safe.
+func (a *Async) IngestAFRs(recs []packet.AFR) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return
+	}
+	a.ctrl.IngestAFRs(recs)
+}
+
+// FinishSubWindow runs window assembly and returns the completed windows.
+func (a *Async) FinishSubWindow(sw uint64) []WindowResult {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return nil
+	}
+	return a.ctrl.FinishSubWindow(sw)
+}
+
+// MissingSeqs queries the reliability state.
+func (a *Async) MissingSeqs(sw uint64) []uint32 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return nil
+	}
+	return a.ctrl.MissingSeqs(sw)
+}
+
+// TableSize reports the key-value table size.
+func (a *Async) TableSize() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return 0
+	}
+	return a.ctrl.TableSize()
+}
+
+// Close rejects all further operations; in-flight calls drain first.
+func (a *Async) Close() {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+}
 
 // Collector is a UDP server receiving wire-encoded AFR datagrams from
 // switches — the network-facing stand-in for the paper's DPDK RX path.
+// A dedicated reader goroutine drains the socket as fast as it can copy
+// (minimizing kernel-buffer overflow drops, the analogue of DPDK's RX
+// ring), handing datagrams to a pool of ingest workers that decode and
+// feed the controller concurrently; the sink's sharded controller lets
+// those workers proceed in parallel.
 type Collector struct {
-	conn  net.PacketConn
-	sink  *Async
-	wg    sync.WaitGroup
-	drops atomic.Int64
+	conn    net.PacketConn
+	sink    *Async
+	readWG  sync.WaitGroup
+	workWG  sync.WaitGroup
+	queue   chan []byte
+	drops   atomic.Int64
+	recvd   atomic.Int64
+	overrun atomic.Int64
 }
 
-// NewCollector starts serving datagrams from conn into sink. Close the
-// conn (or call Close) to stop.
+// NewCollector starts serving datagrams from conn into sink with one
+// ingest worker per core. Close the conn (or call Close) to stop.
 func NewCollector(conn net.PacketConn, sink *Async) *Collector {
-	c := &Collector{conn: conn, sink: sink}
-	c.wg.Add(1)
-	go c.loop()
+	return NewCollectorWorkers(conn, sink, runtime.GOMAXPROCS(0))
+}
+
+// NewCollectorWorkers starts serving datagrams with the given number of
+// concurrent ingest workers (at least one).
+func NewCollectorWorkers(conn net.PacketConn, sink *Async, workers int) *Collector {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Collector{conn: conn, sink: sink, queue: make(chan []byte, 4096)}
+	c.readWG.Add(1)
+	go c.readLoop()
+	c.workWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go c.ingestLoop()
+	}
 	return c
 }
 
 // Addr returns the listening address.
 func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 
-func (c *Collector) loop() {
-	defer c.wg.Done()
-	buf := make([]byte, 64*1024)
+// readLoop drains the socket, queueing raw datagrams for the workers.
+func (c *Collector) readLoop() {
+	defer c.readWG.Done()
+	defer close(c.queue)
+	scratch := make([]byte, 64*1024)
 	for {
-		n, _, err := c.conn.ReadFrom(buf)
+		n, _, err := c.conn.ReadFrom(scratch)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
 			continue
 		}
-		p, err := wire.Decode(buf[:n])
+		d := make([]byte, n)
+		copy(d, scratch[:n])
+		select {
+		case c.queue <- d:
+		default:
+			// Queue full: count the overrun but keep draining the
+			// socket; blocking here would push the loss into the
+			// kernel buffer where it is invisible.
+			c.overrun.Add(1)
+		}
+	}
+}
+
+// ingestLoop decodes queued datagrams and feeds the controller.
+func (c *Collector) ingestLoop() {
+	defer c.workWG.Done()
+	for d := range c.queue {
+		p, err := wire.Decode(d)
 		if err != nil {
 			c.drops.Add(1)
 			continue
 		}
 		c.sink.Receive(p)
+		c.recvd.Add(1)
 	}
 }
 
-// Close stops the collector and waits for the loop to exit.
+// Close stops the collector: the reader exits, the queue drains, and
+// every ingest worker finishes before Close returns.
 func (c *Collector) Close() error {
 	err := c.conn.Close()
-	c.wg.Wait()
+	c.readWG.Wait()
+	c.workWG.Wait()
 	return err
 }
 
 // Drops reports datagrams that failed to decode. Safe to call while the
 // collector is running.
 func (c *Collector) Drops() int { return int(c.drops.Load()) }
+
+// Received reports datagrams that decoded and were fully ingested into
+// the controller — a delivery barrier for callers that must observe all
+// sent state (once Received covers every datagram sent, the controller's
+// reliability view is current). Safe to call while running.
+func (c *Collector) Received() int { return int(c.recvd.Load()) }
+
+// Overruns reports datagrams discarded because the ingest queue was full
+// (the reliability protocol's retransmission covers them, §8). Safe to
+// call while the collector is running.
+func (c *Collector) Overruns() int { return int(c.overrun.Load()) }
 
 // SendDatagram wire-encodes p and sends it to addr over conn — the
 // switch-side transmit helper.

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with -race; wall-clock
+// performance assertions are meaningless under the detector's
+// instrumentation and skip themselves.
+const raceEnabled = true

@@ -102,6 +102,15 @@ func CRC32C(k packet.FlowKey) uint32 {
 	return crc32.Checksum(b[:], castagnoli)
 }
 
+// Shard maps a flow key into [0, n) shards via CRC-32C with multiply-shift
+// range reduction — the controller's table partitioner. It uses the same
+// hardware-accelerated CRC as the key-value table itself (rte_hash in the
+// paper's DPDK controller), and is independent of the sketch family's
+// seeded mixers so sharding cannot correlate with sketch bucketing.
+func Shard(k packet.FlowKey, n int) int {
+	return int(uint64(CRC32C(k)) * uint64(n) >> 32)
+}
+
 // Family is a set of n independent hash functions sharing a base seed,
 // one per sketch row.
 type Family struct {

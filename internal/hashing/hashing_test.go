@@ -146,6 +146,30 @@ func TestCRC32CMatchesKnownProperties(t *testing.T) {
 	}
 }
 
+func TestShardRangeAndBalance(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 8, 16} {
+		counts := make([]int, n)
+		for i := 0; i < 4096; i++ {
+			k := packet.FlowKey{SrcIP: uint32(Mix64(uint64(i))), DstIP: uint32(i), DstPort: 443, Proto: 6}
+			s := Shard(k, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Shard(%d shards) = %d out of range", n, s)
+			}
+			counts[s]++
+			if Shard(k, n) != s {
+				t.Fatal("Shard not deterministic")
+			}
+		}
+		// Every shard must receive a reasonable slice of a uniform key
+		// population: no shard under 1/4 of the fair share.
+		for s, c := range counts {
+			if c < 4096/n/4 {
+				t.Fatalf("shard %d/%d starved: %d of 4096 keys", s, n, c)
+			}
+		}
+	}
+}
+
 func BenchmarkKey64(b *testing.B) {
 	k := packet.FlowKey{SrcIP: 0x0A0B0C0D, DstIP: 0x01020304, SrcPort: 5555, DstPort: 443, Proto: 6}
 	var sink uint64

@@ -57,6 +57,11 @@ type Config struct {
 	DistinctCounter afr.DistinctCounter
 	// CaptureValues copies merged per-flow values into window results.
 	CaptureValues bool
+	// Shards is the number of hash partitions of each controller's
+	// key-value table; window assembly runs one worker per shard.
+	// <= 0 defaults to runtime.GOMAXPROCS(0); 1 forces the sequential
+	// controller. Results are identical for every shard count.
+	Shards int
 
 	// AppFactory builds one region's application state, sized for one
 	// sub-window's traffic. Called once per memory region.
@@ -287,15 +292,20 @@ func New(cfg Config) (*Deployment, error) {
 	}
 
 	d.appResults = make([][]controller.WindowResult, len(apps))
-	for _, spec := range apps {
-		d.ctrls = append(d.ctrls, controller.New(controller.Config{
+	for i, spec := range apps {
+		ctrl, err := controller.NewWithError(controller.Config{
 			Plan:            cfg.Plan,
 			Kind:            spec.Kind,
 			Threshold:       spec.Threshold,
 			Detector:        spec.Detector,
 			DistinctCounter: spec.DistinctCounter,
 			CaptureValues:   spec.CaptureValues,
-		}))
+			Shards:          cfg.Shards,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("omniwindow: app %d controller: %w", i, err)
+		}
+		d.ctrls = append(d.ctrls, ctrl)
 	}
 	d.ctrl = d.ctrls[0]
 

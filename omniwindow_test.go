@@ -1,6 +1,7 @@
 package omniwindow
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -322,5 +323,35 @@ func TestResourceLedgerHasAllFeatures(t *testing.T) {
 	total := ledger.Total()
 	if total.SALUs == 0 || total.SRAMKB == 0 {
 		t.Fatalf("ledger empty: %+v", total)
+	}
+}
+
+func TestShardedDeploymentMatchesSequential(t *testing.T) {
+	// The controller shard count must never change deployment results:
+	// the same trace through Shards=1 and Shards=8 deployments yields
+	// identical windows (detections and captured values).
+	pkts := append(burstTrace(map[int64][]int{50 * ms: {1, 2, 3}, 250 * ms: {1, 4}}, 60),
+		burstTrace(map[int64][]int{450 * ms: {1, 5}}, 80)...)
+
+	run := func(shards int) []WindowResult {
+		cfg := freqConfig(window.SlidingPlan(5, 1), 100, false)
+		cfg.Shards = shards
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := d.RunFor(pkts, 700*ms)
+		if err := d.assertConsistent(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sharded deployment diverged:\n seq %+v\n par %+v", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no windows produced")
 	}
 }
