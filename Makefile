@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test race bench fuzz examples reproduce fmt vet clean \
-	ci fmt-check fuzz-smoke bench-smoke
+	ci fmt-check fuzz-smoke bench-smoke chaos
 
 all: build vet test
 
@@ -18,7 +18,13 @@ race:
 	$(GO) test -race ./...
 
 # ci mirrors .github/workflows/ci.yml so the same gates run locally.
-ci: build vet fmt-check test race fuzz-smoke bench-smoke
+ci: build vet fmt-check test race chaos fuzz-smoke bench-smoke
+
+# Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
+# schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
+# tables) make every schedule a reproducible test case.
+chaos:
+	$(GO) test -race -run 'Chaos' . ./internal/controller/ ./internal/faults/
 
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
@@ -26,7 +32,8 @@ fmt-check:
 
 # Short fuzz and bench runs that surface parser/perf regressions in PRs.
 fuzz-smoke:
-	$(GO) test -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 10s ./internal/wire/
 
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkController -benchtime 1x .
@@ -40,7 +47,8 @@ microbench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/...
 
 fuzz:
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 30s ./internal/wire/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,115 @@
+package omniwindow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"omniwindow/internal/faults"
+	"omniwindow/internal/window"
+)
+
+// TestChaosNeverDoubleCountsProperty: for ANY seeded fault schedule with
+// loss below 100%, sequence dedup plus bounded NACK/retransmit recovery
+// yields per-key counts equal to the lossless baseline — duplicates never
+// inflate a count, and retransmitted records never land twice. Schedules
+// are drawn from a seeded meta-RNG so failures replay exactly.
+func TestChaosNeverDoubleCountsProperty(t *testing.T) {
+	baseline := runChaos(t, nil)
+	if len(baseline.Results()) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+
+	meta := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 12; trial++ {
+		fc := faults.Config{
+			Seed:          meta.Int63(),
+			Drop:          meta.Float64() * 0.5, // loss < 100%: recovery can win
+			Duplicate:     meta.Float64() * 0.5,
+			MaxDuplicates: 1 + meta.Intn(3),
+		}
+		inj := faults.New(fc)
+		d := runChaos(t, func(c *Config) {
+			c.AFRFaults = inj
+			// Enough rounds that a <=50% per-packet loss rate converges
+			// with overwhelming probability.
+			c.RetryLimit = 30
+		})
+		if d.Stats().IncompleteSubWindows != 0 {
+			t.Fatalf("trial %d (cfg %+v): %d incomplete sub-windows",
+				trial, fc, d.Stats().IncompleteSubWindows)
+		}
+		got, want := d.Results(), baseline.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (cfg %+v): %d windows, want %d", trial, fc, len(got), len(want))
+		}
+		for i := range want {
+			for k, v := range want[i].Values {
+				if got[i].Values[k] != v {
+					t.Fatalf("trial %d (cfg %+v) window %d key %v: got %d want %d",
+						trial, fc, i, k, got[i].Values[k], v)
+				}
+			}
+			for k, v := range got[i].Values {
+				if want[i].Values[k] != v {
+					t.Fatalf("trial %d (cfg %+v) window %d phantom key %v = %d",
+						trial, fc, i, k, v)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosRDMAVerbErrors: injected RDMA completion errors must never
+// lose telemetry data — the failed verb's record falls back to the
+// packet path, so results match a fault-free RDMA run exactly.
+func TestChaosRDMAVerbErrors(t *testing.T) {
+	run := func(inj *faults.Injector) *Deployment {
+		cfg := freqConfig(window.SlidingPlan(3, 1), 25, true)
+		cfg.AFRFaults = inj
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.RunFor(chaosTrace(), 500*ms)
+		return d
+	}
+	baseline := run(nil)
+	if len(baseline.Results()) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		inj := faults.New(faults.Config{Seed: seed, VerbError: 0.3})
+		d := run(inj)
+		if inj.Stats().VerbErrors == 0 {
+			t.Fatalf("seed %d: schedule injected no verb errors", seed)
+		}
+		if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+			t.Fatalf("seed %d: verb errors changed results:\nbaseline: %+v\nfaulted:  %+v",
+				seed, baseline.Results(), d.Results())
+		}
+	}
+}
+
+// TestChaosRetryKnobsBoundVirtualTime: recovery waits are charged to the
+// C&R virtual-time budget, so the configured backoff knobs bound the
+// worst-case stall a lossy sub-window can add.
+func TestChaosRetryKnobsBoundVirtualTime(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: 1, Drop: 1})
+	d := runChaos(t, func(c *Config) {
+		c.AFRFaults = inj
+		c.RetryLimit = 3
+		c.RetryBackoff = time.Millisecond
+		c.RetryMaxBackoff = 2 * time.Millisecond
+	})
+	// Per sub-window: 1ms + 2ms + 2ms of backoff on top of the lossless
+	// C&R time; the budget must stay within the 100 ms sub-window.
+	if err := d.assertConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().RecoveryRounds == 0 {
+		t.Fatal("no recovery rounds charged")
+	}
+}

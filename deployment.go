@@ -313,13 +313,28 @@ func (d *Deployment) collect(sw uint64) {
 
 		// Phase 3 — reliability: recover AFRs lost on the way (§8),
 		// before the reset destroys the state they are queried from.
+		// The controller NACKs the sequence gaps; the switch re-queries
+		// and retransmits; bounded retries with exponential backoff
+		// (charged to the C&R virtual-time budget) keep an unrecoverable
+		// loss from stalling the reset forever — the sub-window then
+		// finalizes with its gaps recorded and its windows Incomplete.
 		// The RDMA path needs no recovery: RoCEv2 RC transport is
 		// reliable and hot records bypass the packet path entirely.
 		if !d.cfg.RDMA {
-			if missing := d.ctrl.MissingSeqs(sw); len(missing) > 0 {
-				recovered := d.engine.Retransmit(missing)
-				d.ingestByApp(recovered)
-				d.stats.Retransmitted += len(recovered)
+			rec := controller.RecoverSubWindow(d.retryPolicy(),
+				func() []uint32 { return d.ctrl.MissingSeqs(sw) },
+				func(seqs []uint32) error {
+					for _, rp := range d.engine.RetransmitPackets(seqs) {
+						d.stats.Retransmitted += len(rp.OW.AFRs)
+						d.deliverAFRs(rp)
+					}
+					return nil
+				},
+				func(wait time.Duration) { virtual += wait },
+			)
+			d.stats.RecoveryRounds += rec.Rounds
+			if !rec.Complete && len(rec.Missing) > 0 {
+				d.stats.IncompleteSubWindows++
 			}
 		}
 
@@ -384,8 +399,30 @@ func (d *Deployment) collect(sw uint64) {
 	}
 }
 
-// deliverAFRs routes AFR-bearing packets to the controller — via the RNIC
-// when RDMA is enabled, via DPDK packet RX otherwise.
+// retryPolicy resolves the configured reliability knobs against the
+// controller defaults. A negative RetryLimit disables recovery.
+func (d *Deployment) retryPolicy() controller.RetryPolicy {
+	pol := controller.DefaultRetryPolicy()
+	switch {
+	case d.cfg.RetryLimit < 0:
+		pol.MaxRetries = 0
+	case d.cfg.RetryLimit > 0:
+		pol.MaxRetries = d.cfg.RetryLimit
+	}
+	if d.cfg.RetryBackoff > 0 {
+		pol.Backoff = d.cfg.RetryBackoff
+	}
+	if d.cfg.RetryMaxBackoff > 0 {
+		pol.MaxBackoff = d.cfg.RetryMaxBackoff
+	}
+	return pol
+}
+
+// deliverAFRs routes AFR-bearing packets (first transmissions and
+// retransmissions) toward the controller, first pushing them through the
+// configured fault schedule: a drop loses the packet — the reliability
+// protocol must notice and repair — and duplicates arrive back to back,
+// which the controller's sequence dedup must suppress.
 func (d *Deployment) deliverAFRs(c *packet.Packet) {
 	if d.testAFRLoss != nil {
 		i := d.afrPktCount
@@ -394,6 +431,21 @@ func (d *Deployment) deliverAFRs(c *packet.Packet) {
 			return // injected loss: cloned packets have lowest priority
 		}
 	}
+	if d.cfg.AFRFaults != nil {
+		act := d.cfg.AFRFaults.Packet()
+		if act.Drop {
+			return
+		}
+		for i := 0; i < act.Duplicates; i++ {
+			d.deliverAFRsOnce(c.Clone())
+		}
+	}
+	d.deliverAFRsOnce(c)
+}
+
+// deliverAFRsOnce hands one surviving packet to the controller — via the
+// RNIC when RDMA is enabled, via DPDK packet RX otherwise.
+func (d *Deployment) deliverAFRsOnce(c *packet.Packet) {
 	if !d.cfg.RDMA {
 		if len(d.ctrls) == 1 {
 			d.ctrl.Receive(c)

@@ -6,6 +6,11 @@
 // controller, which assembles the merged window and answers the query —
 // the paper's DPDK collection path as an ordinary network service.
 //
+// The uplink is deliberately lossy: a seeded fault schedule drops,
+// duplicates and reorders a few percent of the AFR datagrams, and the §8
+// NACK/retransmit recovery loop repairs the gaps before each region
+// resets — so the printed windows are exact despite the losses.
+//
 // Run with:
 //
 //	go run ./examples/udpcollector
@@ -20,6 +25,7 @@ import (
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/controller"
+	"omniwindow/internal/faults"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/sketch"
 	"omniwindow/internal/switchsim"
@@ -61,18 +67,37 @@ func main() {
 	col := controller.NewCollector(serverConn, ctrl)
 	defer ctrl.Close()
 
-	// ---- Switch machine: data plane + UDP uplink. ----
+	// ---- Switch machine: data plane + lossy UDP uplink. ----
 	uplink, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer uplink.Close()
-	sent := 0
+	// The fault layer touches only AFR/retransmit frames (trigger frames
+	// stay lossless so the controller always learns the key count).
+	lossy := faults.WrapPacketConn(uplink, faults.New(faults.Config{
+		Seed: 42, Drop: 0.03, Duplicate: 0.01, Reorder: 0.02, Truncate: 0.005, Corrupt: 0.005,
+	}), func(b []byte) bool {
+		return len(b) > 3 && (b[3] == byte(packet.OWAFR) || b[3] == byte(packet.OWRetransmit))
+	})
 	send := func(p *packet.Packet) {
-		if err := controller.SendDatagram(uplink, col.Addr(), p); err != nil {
+		if err := controller.SendDatagram(lossy, col.Addr(), p); err != nil {
 			log.Fatal(err)
 		}
-		sent++
+	}
+	// barrier waits until the collector has accounted for every datagram
+	// the fault layer actually put on the wire — ingested, rejected by
+	// the decoder, or shed on overrun. The reliability protocol handles
+	// the rest: dropped datagrams never arrive by design.
+	barrier := func() {
+		if err := lossy.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for col.Received()+col.Recovered()+col.Drops()+col.Overruns() < lossy.Delivered() &&
+			time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 
 	mgr := window.NewManager(window.TimeoutSignal{Interval: subWindow}, window.NewRegions(2, slots))
@@ -114,6 +139,7 @@ func main() {
 	}
 	pkts := trace.New(cfg).Generate()
 
+	recovered := 0
 	collect := func(sw64 uint64) {
 		engine.BeginCollection(sw64)
 		for i := 0; i < 3; i++ {
@@ -121,6 +147,26 @@ func main() {
 			for _, c := range out.ToController {
 				send(c)
 			}
+		}
+		// Reliability (§8): NACK the sequence gaps and retransmit before
+		// the reset below destroys the state the re-queries need.
+		barrier()
+		rec := controller.RecoverSubWindow(controller.DefaultRetryPolicy(),
+			func() []uint32 {
+				barrier()
+				return ctrl.MissingSeqs(sw64)
+			},
+			func(seqs []uint32) error {
+				recovered += len(seqs)
+				for _, rp := range engine.RetransmitPackets(seqs) {
+					send(rp)
+				}
+				return lossy.Flush()
+			},
+			time.Sleep)
+		if !rec.Complete && len(rec.Missing) > 0 {
+			fmt.Printf("sub %d: %d AFRs unrecoverable after %d rounds\n",
+				sw64, len(rec.Missing), rec.Rounds)
 		}
 		for i := 0; i < 3; i++ {
 			sw.Inject(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWReset}})
@@ -146,23 +192,25 @@ func main() {
 	send(trig)
 	collect(last)
 
-	// ---- Controller machine: wait for delivery, assemble the window. ----
-	deadline := time.Now().Add(3 * time.Second)
-	for col.Received() < sent && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
+	// ---- Controller machine: assemble the windows. ----
+	barrier()
 	for sub := uint64(0); sub <= last; sub++ {
 		if missing := ctrl.MissingSeqs(sub); missing != nil {
-			fmt.Printf("sub %d: %d AFRs lost in flight\n", sub, len(missing))
+			fmt.Printf("sub %d: %d AFRs still missing after recovery\n", sub, len(missing))
 		}
 		for _, w := range ctrl.FinishSubWindow(sub) {
-			fmt.Printf("window [sub %d..%d]: %d flows merged, heavy hitters:\n",
-				w.Start, w.End, len(w.Values))
+			marker := ""
+			if w.Incomplete {
+				marker = fmt.Sprintf(" [INCOMPLETE: %d AFRs lost]", w.MissingAFRs)
+			}
+			fmt.Printf("window [sub %d..%d]%s: %d flows merged, heavy hitters:\n",
+				w.Start, w.End, marker, len(w.Values))
 			for _, k := range w.Detected {
 				fmt.Printf("  %s = %d packets\n", k, w.Values[k])
 			}
 		}
 	}
 	col.Close()
-	fmt.Printf("collector decode failures: %d\n", col.Drops())
+	fmt.Printf("uplink: %d datagrams on the wire, %d first deliveries, %d recovered, %d NACKed, %d decode failures\n",
+		lossy.Delivered(), col.Received(), col.Recovered(), recovered, col.Drops())
 }

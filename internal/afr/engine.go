@@ -6,6 +6,7 @@ import (
 	"omniwindow/internal/packet"
 	"omniwindow/internal/switchsim"
 	"omniwindow/internal/window"
+	"omniwindow/internal/wire"
 )
 
 // Attr is the application-derived attribute of one flow in one sub-window:
@@ -321,6 +322,26 @@ func (e *Engine) Retransmit(seqs []uint32) []packet.AFR {
 		if int(s) < len(keys) {
 			out = append(out, e.queryAFRs(keys[s], s)...)
 		}
+	}
+	return out
+}
+
+// RetransmitPackets answers a NACK: it re-queries the requested sequence
+// indexes and wraps the records into OWRetransmit packets, chunked to the
+// wire AFR bound, ready to send to the controller. The distinct flag lets
+// the controller's delivery accounting tell recoveries from first
+// deliveries.
+func (e *Engine) RetransmitPackets(seqs []uint32) []*packet.Packet {
+	recs := e.Retransmit(seqs)
+	out := make([]*packet.Packet, 0, (len(recs)+wire.MaxAFRsPerDatagram-1)/wire.MaxAFRsPerDatagram)
+	for start := 0; start < len(recs); start += wire.MaxAFRsPerDatagram {
+		end := min(start+wire.MaxAFRsPerDatagram, len(recs))
+		out = append(out, &packet.Packet{OW: packet.OWHeader{
+			Flag:         packet.OWRetransmit,
+			SubWindow:    e.collectSW,
+			HasSubWindow: true,
+			AFRs:         append([]packet.AFR(nil), recs[start:end]...),
+		}})
 	}
 	return out
 }

@@ -23,6 +23,7 @@ import (
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/hashing"
+	"omniwindow/internal/metrics"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/window"
 )
@@ -81,12 +82,14 @@ type shard struct {
 }
 
 // dedup is the per-sub-window arrival state shared by every shard: the
-// AFR sequence numbers seen so far (duplicate suppression, §8 reliability)
-// and the key count announced by the trigger packet (-1 when unknown).
+// AFR sequence numbers seen so far (duplicate suppression, §8 reliability),
+// the key count announced by the trigger packet (-1 when unknown), and the
+// count of sequences whose first arrival was a retransmission.
 type dedup struct {
-	mu       sync.Mutex
-	seen     map[uint32]bool
-	expected int
+	mu        sync.Mutex
+	seen      map[uint32]bool
+	expected  int
+	recovered int
 }
 
 // OpTimes is the per-sub-window controller time breakdown of Exp#4.
@@ -118,6 +121,13 @@ type WindowResult struct {
 	// Values are the merged per-flow statistics (nil unless
 	// Config.CaptureValues).
 	Values map[packet.FlowKey]uint64
+	// Incomplete reports that announced AFRs of at least one constituent
+	// sub-window never arrived, even after the reliability protocol's
+	// bounded retries — the window's statistics are a lower bound, not
+	// ground truth, and downstream consumers must not treat the two the
+	// same (§8). MissingAFRs counts the absent records.
+	Incomplete  bool
+	MissingAFRs int
 }
 
 // Controller assembles windows from AFR batches. Ingest (Receive,
@@ -127,12 +137,16 @@ type Controller struct {
 	cfg    Config
 	shards []*shard
 
-	// mu guards dedups and times. Per-shard and per-sub-window state
-	// have their own finer locks so concurrent ingest mostly avoids
-	// this one.
+	// mu guards dedups, times and rel. Per-shard and per-sub-window
+	// state have their own finer locks so concurrent ingest mostly
+	// avoids this one.
 	mu     sync.Mutex
 	dedups map[uint64]*dedup
 	times  map[uint64]*OpTimes
+	// rel records each finished sub-window's final delivery accounting
+	// (snapshotted by FinishSubWindow before the dedup state retires) so
+	// window assembly can mark windows with unrecovered gaps Incomplete.
+	rel map[uint64]metrics.Reliability
 
 	// finishMu serializes window assembly: FinishSubWindow drains and
 	// merges every shard, so two assemblies must not interleave.
@@ -154,6 +168,7 @@ func NewWithError(cfg Config) (*Controller, error) {
 		shards: make([]*shard, cfg.Shards),
 		dedups: make(map[uint64]*dedup),
 		times:  make(map[uint64]*OpTimes),
+		rel:    make(map[uint64]metrics.Reliability),
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -235,9 +250,10 @@ func (c *Controller) Times(sw uint64) OpTimes {
 func (c *Controller) Receive(p *packet.Packet) {
 	start := time.Now()
 	switch p.OW.Flag {
-	case packet.OWAFR:
+	case packet.OWAFR, packet.OWRetransmit:
+		retrans := p.OW.Flag == packet.OWRetransmit
 		for _, r := range p.OW.AFRs {
-			c.ingestOne(r)
+			c.ingestOne(r, retrans)
 			c.addCollect(r.SubWindow, time.Since(start))
 			start = time.Now()
 		}
@@ -250,8 +266,11 @@ func (c *Controller) Receive(p *packet.Packet) {
 	}
 }
 
-// ingestOne dedups one record and routes it to its shard.
-func (c *Controller) ingestOne(r packet.AFR) {
+// ingestOne dedups one record and routes it to its shard. retrans marks
+// records arriving via the NACK/retransmit path, so recovery accounting
+// counts only sequences whose FIRST arrival was a retransmission (a
+// retransmit of a record that also arrived normally is a plain duplicate).
+func (c *Controller) ingestOne(r packet.AFR, retrans bool) {
 	si := c.shardIndex(r.Key)
 	d := c.dedupFor(r.SubWindow)
 	d.mu.Lock()
@@ -260,6 +279,9 @@ func (c *Controller) ingestOne(r packet.AFR) {
 		return // duplicate delivery
 	}
 	d.seen[r.Seq] = true
+	if retrans {
+		d.recovered++
+	}
 	d.mu.Unlock()
 	s := c.shards[si]
 	s.mu.Lock()
@@ -340,6 +362,40 @@ func (c *Controller) MissingSeqs(sw uint64) []uint32 {
 	return missing
 }
 
+// snapshotReliability reads a dedup's delivery accounting. Caller must
+// not hold d.mu.
+func snapshotReliability(d *dedup) metrics.Reliability {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := metrics.Reliability{Expected: d.expected, Received: len(d.seen), Recovered: d.recovered}
+	if d.expected >= 0 {
+		for s := 0; s < d.expected; s++ {
+			if !d.seen[uint32(s)] {
+				r.Missing++
+			}
+		}
+	}
+	return r
+}
+
+// Reliability reports a sub-window's AFR delivery accounting: live state
+// while the sub-window is still collecting, the final snapshot after
+// FinishSubWindow, and a zero-value "never heard of it" record (Expected
+// -1) otherwise.
+func (c *Controller) Reliability(sw uint64) metrics.Reliability {
+	c.mu.Lock()
+	d, live := c.dedups[sw]
+	rel, done := c.rel[sw]
+	c.mu.Unlock()
+	if live {
+		return snapshotReliability(d)
+	}
+	if done {
+		return rel
+	}
+	return metrics.Reliability{Expected: -1}
+}
+
 // forEachShard runs f once per shard — inline when there is a single
 // shard, on a worker goroutine per shard otherwise.
 func (c *Controller) forEachShard(f func(i int, s *shard)) {
@@ -415,6 +471,14 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		t.Insert += o.insert
 		t.Merge += o.merge
 	}
+	// Snapshot the final delivery accounting before retiring the dedup
+	// state: window assembly needs to know whether recovery left gaps.
+	if d, live := c.dedups[sw]; live {
+		c.mu.Unlock()
+		rel := snapshotReliability(d)
+		c.mu.Lock()
+		c.rel[sw] = rel
+	}
 	delete(c.dedups, sw)
 	c.mu.Unlock()
 
@@ -454,6 +518,12 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 
 	start := time.Now()
 	res := WindowResult{Start: wStart, End: sw}
+	c.mu.Lock()
+	for s := wStart; s <= sw; s++ {
+		res.MissingAFRs += c.rel[s].Missing
+	}
+	c.mu.Unlock()
+	res.Incomplete = res.MissingAFRs > 0
 	total := 0
 	for _, o := range o4s {
 		total += o.size
@@ -496,6 +566,11 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		for old := range c.dedups {
 			if old <= retire {
 				delete(c.dedups, old)
+			}
+		}
+		for old := range c.rel {
+			if old <= retire {
+				delete(c.rel, old)
 			}
 		}
 		c.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"omniwindow/internal/metrics"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/wire"
 )
@@ -70,6 +71,16 @@ func (a *Async) MissingSeqs(sw uint64) []uint32 {
 	return a.ctrl.MissingSeqs(sw)
 }
 
+// Reliability queries a sub-window's delivery accounting.
+func (a *Async) Reliability(sw uint64) metrics.Reliability {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return metrics.Reliability{Expected: -1}
+	}
+	return a.ctrl.Reliability(sw)
+}
+
 // TableSize reports the key-value table size.
 func (a *Async) TableSize() int {
 	a.mu.RLock()
@@ -102,6 +113,7 @@ type Collector struct {
 	queue   chan []byte
 	drops   atomic.Int64
 	recvd   atomic.Int64
+	recov   atomic.Int64
 	overrun atomic.Int64
 }
 
@@ -157,6 +169,10 @@ func (c *Collector) readLoop() {
 }
 
 // ingestLoop decodes queued datagrams and feeds the controller.
+// Retransmitted datagrams count as Recovered, not Received: a delivery
+// barrier compares Received against first-transmission sends, and folding
+// recoveries into it would make "everything sent has arrived" true before
+// it is (the Drops-vs-Received accounting bug this split fixes).
 func (c *Collector) ingestLoop() {
 	defer c.workWG.Done()
 	for d := range c.queue {
@@ -166,7 +182,11 @@ func (c *Collector) ingestLoop() {
 			continue
 		}
 		c.sink.Receive(p)
-		c.recvd.Add(1)
+		if p.OW.Flag == packet.OWRetransmit {
+			c.recov.Add(1)
+		} else {
+			c.recvd.Add(1)
+		}
 	}
 }
 
@@ -179,15 +199,24 @@ func (c *Collector) Close() error {
 	return err
 }
 
-// Drops reports datagrams that failed to decode. Safe to call while the
-// collector is running.
+// Drops reports datagrams that failed to decode (truncated, corrupted —
+// the wire checksum catches in-flight bit flips — or garbage). Safe to
+// call while the collector is running.
 func (c *Collector) Drops() int { return int(c.drops.Load()) }
 
-// Received reports datagrams that decoded and were fully ingested into
-// the controller — a delivery barrier for callers that must observe all
-// sent state (once Received covers every datagram sent, the controller's
-// reliability view is current). Safe to call while running.
+// Received reports first-transmission datagrams that decoded and were
+// fully ingested into the controller — a delivery barrier for callers
+// that must observe all sent state (once Received covers every datagram
+// sent, the controller's reliability view is current). Retransmitted
+// datagrams are excluded; see Recovered. Safe to call while running.
 func (c *Collector) Received() int { return int(c.recvd.Load()) }
+
+// Recovered reports ingested OWRetransmit datagrams — records the
+// reliability protocol brought back after loss. Keeping them out of
+// Received gives observability tests exact delivery accounting: sent
+// first transmissions reconcile against Received+Drops, NACK answers
+// against Recovered. Safe to call while running.
+func (c *Collector) Recovered() int { return int(c.recov.Load()) }
 
 // Overruns reports datagrams discarded because the ingest queue was full
 // (the reliability protocol's retransmission covers them, §8). Safe to

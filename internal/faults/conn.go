@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// PacketConn wraps a net.PacketConn, pushing every outbound datagram
+// through an Injector before it reaches the wire — the lossy network
+// between a switch's uplink and controller.Collector. Reads are untouched
+// (faults are injected once, on the send side, so the schedule stays
+// deterministic regardless of receiver goroutine timing).
+//
+// Reordered datagrams are parked inside the injector and released behind
+// later sends; Flush forces them out before a delivery barrier. Because a
+// parked datagram loses its destination, a PacketConn tracks the first
+// WriteTo address and requires every subsequent faulted write to target
+// it — the telemetry uplink always has exactly one collector.
+type PacketConn struct {
+	net.PacketConn
+	in     *Injector
+	filter func([]byte) bool
+
+	mu        sync.Mutex
+	dst       net.Addr
+	delivered atomic.Int64
+}
+
+// WrapPacketConn wraps conn. filter, when non-nil, selects the datagrams
+// subject to faults (by raw bytes, e.g. on the wire flag octet); the rest
+// pass through untouched. A nil filter faults everything.
+func WrapPacketConn(conn net.PacketConn, in *Injector, filter func([]byte) bool) *PacketConn {
+	return &PacketConn{PacketConn: conn, in: in, filter: filter}
+}
+
+// WriteTo sends b through the fault schedule. It reports b fully written
+// even when the schedule swallowed it: the sender must not learn of the
+// loss — detecting it is the reliability protocol's job.
+func (c *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	if c.filter != nil && !c.filter(b) {
+		n, err := c.PacketConn.WriteTo(b, addr)
+		if err == nil {
+			c.delivered.Add(1)
+		}
+		return n, err
+	}
+	c.mu.Lock()
+	if c.dst == nil {
+		c.dst = addr
+	}
+	c.mu.Unlock()
+	for _, d := range c.in.Datagrams(b) {
+		if len(d) == 0 {
+			continue // truncated to nothing: indistinguishable from a drop
+		}
+		if _, err := c.PacketConn.WriteTo(d, addr); err != nil {
+			return 0, err
+		}
+		c.delivered.Add(1)
+	}
+	return len(b), nil
+}
+
+// Flush releases every datagram parked for reordering. Call it before a
+// delivery barrier (e.g. before polling the collector's ingest counters).
+func (c *PacketConn) Flush() error {
+	c.mu.Lock()
+	dst := c.dst
+	c.mu.Unlock()
+	for _, d := range c.in.Flush() {
+		if len(d) == 0 || dst == nil {
+			continue
+		}
+		if _, err := c.PacketConn.WriteTo(d, dst); err != nil {
+			return err
+		}
+		c.delivered.Add(1)
+	}
+	return nil
+}
+
+// Delivered reports the datagrams actually put on the wire (fault
+// survivors plus duplicates plus filtered passthroughs) — the count a
+// delivery barrier must compare the receiver's ingest counters against.
+func (c *PacketConn) Delivered() int { return int(c.delivered.Load()) }

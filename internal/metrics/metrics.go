@@ -92,6 +92,53 @@ func ARE(est, truth map[packet.FlowKey]uint64) float64 {
 	return sum / float64(len(truth))
 }
 
+// Reliability is the controller's per-sub-window AFR delivery accounting
+// (§8): how many records the switch announced, how many distinct sequence
+// numbers arrived, how many of those arrived only through NACK-driven
+// retransmission, and how many are still missing. Observability tests use
+// it to assert exact delivery accounting under injected faults.
+type Reliability struct {
+	// Expected is the key count announced by the trigger packet, or -1
+	// when no trigger arrived (the gap detector is blind then).
+	Expected int
+	// Received is the number of distinct AFR sequence numbers seen,
+	// whether by first delivery or by recovery.
+	Received int
+	// Recovered is the subset of Received that arrived only via
+	// retransmission.
+	Recovered int
+	// Missing is the number of announced sequence numbers still absent
+	// (0 when Expected is unknown).
+	Missing int
+}
+
+// Complete reports whether every announced AFR arrived. An unknown
+// Expected is not complete: the controller cannot vouch for a sub-window
+// whose trigger it never saw.
+func (r Reliability) Complete() bool { return r.Expected >= 0 && r.Missing == 0 }
+
+// LossRate is the fraction of announced AFRs still missing (0 when the
+// announcement is unknown or empty).
+func (r Reliability) LossRate() float64 {
+	if r.Expected <= 0 {
+		return 0
+	}
+	return float64(r.Missing) / float64(r.Expected)
+}
+
+// Add accumulates another sub-window's accounting. Unknown announcements
+// (Expected -1) poison the sum: the total is unknown too.
+func (r *Reliability) Add(o Reliability) {
+	if r.Expected < 0 || o.Expected < 0 {
+		r.Expected = -1
+	} else {
+		r.Expected += o.Expected
+	}
+	r.Received += o.Received
+	r.Recovered += o.Recovered
+	r.Missing += o.Missing
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice). AARE is
 // the mean of per-window AREs, so callers collect one ARE per window and
 // average with Mean.

@@ -122,3 +122,47 @@ func TestPercentile(t *testing.T) {
 		t.Fatal("empty percentile should be 0")
 	}
 }
+
+func TestReliability(t *testing.T) {
+	r := Reliability{Expected: 10, Received: 8, Recovered: 2}
+	if !r.Complete() {
+		t.Fatalf("recovered sub-window not complete: %+v", r)
+	}
+	if r.LossRate() != 0 {
+		t.Fatalf("LossRate = %v", r.LossRate())
+	}
+
+	r = Reliability{Expected: 10, Received: 8, Missing: 2}
+	if r.Complete() {
+		t.Fatal("sub-window with gaps reported complete")
+	}
+	if got := r.LossRate(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("LossRate = %v, want 0.2", got)
+	}
+
+	// Unknown expectations (trigger never arrived) are never complete.
+	r = Reliability{Expected: -1}
+	if r.Complete() {
+		t.Fatal("unknown expectation reported complete")
+	}
+}
+
+func TestReliabilityAdd(t *testing.T) {
+	a := Reliability{Expected: 10, Received: 9, Recovered: 1}
+	b := Reliability{Expected: 5, Received: 3, Missing: 2}
+	sum := a
+	sum.Add(b)
+	if sum.Expected != 15 || sum.Received != 12 || sum.Recovered != 1 || sum.Missing != 2 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if sum.Complete() {
+		t.Fatal("sum with missing records reported complete")
+	}
+
+	// One unknown constituent poisons the sum's expectation.
+	sum = a
+	sum.Add(Reliability{Expected: -1})
+	if sum.Expected != -1 || sum.Complete() {
+		t.Fatalf("unknown constituent not poisonous: %+v", sum)
+	}
+}

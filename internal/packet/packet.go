@@ -50,6 +50,15 @@ const (
 	// can only be computed in the controller, e.g. FlowRadar decoding
 	// (§8, merging intermediate data without AFRs).
 	OWMigrate
+	// OWNack marks a controller-to-switch request naming the AFR sequence
+	// numbers of a sub-window that never arrived; the switch re-queries
+	// them while the region still holds state (§8, reliability of AFRs).
+	OWNack
+	// OWRetransmit marks a switch-to-controller packet carrying AFRs
+	// re-queried in answer to a NACK. It is ingested exactly like OWAFR
+	// (dedup by sequence) but counted separately, so delivery accounting
+	// can tell first deliveries from recoveries.
+	OWRetransmit
 )
 
 // String implements fmt.Stringer for debugging.
@@ -73,6 +82,10 @@ func (f OWFlag) String() string {
 		return "latency-spike"
 	case OWMigrate:
 		return "migrate"
+	case OWNack:
+		return "nack"
+	case OWRetransmit:
+		return "retransmit"
 	default:
 		return fmt.Sprintf("OWFlag(%d)", uint8(f))
 	}
@@ -129,6 +142,8 @@ type OWHeader struct {
 	KeyCount uint32
 	// RawWords carries migrated register words (OWMigrate responses).
 	RawWords []uint64
+	// Seqs carries the missing AFR sequence numbers of an OWNack request.
+	Seqs []uint32
 	// App selects the co-deployed application a control packet targets
 	// (state migration enumerates one app's registers at a time).
 	App uint8
@@ -162,6 +177,9 @@ func (p *Packet) Clone() *Packet {
 	}
 	if len(p.OW.RawWords) > 0 {
 		q.OW.RawWords = append([]uint64(nil), p.OW.RawWords...)
+	}
+	if len(p.OW.Seqs) > 0 {
+		q.OW.Seqs = append([]uint32(nil), p.OW.Seqs...)
 	}
 	return &q
 }

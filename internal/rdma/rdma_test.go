@@ -1,6 +1,7 @@
 package rdma
 
 import (
+	"errors"
 	"testing"
 
 	"omniwindow/internal/afr"
@@ -189,5 +190,65 @@ func TestConstructorValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestInjectedVerbFaults(t *testing.T) {
+	mr := NewMemoryRegion(2, 4, 10)
+	nic := NewNIC(mr)
+	base, _ := mr.AllocRow()
+
+	var ops []string
+	fail := true
+	nic.SetFaults(func(op string, addr int) error {
+		ops = append(ops, op)
+		if fail {
+			return errors.New("injected")
+		}
+		return nil
+	})
+
+	psn := nic.PSN()
+	if err := nic.Write(base, 7); err == nil {
+		t.Fatal("faulted WRITE completed")
+	}
+	if _, err := nic.FetchAdd(base, 7); err == nil {
+		t.Fatal("faulted FETCH_ADD completed")
+	}
+	if err := nic.Append(rec(1, 0, 7)); err == nil {
+		t.Fatal("faulted APPEND completed")
+	}
+	// Failed verbs must not touch memory or the success counters, but the
+	// requester-side PSN still advances (the request went on the wire).
+	if mr.slots[base] != 0 || len(mr.buffer) != 0 {
+		t.Fatal("failed verb mutated the memory region")
+	}
+	if nic.Writes != 0 || nic.FetchAdds != 0 || nic.Appends != 0 {
+		t.Fatal("failed verb counted as completed")
+	}
+	if nic.Failures != 3 {
+		t.Fatalf("Failures = %d, want 3", nic.Failures)
+	}
+	if nic.PSN() != psn+3 {
+		t.Fatalf("PSN advanced by %d, want 3", nic.PSN()-psn)
+	}
+	if len(ops) != 3 || ops[0] != "write" || ops[1] != "fetch_add" || ops[2] != "append" {
+		t.Fatalf("fault hook saw ops %v", ops)
+	}
+
+	// With the hook passing (and after clearing it), verbs work again.
+	fail = false
+	if err := nic.Write(base, 7); err != nil {
+		t.Fatal(err)
+	}
+	nic.SetFaults(nil)
+	if _, err := nic.FetchAdd(base, 3); err != nil {
+		t.Fatal(err)
+	}
+	if mr.slots[base] != 10 {
+		t.Fatalf("slot = %d, want 10", mr.slots[base])
+	}
+	if nic.Failures != 3 {
+		t.Fatalf("Failures grew to %d", nic.Failures)
 	}
 }

@@ -1,10 +1,50 @@
 package wire
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
+	"omniwindow/internal/faults"
 	"omniwindow/internal/packet"
 )
+
+// fuzzSeeds are well-formed frames of every kind the collector path
+// handles, plus fault-layer-mangled variants (truncated and corrupted
+// datagrams exactly as the chaos injector produces them).
+func fuzzSeeds() [][]byte {
+	var out [][]byte
+	add := func(p *packet.Packet) {
+		buf, err := Encode(nil, p)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, buf)
+	}
+	add(samplePacket())
+	add(&packet.Packet{})
+	add(&packet.Packet{OW: packet.OWHeader{
+		Flag: packet.OWNack, SubWindow: 5, HasSubWindow: true,
+		Seqs: []uint32{1, 2, 3, 500},
+	}})
+	add(&packet.Packet{OW: packet.OWHeader{
+		Flag: packet.OWRetransmit, SubWindow: 5, HasSubWindow: true,
+		AFRs: []packet.AFR{{Attr: 9, SubWindow: 5, Seq: 2}},
+	}})
+
+	// Mangled variants: run each frame through a truncate-always and a
+	// corrupt-always injector, as in-flight damage from the fault layer.
+	for _, cfg := range []faults.Config{
+		{Seed: 1, Truncate: 1},
+		{Seed: 2, Corrupt: 1},
+	} {
+		inj := faults.New(cfg)
+		for _, frame := range out[:4] {
+			out = append(out, inj.Datagrams(frame)...)
+		}
+	}
+	return out
+}
 
 // FuzzDecode hammers the datagram parser with arbitrary bytes: it must
 // never panic, and whatever it accepts must survive a semantic round trip
@@ -12,36 +52,65 @@ import (
 // not required: boolean fields accept any non-zero byte on the wire but
 // re-encode canonically as 1.
 func FuzzDecode(f *testing.F) {
-	seed, _ := Encode(nil, samplePacket())
-	f.Add(seed)
-	empty, _ := Encode(nil, &packet.Packet{})
-	f.Add(empty)
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
 	f.Add([]byte{})
-	f.Add([]byte{0x4F, 0x57, 1, 0})
+	f.Add([]byte{0x4F, 0x57, 2, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Decode(data)
 		if err != nil {
 			return
 		}
-		out, err := Encode(nil, p)
+		checkRoundTrip(t, data, p)
+	})
+}
+
+// FuzzDecodePatched is the same harness with the CRC-32 trailer patched
+// to match before decoding, so mutations reach the body parser instead
+// of dying at the checksum gate. Anything the parser then accepts must
+// still survive a semantic round trip.
+func FuzzDecodePatched(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= headerSize+sumSize {
+			data = append([]byte(nil), data...)
+			body := data[:len(data)-sumSize]
+			binary.BigEndian.PutUint32(data[len(body):], crc32.ChecksumIEEE(body))
+		}
+		p, err := Decode(data)
 		if err != nil {
-			// Decoded packets can exceed the encode bound only if the
-			// parser accepted more AFRs than Encode allows.
-			if len(p.OW.AFRs) <= MaxAFRsPerDatagram {
-				t.Fatalf("re-encode failed: %v", err)
-			}
 			return
 		}
-		if len(out) != len(data) {
-			t.Fatalf("canonical size mismatch: %d vs %d", len(out), len(data))
-		}
-		q, err := Decode(out)
-		if err != nil {
-			t.Fatalf("canonical form did not decode: %v", err)
-		}
-		if !headerEqual(&p.OW, &q.OW) {
-			t.Fatalf("semantic round trip mismatch:\n%+v\n%+v", p.OW, q.OW)
-		}
+		checkRoundTrip(t, data, p)
 	})
+}
+
+// checkRoundTrip asserts decode → encode → decode yields an identical
+// header at the identical canonical size.
+func checkRoundTrip(t *testing.T, data []byte, p *packet.Packet) {
+	t.Helper()
+	out, err := Encode(nil, p)
+	if err != nil {
+		// Decoded packets can exceed the encode bounds only if the
+		// parser accepted more AFRs or NACK seqs than Encode allows.
+		if len(p.OW.AFRs) <= MaxAFRsPerDatagram && len(p.OW.Seqs) <= MaxSeqsPerDatagram {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		return
+	}
+	if len(out) != len(data) {
+		t.Fatalf("canonical size mismatch: %d vs %d", len(out), len(data))
+	}
+	q, err := Decode(out)
+	if err != nil {
+		t.Fatalf("canonical form did not decode: %v", err)
+	}
+	if !headerEqual(&p.OW, &q.OW) {
+		t.Fatalf("semantic round trip mismatch:\n%+v\n%+v", p.OW, q.OW)
+	}
 }

@@ -12,14 +12,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"omniwindow/internal/packet"
 )
 
 // Magic ("OW" in ASCII) and Version identify OmniWindow datagrams.
+// Version 2 added the NACK sequence list and the CRC-32 trailer.
 const (
 	Magic   uint16 = 0x4F57
-	Version uint8  = 1
+	Version uint8  = 2
 )
 
 // Errors returned by Decode.
@@ -27,6 +29,7 @@ var (
 	ErrBadMagic   = errors.New("wire: bad magic")
 	ErrBadVersion = errors.New("wire: unsupported version")
 	ErrTruncated  = errors.New("wire: truncated datagram")
+	ErrChecksum   = errors.New("wire: checksum mismatch")
 )
 
 // afrSize is the encoded size of one AFR: key(13) + attr(8) +
@@ -35,17 +38,27 @@ const afrSize = packet.KeyBytes + 8 + 8 + 4 + 1 + 1 + 32
 
 // headerSize is the fixed prefix: magic(2) + version(1) + flag(1) +
 // subwindow(8) + hasSub(1) + index(4) + keycount(4) + app(1) + key(13) +
-// userSignal(8) + hasUser(1) + nAFRs(2) + nRaw(2).
-const headerSize = 2 + 1 + 1 + 8 + 1 + 4 + 4 + 1 + packet.KeyBytes + 8 + 1 + 2 + 2
+// userSignal(8) + hasUser(1) + nAFRs(2) + nRaw(2) + nSeqs(2).
+const headerSize = 2 + 1 + 1 + 8 + 1 + 4 + 4 + 1 + packet.KeyBytes + 8 + 1 + 2 + 2 + 2
+
+// sumSize is the CRC-32 (IEEE) trailer covering everything before it.
+// In-flight truncation changes the frame length (caught by the count
+// fields) and in-flight corruption breaks the checksum, so the fault
+// layer's mangled datagrams are always detected, never silently merged.
+const sumSize = 4
 
 // MaxAFRsPerDatagram bounds records per datagram so encoded packets fit
 // comfortably in one MTU-sized-ish datagram (the simulation is not bound
 // by a real MTU; the bound keeps encodings sane).
 const MaxAFRsPerDatagram = 128
 
+// MaxSeqsPerDatagram bounds the missing-sequence list of one NACK; larger
+// gap lists are chunked across datagrams (controller.NackPackets).
+const MaxSeqsPerDatagram = 1024
+
 // EncodedSize returns the byte size Encode will produce for p.
 func EncodedSize(p *packet.Packet) int {
-	return headerSize + len(p.OW.AFRs)*afrSize + len(p.OW.RawWords)*8
+	return headerSize + len(p.OW.AFRs)*afrSize + len(p.OW.RawWords)*8 + len(p.OW.Seqs)*4 + sumSize
 }
 
 // Encode serializes p's OmniWindow header into buf, growing it as needed,
@@ -53,6 +66,9 @@ func EncodedSize(p *packet.Packet) int {
 func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 	if len(p.OW.AFRs) > MaxAFRsPerDatagram {
 		return nil, fmt.Errorf("wire: %d AFRs exceed the %d per-datagram bound", len(p.OW.AFRs), MaxAFRsPerDatagram)
+	}
+	if len(p.OW.Seqs) > MaxSeqsPerDatagram {
+		return nil, fmt.Errorf("wire: %d NACK seqs exceed the %d per-datagram bound", len(p.OW.Seqs), MaxSeqsPerDatagram)
 	}
 	need := EncodedSize(p)
 	if cap(buf) < need {
@@ -73,6 +89,7 @@ func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 	buf = append(buf, b2u(p.OW.HasUserSignal))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.AFRs)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.RawWords)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.Seqs)))
 
 	for i := range p.OW.AFRs {
 		r := &p.OW.AFRs[i]
@@ -89,13 +106,17 @@ func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 	for _, w := range p.OW.RawWords {
 		buf = binary.BigEndian.AppendUint64(buf, w)
 	}
+	for _, s := range p.OW.Seqs {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf, nil
 }
 
 // Decode parses a datagram produced by Encode into a fresh packet holding
 // only the OmniWindow header (the simulated payload does not travel).
 func Decode(data []byte) (*packet.Packet, error) {
-	if len(data) < headerSize {
+	if len(data) < headerSize+sumSize {
 		return nil, ErrTruncated
 	}
 	if binary.BigEndian.Uint16(data) != magicValue {
@@ -119,10 +140,15 @@ func Decode(data []byte) (*packet.Packet, error) {
 	p.OW.HasUserSignal = data[off+8] != 0
 	nAFR := int(binary.BigEndian.Uint16(data[off+9:]))
 	nRaw := int(binary.BigEndian.Uint16(data[off+11:]))
-	off += 13
+	nSeq := int(binary.BigEndian.Uint16(data[off+13:]))
+	off += 15
 
-	if len(data) != headerSize+nAFR*afrSize+nRaw*8 {
+	if len(data) != headerSize+nAFR*afrSize+nRaw*8+nSeq*4+sumSize {
 		return nil, ErrTruncated
+	}
+	body := data[:len(data)-sumSize]
+	if binary.BigEndian.Uint32(data[len(body):]) != crc32.ChecksumIEEE(body) {
+		return nil, ErrChecksum
 	}
 	if nAFR > 0 {
 		p.OW.AFRs = make([]packet.AFR, nAFR)
@@ -148,6 +174,13 @@ func Decode(data []byte) (*packet.Packet, error) {
 		for i := range p.OW.RawWords {
 			p.OW.RawWords[i] = binary.BigEndian.Uint64(data[off:])
 			off += 8
+		}
+	}
+	if nSeq > 0 {
+		p.OW.Seqs = make([]uint32, nSeq)
+		for i := range p.OW.Seqs {
+			p.OW.Seqs[i] = binary.BigEndian.Uint32(data[off:])
+			off += 4
 		}
 	}
 	return p, nil

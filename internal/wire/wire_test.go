@@ -24,6 +24,7 @@ func samplePacket() *packet.Packet {
 			{Key: packet.FlowKey{SrcIP: 2, Proto: 6}, Attr: 2000, SubWindow: 42, Seq: 1, App: 1},
 		},
 		RawWords: []uint64{10, 20, 30},
+		Seqs:     []uint32{3, 9, 27},
 	}}
 }
 
@@ -31,7 +32,8 @@ func headerEqual(a, b *packet.OWHeader) bool {
 	if a.Flag != b.Flag || a.SubWindow != b.SubWindow || a.HasSubWindow != b.HasSubWindow ||
 		a.Index != b.Index || a.KeyCount != b.KeyCount || a.App != b.App || a.Key != b.Key ||
 		a.UserSignal != b.UserSignal || a.HasUserSignal != b.HasUserSignal ||
-		len(a.AFRs) != len(b.AFRs) || len(a.RawWords) != len(b.RawWords) {
+		len(a.AFRs) != len(b.AFRs) || len(a.RawWords) != len(b.RawWords) ||
+		len(a.Seqs) != len(b.Seqs) {
 		return false
 	}
 	for i := range a.AFRs {
@@ -41,6 +43,11 @@ func headerEqual(a, b *packet.OWHeader) bool {
 	}
 	for i := range a.RawWords {
 		if a.RawWords[i] != b.RawWords[i] {
+			return false
+		}
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i] != b.Seqs[i] {
 			return false
 		}
 	}
@@ -83,7 +90,7 @@ func TestRoundTripEmptyHeader(t *testing.T) {
 func TestRoundTripProperty(t *testing.T) {
 	f := func(flag uint8, sw uint64, idx, kc uint32, app uint8, attr uint64, seq uint32, d0, d1 uint64) bool {
 		p := &packet.Packet{OW: packet.OWHeader{
-			Flag: packet.OWFlag(flag % 9), SubWindow: sw, HasSubWindow: sw%2 == 0,
+			Flag: packet.OWFlag(flag % 11), SubWindow: sw, HasSubWindow: sw%2 == 0,
 			Index: idx, KeyCount: kc, App: app,
 			AFRs: []packet.AFR{{Attr: attr, SubWindow: sw, Seq: seq, App: app,
 				Distinct: [4]uint64{d0, d1}, HasDistinct: d0%2 == 0}},
@@ -129,6 +136,46 @@ func TestDecodeErrors(t *testing.T) {
 	// Truncated body: lengths promise more than present.
 	if _, err := Decode(buf[:len(buf)-1]); err != ErrTruncated {
 		t.Fatalf("truncated body: %v", err)
+	}
+	// Corrupted body: frame length intact, one bit flipped mid-payload.
+	bad = append([]byte(nil), buf...)
+	bad[len(bad)/2] ^= 0x10
+	if _, err := Decode(bad); err != ErrChecksum {
+		t.Fatalf("corrupted body: %v", err)
+	}
+	// Corrupted trailer: the CRC itself flipped.
+	bad = append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := Decode(bad); err != ErrChecksum {
+		t.Fatalf("corrupted checksum: %v", err)
+	}
+}
+
+func TestRoundTripNack(t *testing.T) {
+	p := &packet.Packet{OW: packet.OWHeader{
+		Flag:         packet.OWNack,
+		SubWindow:    7,
+		HasSubWindow: true,
+		Seqs:         []uint32{0, 5, 1 << 20},
+	}}
+	buf, err := Encode(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !headerEqual(&p.OW, &q.OW) {
+		t.Fatalf("NACK round trip mismatch:\n%+v\n%+v", p.OW, q.OW)
+	}
+}
+
+func TestEncodeSeqBound(t *testing.T) {
+	p := &packet.Packet{}
+	p.OW.Seqs = make([]uint32, MaxSeqsPerDatagram+1)
+	if _, err := Encode(nil, p); err == nil {
+		t.Fatal("oversized NACK seq list accepted")
 	}
 }
 

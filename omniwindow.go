@@ -29,6 +29,7 @@ import (
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/controller"
+	"omniwindow/internal/faults"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/rdma"
 	"omniwindow/internal/switchsim"
@@ -92,6 +93,26 @@ type Config struct {
 	// packets (§4.2). Defaults to the cost model's ControllerWait.
 	Grace time.Duration
 
+	// RetryLimit bounds the NACK/retransmit recovery rounds for AFRs
+	// lost on the switch→controller path (§8). 0 uses the default (4);
+	// a negative value disables recovery entirely, so windows with
+	// losses finalize marked Incomplete instead of being repaired.
+	RetryLimit int
+	// RetryBackoff is the initial wait between recovery rounds, doubling
+	// each round up to RetryMaxBackoff. In the in-process deployment the
+	// waits are virtual time charged to the C&R budget. Zero values use
+	// controller.DefaultRetryPolicy.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// AFRFaults optionally pushes every controller-bound AFR packet —
+	// first transmissions and retransmissions alike — through a seeded
+	// fault schedule (drop/duplicate; the in-process path carries
+	// structs, not bytes, so truncation/corruption do not apply). With
+	// RDMA enabled the same injector also supplies verb completion
+	// errors. Chaos-testing use: it turns the deployment's lossless
+	// internal wire into an adversarial one.
+	AFRFaults *faults.Injector
+
 	// RDMA enables the §7 collection path: AFRs land in registered
 	// controller memory via simulated WRITE verbs, with hot keys cached
 	// in a switch-side address MAT.
@@ -120,8 +141,16 @@ type Stats struct {
 	AFRs int
 	// HotAFRs and ColdAFRs split the RDMA path's records.
 	HotAFRs, ColdAFRs int
-	// Retransmitted counts AFRs recovered by the reliability protocol.
+	// Retransmitted counts AFRs re-queried and re-sent by the
+	// reliability protocol (attempts; the fault layer may still drop
+	// some of them, triggering further rounds).
 	Retransmitted int
+	// RecoveryRounds counts NACK rounds across all sub-windows.
+	RecoveryRounds int
+	// IncompleteSubWindows counts sub-windows whose announced AFRs could
+	// not all be recovered within the retry budget; the windows they
+	// belong to are marked Incomplete.
+	IncompleteSubWindows int
 	// CollectVirtual is the total modeled C&R time across sub-windows
 	// (enumeration + reset recirculation + injection).
 	CollectVirtual time.Duration
@@ -316,6 +345,9 @@ func New(cfg Config) (*Deployment, error) {
 		d.mat = rdma.NewAddressMAT(cfg.AddressMATSize)
 		d.collector = rdma.NewCollector(d.mat, d.nic)
 		d.hot = controller.NewHotTracker(cfg.AddressMATSize, cfg.HotThreshold)
+		if cfg.AFRFaults != nil {
+			d.nic.SetFaults(cfg.AFRFaults.Verb)
+		}
 	}
 
 	if err := d.deployResources(); err != nil {
