@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test race bench fuzz examples reproduce fmt vet clean \
-	ci fmt-check fuzz-smoke bench-smoke chaos
+	ci fmt-check fuzz-smoke bench-smoke chaos failover
 
 all: build vet test
 
@@ -18,13 +18,21 @@ race:
 	$(GO) test -race ./...
 
 # ci mirrors .github/workflows/ci.yml so the same gates run locally.
-ci: build vet fmt-check test race chaos fuzz-smoke bench-smoke
+ci: build vet fmt-check test race chaos failover fuzz-smoke bench-smoke
 
 # Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
 # schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
 # tables) make every schedule a reproducible test case.
 chaos:
 	$(GO) test -race -run 'Chaos' . ./internal/controller/ ./internal/faults/
+
+# Durability suite: kill-and-restart at every sub-window boundary,
+# WAL-replay recovery, hot-standby failover and admission-control shedding,
+# all under the race detector. Crash schedules use fixed seeds (and the
+# Fixed boundary lists in failover_test.go), so every death is replayable.
+failover:
+	$(GO) test -race -run 'Crash|Failover|Shed|Store|Lease' \
+		. ./internal/controller/ ./internal/faults/ ./internal/durable/
 
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
@@ -34,6 +42,8 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 10s ./internal/wire/
 
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkController -benchtime 1x .
@@ -49,6 +59,8 @@ microbench:
 fuzz:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 30s ./internal/wire/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -93,6 +93,62 @@ func TestChaosRDMAVerbErrors(t *testing.T) {
 	}
 }
 
+// TestChaosCrashRestartProperty: for ANY seeded probabilistic crash
+// schedule and ANY (slide-aligned) checkpoint cadence, killing the
+// controller wherever the schedule strikes first and restarting on the
+// same directory stitches back the exact uncrashed window sequence.
+// Schedules come from a seeded meta-RNG so failures replay exactly.
+func TestChaosCrashRestartProperty(t *testing.T) {
+	baseline := runChaos(t, nil)
+	if len(baseline.Results()) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+
+	meta := rand.New(rand.NewSource(2027))
+	crashes := 0
+	for trial := 0; trial < 12; trial++ {
+		cs := &faults.CrashSchedule{
+			Seed: meta.Uint64(),
+			Prob: 0.15 + meta.Float64()*0.5,
+		}
+		every := 1 + meta.Intn(3) // any value aligns with slide 1
+		dir := t.TempDir()
+
+		// Find where (if anywhere) this schedule strikes first.
+		at, willCrash := uint64(0), false
+		for sw := uint64(0); sw <= 4; sw++ {
+			if cs.At(sw) {
+				at, willCrash = sw, true
+				break
+			}
+		}
+		if !willCrash {
+			d, err := New(durableConfig(dir, every, cs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.RunFor(chaosTrace(), 500*ms)
+			if _, crashed := d.Crashed(); crashed {
+				t.Fatalf("trial %d: schedule %+v crashed despite predicting no crash", trial, cs)
+			}
+			if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+				t.Fatalf("trial %d: durable run without crash diverged", trial)
+			}
+			d.CloseDurability()
+			continue
+		}
+		crashes++
+		combined, _ := crashAndRestart(t, dir, every, at)
+		if !reflect.DeepEqual(baseline.Results(), combined) {
+			t.Fatalf("trial %d (seed %d prob %.2f every %d, crash at %d): restart diverged:\nuncrashed: %+v\nstitched:  %+v",
+				trial, cs.Seed, cs.Prob, every, at, baseline.Results(), combined)
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("meta-RNG produced no crashing schedules; property untested")
+	}
+}
+
 // TestChaosRetryKnobsBoundVirtualTime: recovery waits are charged to the
 // C&R virtual-time budget, so the configured backoff knobs bound the
 // worst-case stall a lossy sub-window can add.

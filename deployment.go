@@ -136,8 +136,14 @@ func (d *Deployment) installProgram() {
 // deployment writes must not leak into the caller's trace (which may be
 // replayed through other deployments).
 func (d *Deployment) ProcessPacket(p *packet.Packet) {
+	if d.crashed {
+		return
+	}
 	d.now = p.Time
 	d.runDueCollections()
+	if d.crashed {
+		return
+	}
 	q := *p
 	out := d.sw.Inject(&q)
 	d.stats.Packets++
@@ -149,8 +155,14 @@ func (d *Deployment) ProcessPacket(p *packet.Packet) {
 // ready to be fed into a downstream deployment (the network-wide mode of
 // §5: the first hop stamps, later hops adopt).
 func (d *Deployment) ProcessAndForward(p *packet.Packet) []*packet.Packet {
+	if d.crashed {
+		return nil
+	}
 	d.now = p.Time
 	d.runDueCollections()
+	if d.crashed {
+		return nil
+	}
 	q := *p
 	out := d.sw.Inject(&q)
 	d.stats.Packets++
@@ -161,8 +173,14 @@ func (d *Deployment) ProcessAndForward(p *packet.Packet) []*packet.Packet {
 // Tick advances virtual time without traffic, firing timeout signals and
 // due collections (the periodically generated timeout signals of §5).
 func (d *Deployment) Tick(now int64) {
+	if d.crashed {
+		return
+	}
 	d.now = now
 	d.runDueCollections()
+	if d.crashed {
+		return
+	}
 	for _, ended := range d.manager.Tick(now) {
 		d.sendTrigger(ended)
 		d.onTerminated(ended)
@@ -182,6 +200,7 @@ func (d *Deployment) sendTrigger(ended uint64) {
 	trig := &packet.Packet{OW: packet.OWHeader{
 		Flag: packet.OWTrigger, SubWindow: ended, KeyCount: uint32(kc),
 	}}
+	d.logTrigger(ended, uint32(kc))
 	for _, c := range d.ctrls {
 		c.Receive(trig)
 	}
@@ -213,6 +232,9 @@ func (d *Deployment) RunFor(pkts []packet.Packet, duration int64) []controller.W
 // Finalize terminates the active sub-window and flushes every pending
 // collection.
 func (d *Deployment) Finalize() {
+	if d.crashed {
+		return
+	}
 	ended := d.manager.ForceTerminate()
 	d.sendTrigger(ended)
 	d.onTerminated(ended)
@@ -225,6 +247,7 @@ func (d *Deployment) handleSwitchOutput(out switchsim.Output) {
 	for _, c := range out.ToController {
 		switch c.OW.Flag {
 		case packet.OWTrigger:
+			d.logTrigger(c.OW.SubWindow, c.OW.KeyCount)
 			for _, ctrl := range d.ctrls {
 				ctrl.Receive(c)
 			}
@@ -251,7 +274,7 @@ func (d *Deployment) onTerminated(sw uint64) {
 // runDueCollections performs C&R for every pending sub-window whose grace
 // period has elapsed.
 func (d *Deployment) runDueCollections() {
-	for len(d.pending) > 0 && d.pending[0].due <= d.now {
+	for !d.crashed && len(d.pending) > 0 && d.pending[0].due <= d.now {
 		cr := d.pending[0]
 		d.pending = d.pending[1:]
 		d.collect(cr.sw)
@@ -310,6 +333,18 @@ func (d *Deployment) collect(sw uint64) {
 			}
 		}
 		virtual += time.Duration(len(spilled)) * costs.DPDKInjectPerKey
+
+		// Failover probe: the standby declares the primary dead only once
+		// its lease lapses (the wait is charged to the C&R budget), then
+		// promotes from the checkpoint it tailed at the previous boundary.
+		// Everything delivered for THIS sub-window above went to the dead
+		// primary and is gone; the re-sent trigger re-announces the key
+		// count, and the Phase-3 loop below NACKs the whole gap back from
+		// the still-unreset region — at most one sub-window of loss,
+		// fully NACK-recoverable.
+		if d.standby != nil && !d.failedOver && d.cfg.Crash != nil && d.cfg.Crash.At(sw) {
+			virtual += d.failover(sw)
+		}
 
 		// Phase 3 — reliability: recover AFRs lost on the way (§8),
 		// before the reset destroys the state they are queried from.
@@ -388,6 +423,14 @@ func (d *Deployment) collect(sw uint64) {
 		}
 	}
 	d.results = d.appResults[0]
+	// Durability: log the finish (replay re-runs the assembly at the same
+	// point in the ingest order), checkpoint if this is a checkpoint
+	// boundary, renew the liveness lease — then die here if the crash
+	// schedule says so, leaving exactly the on-disk state a real
+	// mid-operation power cut would.
+	d.logFinish(sw)
+	d.renewLease()
+	d.crashIfScheduled(sw)
 
 	// RDMA: age key hotness once per completed window, demoting keys
 	// that stopped recurring.
@@ -447,6 +490,7 @@ func (d *Deployment) deliverAFRs(c *packet.Packet) {
 // RNIC when RDMA is enabled, via DPDK packet RX otherwise.
 func (d *Deployment) deliverAFRsOnce(c *packet.Packet) {
 	if !d.cfg.RDMA {
+		d.logBatch(c)
 		if len(d.ctrls) == 1 {
 			d.ctrl.Receive(c)
 			return

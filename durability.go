@@ -1,0 +1,192 @@
+package omniwindow
+
+import (
+	"fmt"
+	"time"
+
+	"omniwindow/internal/hashing"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/wire"
+)
+
+// This file wires the deployment into internal/durable: WAL appends on
+// every controller-bound delivery, checkpoints at sub-window boundaries,
+// crash-restart recovery, and the hot-standby promotion path.
+//
+// A durable-store write failure is recorded once (DurabilityErr) and
+// disables further logging; the deployment keeps running — durability
+// degrades, telemetry does not stop.
+
+// logBatch appends one delivered AFR packet's records to the write-ahead
+// log, grouped per controller shard (matching the table partitioning) and
+// per sub-window (one WAL frame describes one sub-window's records).
+func (d *Deployment) logBatch(c *packet.Packet) {
+	if d.store == nil || d.storeErr != nil || d.crashed || len(c.OW.AFRs) == 0 {
+		return
+	}
+	retrans := c.OW.Flag == packet.OWRetransmit
+	type gk struct {
+		shard int
+		sw    uint64
+	}
+	groups := make(map[gk][]packet.AFR)
+	var order []gk
+	for _, r := range c.OW.AFRs {
+		k := gk{hashing.Shard(r.Key, d.ckptShards), r.SubWindow}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	for _, k := range order {
+		if err := d.store.AppendBatch(k.shard, k.sw, retrans, groups[k]); err != nil {
+			d.storeErr = err
+			return
+		}
+	}
+}
+
+// logTrigger appends a sub-window's trigger announcement to the control
+// log.
+func (d *Deployment) logTrigger(sw uint64, keyCount uint32) {
+	if d.store == nil || d.storeErr != nil || d.crashed {
+		return
+	}
+	if err := d.store.AppendTrigger(sw, keyCount); err != nil {
+		d.storeErr = err
+	}
+}
+
+// logFinish appends a FinishSubWindow marker, then checkpoints when the
+// boundary is a checkpoint boundary. The checkpoint is exported AFTER the
+// finish is logged, so ThroughLSN covers it and replay never re-runs an
+// assembly the snapshot already reflects.
+func (d *Deployment) logFinish(sw uint64) {
+	if d.store == nil || d.storeErr != nil || d.crashed {
+		return
+	}
+	if err := d.store.AppendFinish(sw); err != nil {
+		d.storeErr = err
+		return
+	}
+	every := uint64(d.cfg.CheckpointEvery)
+	if every == 0 {
+		every = 1
+	}
+	if (sw+1)%every != 0 {
+		return
+	}
+	snap := d.ctrl.ExportState()
+	if err := d.store.Checkpoint(snap); err != nil {
+		d.storeErr = err
+		return
+	}
+	// The standby tails checkpoints: each one overwrites its whole state,
+	// keeping it at most one checkpoint interval behind the primary.
+	if d.standby != nil && !d.failedOver {
+		d.standby.RestoreState(snap)
+	}
+}
+
+// recover replays the durable state into a freshly built deployment: the
+// checkpoint restores the controller wholesale, then the WAL frames it
+// does not cover re-run in their original (LSN) order — re-ingested
+// batches, re-announced triggers, re-assembled windows (appended to
+// Results exactly where the pre-crash run emitted them) and re-applied
+// shed notes. Finally the window manager fast-forwards past every
+// finished sub-window so replayed boundaries are not terminated twice.
+func (d *Deployment) recover() error {
+	snap, recs, err := d.store.Recover()
+	if err != nil {
+		return fmt.Errorf("omniwindow: %w", err)
+	}
+	if snap == nil && len(recs) == 0 {
+		return nil
+	}
+	if snap != nil {
+		d.ctrl.RestoreState(snap)
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case wire.WALAFRBatch:
+			flag := packet.OWAFR
+			if r.Retrans {
+				flag = packet.OWRetransmit
+			}
+			d.ctrl.Receive(&packet.Packet{OW: packet.OWHeader{
+				Flag: flag, SubWindow: r.SubWindow, AFRs: r.AFRs,
+			}})
+		case wire.WALTrigger:
+			d.ctrl.Receive(&packet.Packet{OW: packet.OWHeader{
+				Flag: packet.OWTrigger, SubWindow: r.SubWindow, KeyCount: r.KeyCount,
+			}})
+		case wire.WALFinish:
+			if lf, ok := d.ctrl.LastFinished(); ok && r.SubWindow <= lf {
+				continue // the checkpoint already reflects this assembly
+			}
+			w := d.ctrl.FinishSubWindow(r.SubWindow)
+			d.appResults[0] = append(d.appResults[0], w...)
+			d.stats.ReplayedWindows += len(w)
+		case wire.WALShed:
+			d.ctrl.NoteShed(r.SubWindow, int(r.Count))
+		}
+	}
+	d.results = d.appResults[0]
+	if lf, ok := d.ctrl.LastFinished(); ok {
+		d.manager.FastForward(lf + 1)
+	}
+	// Warm the standby to the recovered state, as if it had tailed a
+	// checkpoint taken right now.
+	if d.standby != nil {
+		d.standby.RestoreState(d.ctrl.ExportState())
+	}
+	return nil
+}
+
+// failover promotes the hot standby after the primary's death is detected
+// mid-collection. The standby holds the last checkpoint it tailed — the
+// previous boundary — so its only gap is the in-flight sub-window, whose
+// switch state is still intact (the reset has not run). The deployment
+// re-sends the trigger, and the caller's ordinary Phase-3 NACK loop then
+// recovers the whole gap before the region resets. The returned duration
+// is the remaining lease time the standby had to wait out before
+// promoting (charged to the C&R virtual-time budget).
+func (d *Deployment) failover(sw uint64) time.Duration {
+	d.failedOver = true
+	d.stats.Failovers++
+	wait := time.Duration(d.lease.Remaining(d.now))
+	d.lease.Release()
+	d.ctrls[0] = d.standby
+	d.ctrl = d.standby
+	d.standby = nil
+	d.sendTrigger(sw)
+	return wait
+}
+
+// renewLease extends the primary's liveness lease after a successful
+// collection round (no-op without a standby, or after promotion — the
+// promoted standby has no peer watching it).
+func (d *Deployment) renewLease() {
+	if d.lease != nil && !d.failedOver {
+		d.lease.Renew(d.now)
+	}
+}
+
+// crashIfScheduled halts the deployment at a scheduled crash boundary
+// when no standby exists (with one, the crash is handled mid-collection
+// by failover instead). The store is closed: a dead process holds no file
+// handles, and the torn state left on disk is exactly what recovery must
+// cope with.
+func (d *Deployment) crashIfScheduled(sw uint64) {
+	if d.cfg.Crash == nil || d.crashed || d.standby != nil || d.failedOver {
+		return
+	}
+	if !d.cfg.Crash.At(sw) {
+		return
+	}
+	d.crashed = true
+	d.crashedAt = sw
+	if d.store != nil {
+		d.store.Close()
+	}
+}

@@ -1,0 +1,219 @@
+package omniwindow
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"omniwindow/internal/controller"
+	"omniwindow/internal/faults"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/window"
+)
+
+// durableConfig is the chaos deployment with durability enabled.
+func durableConfig(dir string, every int, crash *faults.CrashSchedule) Config {
+	cfg := freqConfig(window.SlidingPlan(3, 1), 25, false)
+	cfg.RetryBackoff = time.Millisecond
+	cfg.RetryMaxBackoff = 2 * time.Millisecond
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = every
+	cfg.Crash = crash
+	return cfg
+}
+
+// traceTail returns the packets of sub-windows strictly after `at` — the
+// part of the trace a deployment restarted after a crash at boundary `at`
+// must replay. The crash destroys the switch's in-flight region along with
+// the controller process, so replay restarts at the sub-window boundary,
+// not at the exact crash packet.
+func traceTail(pkts []packet.Packet, at uint64) []packet.Packet {
+	cut := int64(at+1) * 100 * ms
+	var tail []packet.Packet
+	for _, p := range pkts {
+		if p.Time >= cut {
+			tail = append(tail, p)
+		}
+	}
+	return tail
+}
+
+// lastCheckpointBefore returns the highest boundary <= at that took a
+// checkpoint under the given cadence, and whether one exists.
+func lastCheckpointBefore(at uint64, every int) (uint64, bool) {
+	if every <= 0 {
+		every = 1
+	}
+	for b := int64(at); b >= 0; b-- {
+		if (uint64(b)+1)%uint64(every) == 0 {
+			return uint64(b), true
+		}
+	}
+	return 0, false
+}
+
+// crashAndRestart kills a deployment at boundary `at`, restarts it on the
+// same checkpoint directory, replays the trace tail, and returns the
+// combined window sequence: the pre-crash run's windows through the last
+// checkpoint, then everything the restarted run emitted (WAL-replayed
+// windows first, fresh tail windows after). The second return is the
+// restarted deployment, for stats assertions.
+func crashAndRestart(t *testing.T, dir string, every int, at uint64) ([]controller.WindowResult, *Deployment) {
+	t.Helper()
+	pkts := chaosTrace()
+
+	d1, err := New(durableConfig(dir, every, &faults.CrashSchedule{Fixed: []uint64{at}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.RunFor(pkts, 500*ms)
+	if sw, ok := d1.Crashed(); !ok || sw != at {
+		t.Fatalf("crash at %d did not fire: crashed=%v sw=%d", at, ok, sw)
+	}
+	if err := d1.DurabilityErr(); err != nil {
+		t.Fatalf("pre-crash run hit a durable-write error: %v", err)
+	}
+
+	// Keep only the pre-crash windows the last checkpoint fully covers;
+	// the restarted run re-emits the rest from the WAL.
+	var combined []controller.WindowResult
+	if ckpt, ok := lastCheckpointBefore(at, every); ok {
+		for _, w := range d1.Results() {
+			if w.End <= ckpt {
+				combined = append(combined, w)
+			}
+		}
+	}
+
+	d2, err := New(durableConfig(dir, every, nil))
+	if err != nil {
+		t.Fatalf("restart on %s failed: %v", dir, err)
+	}
+	d2.RunFor(traceTail(pkts, at), 500*ms)
+	if err := d2.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	return append(combined, d2.Results()...), d2
+}
+
+// TestCrashRestartByteIdenticalEveryBoundary is the tentpole durability
+// assertion: kill the controller at EVERY sub-window boundary in turn,
+// restart on the same checkpoint directory, replay the trace tail — and
+// the stitched window sequence is byte-identical to a run that never
+// crashed. Checkpoint restore plus WAL replay is exact recovery, not
+// approximation.
+func TestCrashRestartByteIdenticalEveryBoundary(t *testing.T) {
+	baseline := runChaos(t, nil)
+	if len(baseline.Results()) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+	for at := uint64(0); at <= 4; at++ {
+		t.Run(fmt.Sprintf("boundary%d", at), func(t *testing.T) {
+			combined, _ := crashAndRestart(t, t.TempDir(), 1, at)
+			if !reflect.DeepEqual(baseline.Results(), combined) {
+				t.Fatalf("crash at %d not exactly recovered:\nuncrashed: %+v\nstitched:  %+v",
+					at, baseline.Results(), combined)
+			}
+		})
+	}
+}
+
+// TestCrashRestartReplaysWAL: with checkpoints every other boundary, a
+// crash between checkpoints forces real WAL replay — re-ingested batches,
+// re-announced triggers and re-run window assemblies — and the result is
+// still byte-identical.
+func TestCrashRestartReplaysWAL(t *testing.T) {
+	baseline := runChaos(t, nil)
+	for _, at := range []uint64{0, 2, 4} { // boundaries NOT covered by a fresh checkpoint (every=2 checkpoints at 1, 3)
+		t.Run(fmt.Sprintf("boundary%d", at), func(t *testing.T) {
+			combined, d2 := crashAndRestart(t, t.TempDir(), 2, at)
+			if d2.Stats().ReplayedWindows == 0 && at >= 2 {
+				// Boundary 0 finishes no window yet; from 2 on, the WAL
+				// holds at least one finish past the last checkpoint.
+				t.Fatal("no windows re-emitted from WAL replay")
+			}
+			if !reflect.DeepEqual(baseline.Results(), combined) {
+				t.Fatalf("crash at %d (ckpt every 2) not exactly recovered:\nuncrashed: %+v\nstitched:  %+v",
+					at, baseline.Results(), combined)
+			}
+		})
+	}
+}
+
+// TestFailoverStandbyPromotes: with a hot standby, a primary death
+// mid-collection does NOT halt the deployment — the standby waits out the
+// liveness lease, promotes from the checkpoint it tailed at the previous
+// boundary, and the re-sent trigger plus the ordinary NACK/retransmit loop
+// recover the one in-flight sub-window from the still-unreset switch
+// region. Results stay byte-identical to a run with no failure.
+func TestFailoverStandbyPromotes(t *testing.T) {
+	baseline := runChaos(t, nil)
+
+	cfg := durableConfig(t.TempDir(), 1, &faults.CrashSchedule{Fixed: []uint64{2}})
+	cfg.Standby = true
+	cfg.Shards = 4
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RunFor(chaosTrace(), 500*ms)
+	if err := d.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, crashed := d.Crashed(); crashed {
+		t.Fatal("deployment halted despite the hot standby")
+	}
+	st := d.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d want 1", st.Failovers)
+	}
+	if st.Retransmitted == 0 {
+		t.Fatal("takeover gap was not NACK-recovered")
+	}
+	if st.IncompleteSubWindows != 0 {
+		t.Fatalf("failover left %d incomplete sub-windows", st.IncompleteSubWindows)
+	}
+
+	// The gap is exactly the in-flight sub-window: everything the dead
+	// primary had received for sub-window 2 died with it, so the promoted
+	// standby re-queries precisely that sub-window's flows — no more
+	// (neighbours were checkpoint-covered), no fewer (nothing is lost).
+	gap := map[packet.FlowKey]bool{}
+	for _, p := range chaosTrace() {
+		if p.Time >= 200*ms && p.Time < 300*ms {
+			gap[p.Key] = true
+		}
+	}
+	if st.Retransmitted != len(gap) {
+		t.Fatalf("retransmitted %d AFRs, want exactly the takeover sub-window's %d flows",
+			st.Retransmitted, len(gap))
+	}
+
+	if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+		t.Fatalf("failover changed results:\nclean:    %+v\nfailover: %+v",
+			baseline.Results(), d.Results())
+	}
+}
+
+// TestCrashWithoutDurabilityHalts: a scheduled crash on a deployment with
+// no checkpoint directory simply halts it — traffic after the crash is
+// ignored, and the windows emitted before the crash remain available.
+func TestCrashWithoutDurabilityHalts(t *testing.T) {
+	d := runChaos(t, func(c *Config) {
+		c.Crash = &faults.CrashSchedule{Fixed: []uint64{2}}
+	})
+	if sw, ok := d.Crashed(); !ok || sw != 2 {
+		t.Fatalf("crash did not halt the deployment: %v %v", sw, ok)
+	}
+	for _, w := range d.Results() {
+		if w.End > 2 {
+			t.Fatalf("window [%d,%d] emitted after the crash boundary", w.Start, w.End)
+		}
+	}
+	st := d.Stats()
+	if st.SubWindows > 3 {
+		t.Fatalf("collected %d sub-windows past the crash", st.SubWindows)
+	}
+}

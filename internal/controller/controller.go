@@ -83,13 +83,15 @@ type shard struct {
 
 // dedup is the per-sub-window arrival state shared by every shard: the
 // AFR sequence numbers seen so far (duplicate suppression, §8 reliability),
-// the key count announced by the trigger packet (-1 when unknown), and the
-// count of sequences whose first arrival was a retransmission.
+// the key count announced by the trigger packet (-1 when unknown), the
+// count of sequences whose first arrival was a retransmission, and the
+// count of records admission control shed under overload.
 type dedup struct {
 	mu        sync.Mutex
 	seen      map[uint32]bool
 	expected  int
 	recovered int
+	shed      int
 }
 
 // OpTimes is the per-sub-window controller time breakdown of Exp#4.
@@ -128,6 +130,17 @@ type WindowResult struct {
 	// same (§8). MissingAFRs counts the absent records.
 	Incomplete  bool
 	MissingAFRs int
+	// ShedAFRs counts records admission control dropped under overload
+	// across the window's sub-windows — overload pressure accounting,
+	// whether or not the NACK/retransmit path later repaired the gaps.
+	ShedAFRs int
+	// Degraded reports that load shedding actually damaged this window:
+	// at least one constituent sub-window shed records AND still had
+	// gaps when the window finalized. A shed-but-fully-recovered window
+	// is exact (ShedAFRs > 0, Degraded false); a Degraded window's
+	// statistics are a lower bound that overload, not the network,
+	// caused — consumers must not read it as ground truth.
+	Degraded bool
 }
 
 // Controller assembles windows from AFR batches. Ingest (Receive,
@@ -147,6 +160,11 @@ type Controller struct {
 	// (snapshotted by FinishSubWindow before the dedup state retires) so
 	// window assembly can mark windows with unrecovered gaps Incomplete.
 	rel map[uint64]metrics.Reliability
+	// lastFin is the highest sub-window FinishSubWindow has completed
+	// (valid only when hasFin). Checkpoints carry it so a restored
+	// controller knows which WAL finish records are already applied.
+	lastFin uint64
+	hasFin  bool
 
 	// finishMu serializes window assembly: FinishSubWindow drains and
 	// merges every shard, so two assemblies must not interleave.
@@ -367,7 +385,7 @@ func (c *Controller) MissingSeqs(sw uint64) []uint32 {
 func snapshotReliability(d *dedup) metrics.Reliability {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	r := metrics.Reliability{Expected: d.expected, Received: len(d.seen), Recovered: d.recovered}
+	r := metrics.Reliability{Expected: d.expected, Received: len(d.seen), Recovered: d.recovered, Shed: d.shed}
 	if d.expected >= 0 {
 		for s := 0; s < d.expected; s++ {
 			if !d.seen[uint32(s)] {
@@ -480,6 +498,9 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		c.rel[sw] = rel
 	}
 	delete(c.dedups, sw)
+	if !c.hasFin || sw > c.lastFin {
+		c.lastFin, c.hasFin = sw, true
+	}
 	c.mu.Unlock()
 
 	wStart, ok := c.cfg.Plan.Ends(sw)
@@ -520,7 +541,12 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 	res := WindowResult{Start: wStart, End: sw}
 	c.mu.Lock()
 	for s := wStart; s <= sw; s++ {
-		res.MissingAFRs += c.rel[s].Missing
+		r := c.rel[s]
+		res.MissingAFRs += r.Missing
+		res.ShedAFRs += r.Shed
+		if r.Shed > 0 && r.Missing > 0 {
+			res.Degraded = true
+		}
 	}
 	c.mu.Unlock()
 	res.Incomplete = res.MissingAFRs > 0

@@ -91,11 +91,64 @@ func (a *Async) TableSize() int {
 	return a.ctrl.TableSize()
 }
 
+// NoteShed records admission-control drops against a sub-window's
+// reliability accounting (see Controller.NoteShed).
+func (a *Async) NoteShed(sw uint64, n int) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return
+	}
+	a.ctrl.NoteShed(sw, n)
+}
+
 // Close rejects all further operations; in-flight calls drain first.
 func (a *Async) Close() {
 	a.mu.Lock()
 	a.closed = true
 	a.mu.Unlock()
+}
+
+// ShedPolicy selects what admission control drops when the ingest queue
+// backs up.
+type ShedPolicy int
+
+const (
+	// ShedRecoverableFirst is the default: above the watermark,
+	// first-transmission AFR datagrams are shed — the reliability
+	// protocol's NACK/retransmit path can bring every one of them back —
+	// while retransmissions (already-recovered data; shedding them risks
+	// exhausting the retry budget) are kept until the queue is hard-full.
+	// Control frames are never queued, so they are never shed.
+	ShedRecoverableFirst ShedPolicy = iota
+	// ShedTailDrop disables the priority tiers: any data frame arriving
+	// at a full queue is dropped, none earlier. This is the legacy
+	// overrun behaviour, kept for comparison runs — but unlike the old
+	// silent discard, drops are still peeked and attributed to their
+	// sub-windows.
+	ShedTailDrop
+)
+
+// CollectorConfig tunes the UDP collector's worker pool and admission
+// control. The zero value reproduces the defaults.
+type CollectorConfig struct {
+	// Workers is the number of concurrent ingest workers (<= 0 means one
+	// per core).
+	Workers int
+	// MaxQueueDepth bounds the raw-datagram queue between the socket
+	// reader and the ingest workers (<= 0 means 4096).
+	MaxQueueDepth int
+	// ShedWatermark is the queue-fill fraction above which the shed
+	// policy starts dropping recoverable datagrams (<= 0 means 0.75;
+	// values >= 1 only shed when hard-full).
+	ShedWatermark float64
+	// Policy selects what to shed under pressure.
+	Policy ShedPolicy
+	// OnClose, when set, runs after the reader has exited and every
+	// ingest worker has drained, before Close returns — the hook for
+	// flushing a WAL segment or final accounting exactly once, after the
+	// last record is ingested.
+	OnClose func()
 }
 
 // Collector is a UDP server receiving wire-encoded AFR datagrams from
@@ -105,35 +158,72 @@ func (a *Async) Close() {
 // ring), handing datagrams to a pool of ingest workers that decode and
 // feed the controller concurrently; the sink's sharded controller lets
 // those workers proceed in parallel.
+//
+// The reader applies admission control instead of silently discarding on
+// queue overflow: control frames (triggers and anything else without AFR
+// payload) are decoded inline and always delivered, and data frames shed
+// under pressure are first header-peeked so the drop is charged to the
+// right sub-window's reliability accounting — the C&R driver then NACKs
+// the gap and the retransmit path recovers the shed records.
 type Collector struct {
-	conn    net.PacketConn
-	sink    *Async
-	readWG  sync.WaitGroup
-	workWG  sync.WaitGroup
-	queue   chan []byte
-	drops   atomic.Int64
-	recvd   atomic.Int64
-	recov   atomic.Int64
-	overrun atomic.Int64
+	conn      net.PacketConn
+	sink      *Async
+	readWG    sync.WaitGroup
+	workWG    sync.WaitGroup
+	queue     chan []byte
+	watermark int
+	policy    ShedPolicy
+	onClose   func()
+	drops     atomic.Int64
+	recvd     atomic.Int64
+	recov     atomic.Int64
+	overrun   atomic.Int64
+	shedAFRs  atomic.Int64
 }
 
 // NewCollector starts serving datagrams from conn into sink with one
 // ingest worker per core. Close the conn (or call Close) to stop.
 func NewCollector(conn net.PacketConn, sink *Async) *Collector {
-	return NewCollectorWorkers(conn, sink, runtime.GOMAXPROCS(0))
+	return NewCollectorConfig(conn, sink, CollectorConfig{})
 }
 
 // NewCollectorWorkers starts serving datagrams with the given number of
 // concurrent ingest workers (at least one).
 func NewCollectorWorkers(conn net.PacketConn, sink *Async, workers int) *Collector {
-	if workers < 1 {
-		workers = 1
+	return NewCollectorConfig(conn, sink, CollectorConfig{Workers: workers})
+}
+
+// NewCollectorConfig starts serving datagrams with explicit worker-pool
+// and admission-control settings.
+func NewCollectorConfig(conn net.PacketConn, sink *Async, cfg CollectorConfig) *Collector {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
 	}
-	c := &Collector{conn: conn, sink: sink, queue: make(chan []byte, 4096)}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = 4096
+	}
+	if cfg.ShedWatermark <= 0 {
+		cfg.ShedWatermark = 0.75
+	}
+	wm := int(cfg.ShedWatermark * float64(cfg.MaxQueueDepth))
+	if wm > cfg.MaxQueueDepth {
+		wm = cfg.MaxQueueDepth
+	}
+	c := &Collector{
+		conn:      conn,
+		sink:      sink,
+		queue:     make(chan []byte, cfg.MaxQueueDepth),
+		watermark: wm,
+		policy:    cfg.Policy,
+		onClose:   cfg.OnClose,
+	}
 	c.readWG.Add(1)
 	go c.readLoop()
-	c.workWG.Add(workers)
-	for i := 0; i < workers; i++ {
+	c.workWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go c.ingestLoop()
 	}
 	return c
@@ -142,7 +232,11 @@ func NewCollectorWorkers(conn net.PacketConn, sink *Async, workers int) *Collect
 // Addr returns the listening address.
 func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 
-// readLoop drains the socket, queueing raw datagrams for the workers.
+// readLoop drains the socket, triaging each datagram: control frames are
+// decoded and delivered inline (they are tiny, rare, and must never be
+// shed — losing a trigger blinds the gap detector for a whole
+// sub-window), data frames are queued for the workers or shed per the
+// admission policy.
 func (c *Collector) readLoop() {
 	defer c.readWG.Done()
 	defer close(c.queue)
@@ -157,14 +251,52 @@ func (c *Collector) readLoop() {
 		}
 		d := make([]byte, n)
 		copy(d, scratch[:n])
+
+		pk, peeked := wire.PeekDatagram(d)
+		if peeked && pk.Flag != packet.OWAFR && pk.Flag != packet.OWRetransmit {
+			// Control frame: full CRC-checked decode, delivered inline.
+			if p, err := wire.Decode(d); err == nil {
+				c.sink.Receive(p)
+				c.recvd.Add(1)
+			} else {
+				c.drops.Add(1)
+			}
+			continue
+		}
+
+		depth := len(c.queue)
+		if c.policy == ShedRecoverableFirst && depth >= c.watermark &&
+			(!peeked || pk.Flag == packet.OWAFR) {
+			// Above the watermark: shed recoverable first transmissions
+			// (and unpeekable garbage) to keep room for retransmissions.
+			c.shed(pk, peeked)
+			continue
+		}
 		select {
 		case c.queue <- d:
 		default:
-			// Queue full: count the overrun but keep draining the
-			// socket; blocking here would push the loss into the
-			// kernel buffer where it is invisible.
-			c.overrun.Add(1)
+			// Hard-full: shed whatever this is, but attribute the loss.
+			// Blocking here would push the loss into the kernel buffer
+			// where it is invisible.
+			c.shed(pk, peeked)
 		}
+	}
+}
+
+// shed records one dropped data frame: the overrun counter always, and —
+// when the header peeked cleanly — each carried AFR charged to its
+// sub-window's reliability accounting, so the sub-window finalizes with
+// Shed set and the NACK path knows to re-query the gap. Peeking is
+// advisory (no CRC): a corrupt header at worst misattributes a drop, it
+// cannot corrupt controller state.
+func (c *Collector) shed(pk wire.Peek, peeked bool) {
+	c.overrun.Add(1)
+	if !peeked {
+		return
+	}
+	for sw, n := range pk.AFRSubWindows {
+		c.shedAFRs.Add(int64(n))
+		c.sink.NoteShed(sw, n)
 	}
 }
 
@@ -190,12 +322,17 @@ func (c *Collector) ingestLoop() {
 	}
 }
 
-// Close stops the collector: the reader exits, the queue drains, and
-// every ingest worker finishes before Close returns.
+// Close stops the collector gracefully: the reader exits, the queue
+// drains, every in-flight ingest worker finishes, and the OnClose hook
+// (if any) runs — all before Close returns. Records already read off the
+// socket are never abandoned mid-decode.
 func (c *Collector) Close() error {
 	err := c.conn.Close()
 	c.readWG.Wait()
 	c.workWG.Wait()
+	if c.onClose != nil {
+		c.onClose()
+	}
 	return err
 }
 
@@ -218,10 +355,17 @@ func (c *Collector) Received() int { return int(c.recvd.Load()) }
 // against Recovered. Safe to call while running.
 func (c *Collector) Recovered() int { return int(c.recov.Load()) }
 
-// Overruns reports datagrams discarded because the ingest queue was full
-// (the reliability protocol's retransmission covers them, §8). Safe to
-// call while the collector is running.
+// Overruns reports data datagrams shed by admission control — at the
+// watermark under ShedRecoverableFirst, or only when hard-full under
+// ShedTailDrop. The reliability protocol's retransmission covers them
+// (§8), and each shed datagram's records are charged to their
+// sub-windows' accounting (see ShedAFRs). Safe to call while running.
 func (c *Collector) Overruns() int { return int(c.overrun.Load()) }
+
+// ShedAFRs reports individual AFR records inside shed datagrams whose
+// headers peeked cleanly enough to attribute (Overruns counts datagrams;
+// this counts records). Safe to call while the collector is running.
+func (c *Collector) ShedAFRs() int { return int(c.shedAFRs.Load()) }
 
 // SendDatagram wire-encodes p and sends it to addr over conn — the
 // switch-side transmit helper.

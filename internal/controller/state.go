@@ -1,0 +1,191 @@
+// Controller state export and restore for the durability layer
+// (internal/durable). A snapshot taken at a sub-window boundary plus the
+// write-ahead log of everything ingested since is enough to rebuild the
+// controller to the exact pre-crash state: merged values are rebuilt by
+// re-absorbing the stored contributions (every merge kind is
+// order-insensitive, so the rebuild is exact), and sequence-number dedup
+// makes replaying batches the snapshot already covers harmless.
+
+package controller
+
+import (
+	"sort"
+
+	"omniwindow/internal/afr"
+	"omniwindow/internal/metrics"
+	"omniwindow/internal/packet"
+	"omniwindow/internal/wire"
+)
+
+// NoteShed records that admission control dropped n AFRs destined for a
+// sub-window (attributed by header peek before the discard). Notes for a
+// still-open sub-window flow into its final accounting; notes for an
+// already-finished one amend the retained reliability snapshot but cannot
+// retroactively change windows that were already emitted.
+func (c *Controller) NoteShed(sw uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if d, live := c.dedups[sw]; live {
+		c.mu.Unlock()
+		d.mu.Lock()
+		d.shed += n
+		d.mu.Unlock()
+		return
+	}
+	if rel, done := c.rel[sw]; done {
+		rel.Shed += n
+		c.rel[sw] = rel
+	}
+	c.mu.Unlock()
+}
+
+// LastFinished reports the highest sub-window FinishSubWindow has
+// completed; ok is false before the first finish.
+func (c *Controller) LastFinished() (sw uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastFin, c.hasFin
+}
+
+// ExportState snapshots the controller's complete restorable state: the
+// key-value table, routed-but-unmerged records, open sub-window arrival
+// state and finished sub-window accounting. Output ordering is fully
+// deterministic (keys by packetKeyLess, everything else by sub-window and
+// sequence), so encoding the snapshot is byte-stable regardless of shard
+// count or ingest interleaving. ThroughLSN is left zero; the durable layer
+// stamps it with its own log position.
+func (c *Controller) ExportState() *wire.Snapshot {
+	c.finishMu.Lock()
+	defer c.finishMu.Unlock()
+
+	s := &wire.Snapshot{}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for k, e := range sh.table {
+			se := wire.SnapEntry{Key: k, Contribs: make([]wire.SnapContrib, len(e.contribs))}
+			for i, cb := range e.contribs {
+				se.Contribs[i] = wire.SnapContrib{
+					SW: cb.sw, Attr: cb.attr, Distinct: cb.distinct, HasDistinct: cb.hasDistinct,
+				}
+			}
+			s.Entries = append(s.Entries, se)
+		}
+		for _, recs := range sh.pending {
+			s.Pending = append(s.Pending, recs...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(s.Entries, func(i, j int) bool {
+		return packetKeyLess(s.Entries[i].Key, s.Entries[j].Key)
+	})
+	sort.Slice(s.Pending, func(i, j int) bool {
+		a, b := &s.Pending[i], &s.Pending[j]
+		if a.SubWindow != b.SubWindow {
+			return a.SubWindow < b.SubWindow
+		}
+		return a.Seq < b.Seq
+	})
+
+	c.mu.Lock()
+	s.LastFinished, s.HasFinished = c.lastFin, c.hasFin
+	for sw, d := range c.dedups {
+		d.mu.Lock()
+		sd := wire.SnapDedup{
+			SW:        sw,
+			Expected:  int32(d.expected),
+			Recovered: uint32(d.recovered),
+			Shed:      uint32(d.shed),
+		}
+		if len(d.seen) > 0 {
+			sd.Seen = make([]uint32, 0, len(d.seen))
+			for seq := range d.seen {
+				sd.Seen = append(sd.Seen, seq)
+			}
+			sort.Slice(sd.Seen, func(i, j int) bool { return sd.Seen[i] < sd.Seen[j] })
+		}
+		d.mu.Unlock()
+		s.Dedups = append(s.Dedups, sd)
+	}
+	for sw, r := range c.rel {
+		s.Rels = append(s.Rels, wire.SnapRel{
+			SW:        sw,
+			Expected:  int32(r.Expected),
+			Received:  uint32(r.Received),
+			Recovered: uint32(r.Recovered),
+			Missing:   uint32(r.Missing),
+			Shed:      uint32(r.Shed),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(s.Dedups, func(i, j int) bool { return s.Dedups[i].SW < s.Dedups[j].SW })
+	sort.Slice(s.Rels, func(i, j int) bool { return s.Rels[i].SW < s.Rels[j].SW })
+	return s
+}
+
+// RestoreState replaces the controller's state with a snapshot's. Rows are
+// re-routed by hash, so a snapshot exported at one shard count restores
+// correctly at another. The configuration (plan, kind, detector) is NOT
+// carried by snapshots — the restored controller must be built with the
+// same Config the exporter used, or merged values will diverge.
+func (c *Controller) RestoreState(s *wire.Snapshot) {
+	c.finishMu.Lock()
+	defer c.finishMu.Unlock()
+
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.table = make(map[packet.FlowKey]*entry)
+		sh.pending = make(map[uint64][]packet.AFR)
+		sh.mu.Unlock()
+	}
+	for _, se := range s.Entries {
+		sh := c.shards[c.shardIndex(se.Key)]
+		e := &entry{
+			contribs: make([]contrib, len(se.Contribs)),
+			merged:   afr.NewMergedWithCounter(c.cfg.Kind, c.cfg.DistinctCounter),
+		}
+		for i, cb := range se.Contribs {
+			e.contribs[i] = contrib{
+				sw: cb.SW, attr: cb.Attr, distinct: cb.Distinct, hasDistinct: cb.HasDistinct,
+			}
+			e.merged.Absorb(cb.Attr, cb.Distinct, cb.HasDistinct)
+		}
+		sh.mu.Lock()
+		sh.table[se.Key] = e
+		sh.mu.Unlock()
+	}
+	for _, r := range s.Pending {
+		sh := c.shards[c.shardIndex(r.Key)]
+		sh.mu.Lock()
+		sh.pending[r.SubWindow] = append(sh.pending[r.SubWindow], r)
+		sh.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	c.dedups = make(map[uint64]*dedup)
+	c.rel = make(map[uint64]metrics.Reliability)
+	c.lastFin, c.hasFin = s.LastFinished, s.HasFinished
+	for _, sd := range s.Dedups {
+		d := &dedup{
+			seen:      make(map[uint32]bool, len(sd.Seen)),
+			expected:  int(sd.Expected),
+			recovered: int(sd.Recovered),
+			shed:      int(sd.Shed),
+		}
+		for _, seq := range sd.Seen {
+			d.seen[seq] = true
+		}
+		c.dedups[sd.SW] = d
+	}
+	for _, sr := range s.Rels {
+		c.rel[sr.SW] = metrics.Reliability{
+			Expected:  int(sr.Expected),
+			Received:  int(sr.Received),
+			Recovered: int(sr.Recovered),
+			Missing:   int(sr.Missing),
+			Shed:      int(sr.Shed),
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,355 @@
+// Package durable is the controller's persistence layer: a checkpoint file
+// holding the complete restorable controller state at a sub-window
+// boundary, plus per-shard write-ahead logs of everything ingested since,
+// so a crashed controller (or a promoted standby) replays back to the
+// exact pre-crash state.
+//
+// Layout inside the directory:
+//
+//	checkpoint.snap   latest snapshot (wire.EncodeSnapshot; temp+rename)
+//	wal-NNN.log       per-shard AFR-batch log (wire.AppendWALRecord frames)
+//	wal.ctl           control log: triggers, finishes, shed notes
+//
+// Every appended frame carries a global log sequence number (LSN) from one
+// atomic counter, so replay merges the per-shard logs and the control log
+// back into one total order. A checkpoint records the LSN high-water mark
+// it covers (ThroughLSN); replay skips frames at or below it, which makes
+// a crash between the checkpoint rename and the log truncation harmless —
+// the stale frames are recognized and ignored, never double-applied.
+//
+// A torn tail (the partial frame a crash mid-append leaves behind) decodes
+// as wire.ErrTruncated and cleanly ends that log's replay; a frame that
+// fails its CRC does the same, because nothing after an undecodable length
+// prefix can be trusted.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"omniwindow/internal/packet"
+	"omniwindow/internal/wire"
+)
+
+// ErrCrash is returned by Store operations when the configured crash hook
+// fires: the simulated process died mid-operation. The store refuses all
+// further writes, exactly as a dead process would.
+var ErrCrash = errors.New("durable: simulated crash")
+
+const (
+	checkpointName = "checkpoint.snap"
+	checkpointTemp = "checkpoint.snap.tmp"
+	ctlName        = "wal.ctl"
+)
+
+func walName(shard int) string { return fmt.Sprintf("wal-%03d.log", shard) }
+
+// Store manages one controller's checkpoint and write-ahead logs.
+type Store struct {
+	dir    string
+	shards int
+	lsn    atomic.Uint64 // last issued LSN
+
+	mu   sync.Mutex
+	data []*os.File // per-shard AFR logs
+	ctl  *os.File   // control log
+	dead bool
+
+	// crash, when set, is consulted at named points inside mutating
+	// operations; returning true aborts the operation with ErrCrash,
+	// leaving behind whatever partial bytes a real crash would. Points:
+	// "wal-append" (a torn half-frame is written first), "checkpoint-temp"
+	// (partial temp file), "checkpoint-rename" (temp complete, rename not
+	// done), "wal-truncate" (checkpoint renamed, logs not yet truncated).
+	crash func(point string) bool
+}
+
+// Open creates (or reopens) a store with the given shard count. Reopening
+// an existing directory resumes the LSN counter past every frame already
+// on disk.
+func Open(dir string, shards int) (*Store, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("durable: shard count must be positive, got %d", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{dir: dir, shards: shards}
+	for i := 0; i < shards; i++ {
+		f, err := os.OpenFile(filepath.Join(dir, walName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		s.data = append(s.data, f)
+	}
+	ctl, err := os.OpenFile(filepath.Join(dir, ctlName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s.ctl = ctl
+
+	// Resume the LSN counter past everything already durable, so new
+	// frames never collide with replayed ones.
+	max := uint64(0)
+	snap, err := s.LoadCheckpoint()
+	if err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	if snap != nil && snap.ThroughLSN > max {
+		max = snap.ThroughLSN
+	}
+	recs, err := s.replayAll()
+	if err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.LSN > max {
+			max = r.LSN
+		}
+	}
+	s.lsn.Store(max)
+	return s, nil
+}
+
+// SetCrash installs the simulated-crash hook (tests only; see Store.crash).
+func (s *Store) SetCrash(fn func(point string) bool) { s.crash = fn }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// LSN returns the last issued log sequence number.
+func (s *Store) LSN() uint64 { return s.lsn.Load() }
+
+func (s *Store) closeFiles() {
+	for _, f := range s.data {
+		if f != nil {
+			f.Close()
+		}
+	}
+	if s.ctl != nil {
+		s.ctl.Close()
+	}
+}
+
+// Close flushes and closes every log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return nil
+	}
+	s.dead = true
+	s.closeFiles()
+	return nil
+}
+
+// die marks the store dead at a crash point, simulating the partial write
+// a real crash leaves: if frame is non-empty, its first half is written to
+// f before the process "dies".
+func (s *Store) die(f *os.File, frame []byte) error {
+	if f != nil && len(frame) > 0 {
+		f.Write(frame[:len(frame)/2])
+	}
+	s.dead = true
+	s.closeFiles()
+	return ErrCrash
+}
+
+// append writes one framed record to f.
+func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrCrash
+	}
+	frame := wire.AppendWALRecord(nil, rec)
+	if s.crash != nil && s.crash("wal-append") {
+		return s.die(f, frame)
+	}
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// AppendBatch logs one ingested AFR batch to a shard's log. retrans marks
+// batches that arrived via the NACK/retransmit path, so replayed delivery
+// accounting matches the original run's.
+func (s *Store) AppendBatch(shard int, sw uint64, retrans bool, afrs []packet.AFR) error {
+	if shard < 0 || shard >= s.shards {
+		return fmt.Errorf("durable: shard %d out of range [0,%d)", shard, s.shards)
+	}
+	return s.append(s.data[shard], &wire.WALRecord{
+		Type: wire.WALAFRBatch, LSN: s.lsn.Add(1), SubWindow: sw, Retrans: retrans, AFRs: afrs,
+	})
+}
+
+// AppendTrigger logs a sub-window's trigger announcement.
+func (s *Store) AppendTrigger(sw uint64, keyCount uint32) error {
+	return s.append(s.ctl, &wire.WALRecord{
+		Type: wire.WALTrigger, LSN: s.lsn.Add(1), SubWindow: sw, KeyCount: keyCount,
+	})
+}
+
+// AppendFinish logs a FinishSubWindow call, so replay re-runs the window
+// assembly (and its evictions) at exactly the same point in the ingest
+// order.
+func (s *Store) AppendFinish(sw uint64) error {
+	return s.append(s.ctl, &wire.WALRecord{
+		Type: wire.WALFinish, LSN: s.lsn.Add(1), SubWindow: sw,
+	})
+}
+
+// AppendShed logs records dropped by admission control, so restored
+// ShedAFRs/Degraded accounting matches the pre-crash state.
+func (s *Store) AppendShed(sw uint64, n uint32) error {
+	return s.append(s.ctl, &wire.WALRecord{
+		Type: wire.WALShed, LSN: s.lsn.Add(1), SubWindow: sw, Count: n,
+	})
+}
+
+// Checkpoint atomically replaces the checkpoint file with snap and
+// truncates the logs it supersedes. snap.ThroughLSN is stamped with the
+// current LSN high-water mark: every frame logged so far is folded into
+// the snapshot by construction (the caller exports controller state after
+// logging everything it ingested).
+func (s *Store) Checkpoint(snap *wire.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrCrash
+	}
+	snap.ThroughLSN = s.lsn.Load()
+	buf := wire.EncodeSnapshot(nil, snap)
+
+	tmp := filepath.Join(s.dir, checkpointTemp)
+	if s.crash != nil && s.crash("checkpoint-temp") {
+		f, _ := os.Create(tmp)
+		return s.die(f, buf)
+	}
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.crash != nil && s.crash("checkpoint-rename") {
+		return s.die(nil, nil)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.crash != nil && s.crash("wal-truncate") {
+		return s.die(nil, nil)
+	}
+	// The snapshot covers every logged frame; drop them. A crash before
+	// this point leaves stale frames behind, which replay recognizes by
+	// LSN and skips.
+	for _, f := range s.data {
+		if err := f.Truncate(0); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+	}
+	if err := s.ctl.Truncate(0); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := s.ctl.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and verifies the checkpoint file. It returns
+// (nil, nil) when no checkpoint exists yet. A checkpoint that fails its
+// CRC or version check is an error: refusing to load beats silently
+// merging a torn snapshot.
+func (s *Store) LoadCheckpoint() (*wire.Snapshot, error) {
+	buf, err := os.ReadFile(filepath.Join(s.dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	snap, err := wire.DecodeSnapshot(buf)
+	if err != nil {
+		return nil, fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	return snap, nil
+}
+
+// replayFile decodes every complete frame of one log file. A torn tail
+// (ErrTruncated) or a corrupt frame (ErrChecksum) ends that file's replay
+// at the last good frame — everything after an unreliable length prefix is
+// unreachable anyway.
+func replayFile(path string) ([]*wire.WALRecord, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	var recs []*wire.WALRecord
+	for off := 0; off < len(buf); {
+		rec, n, err := wire.DecodeWALRecord(buf[off:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, nil
+}
+
+// replayAll merges every log file's frames into LSN order.
+func (s *Store) replayAll() ([]*wire.WALRecord, error) {
+	var all []*wire.WALRecord
+	for i := 0; i < s.shards; i++ {
+		recs, err := replayFile(filepath.Join(s.dir, walName(i)))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	recs, err := replayFile(filepath.Join(s.dir, ctlName))
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, recs...)
+	sort.Slice(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
+	return all, nil
+}
+
+// Recover loads the latest checkpoint (nil when none exists) plus the WAL
+// frames it does not cover, merged into one LSN-ordered replay sequence.
+func (s *Store) Recover() (*wire.Snapshot, []*wire.WALRecord, error) {
+	snap, err := s.LoadCheckpoint()
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err := s.replayAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	through := uint64(0)
+	if snap != nil {
+		through = snap.ThroughLSN
+	}
+	recs := all[:0]
+	for _, r := range all {
+		if r.LSN > through {
+			recs = append(recs, r)
+		}
+	}
+	return snap, recs, nil
+}

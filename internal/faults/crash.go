@@ -1,0 +1,41 @@
+package faults
+
+// CrashSchedule decides, deterministically, whether the controller process
+// dies at a given sub-window boundary. It is deliberately NOT drawn from
+// the Injector's PRNG stream: every Injector event draws a fixed number of
+// values so enabling one fault kind never shifts another's schedule, and
+// crash decisions happen at boundaries, not events — hashing (Seed,
+// boundary) keeps crashes reproducible per seed while leaving every
+// existing fault schedule untouched.
+type CrashSchedule struct {
+	// Seed parameterizes the per-boundary hash.
+	Seed uint64
+	// Prob is the crash probability per sub-window boundary.
+	Prob float64
+	// Fixed lists boundaries that always crash, regardless of Prob —
+	// the kill-and-restart suite uses it to hit every boundary in turn.
+	Fixed []uint64
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed stateless
+// hash (the same construction seeds xoshiro generators).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// At reports whether the schedule crashes the controller at boundary sw.
+func (c CrashSchedule) At(sw uint64) bool {
+	for _, f := range c.Fixed {
+		if f == sw {
+			return true
+		}
+	}
+	if c.Prob <= 0 {
+		return false
+	}
+	h := splitmix64(c.Seed ^ splitmix64(sw))
+	return float64(h>>11)/float64(1<<53) < c.Prob
+}

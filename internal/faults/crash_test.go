@@ -1,0 +1,76 @@
+package faults
+
+import "testing"
+
+// TestCrashScheduleDeterministic: the same (Seed, Prob) must decide every
+// boundary identically across calls and instances — crash schedules are
+// replayable test cases.
+func TestCrashScheduleDeterministic(t *testing.T) {
+	a := CrashSchedule{Seed: 7, Prob: 0.3}
+	b := CrashSchedule{Seed: 7, Prob: 0.3}
+	crashes := 0
+	for sw := uint64(0); sw < 1000; sw++ {
+		if a.At(sw) != b.At(sw) || a.At(sw) != a.At(sw) {
+			t.Fatalf("boundary %d decided inconsistently", sw)
+		}
+		if a.At(sw) {
+			crashes++
+		}
+	}
+	// Prob 0.3 over 1000 boundaries: the hash should land in a loose band
+	// around 300; a flat 0 or 1000 means the threshold math is broken.
+	if crashes < 200 || crashes > 400 {
+		t.Fatalf("crash rate off: %d/1000 at Prob 0.3", crashes)
+	}
+}
+
+func TestCrashScheduleSeedsDiffer(t *testing.T) {
+	a := CrashSchedule{Seed: 1, Prob: 0.5}
+	b := CrashSchedule{Seed: 2, Prob: 0.5}
+	same := true
+	for sw := uint64(0); sw < 64; sw++ {
+		if a.At(sw) != b.At(sw) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCrashScheduleFixedAndZeroProb(t *testing.T) {
+	c := CrashSchedule{Fixed: []uint64{3, 9}}
+	for sw := uint64(0); sw < 20; sw++ {
+		want := sw == 3 || sw == 9
+		if c.At(sw) != want {
+			t.Fatalf("boundary %d: At = %v want %v (Prob 0, Fixed %v)", sw, c.At(sw), want, c.Fixed)
+		}
+	}
+	if (CrashSchedule{}).At(0) {
+		t.Fatal("zero-value schedule crashed")
+	}
+}
+
+// TestCrashScheduleLeavesInjectorUntouched: enabling a crash schedule must
+// not shift any Injector fault stream — CrashSchedule is stateless and
+// draws nothing from the injector's PRNG.
+func TestCrashScheduleLeavesInjectorUntouched(t *testing.T) {
+	drops := func(withCrashChecks bool) int {
+		inj := New(Config{Seed: 11, Drop: 0.2})
+		cs := CrashSchedule{Seed: 11, Prob: 0.5}
+		n := 0
+		for i := 0; i < 500; i++ {
+			if withCrashChecks {
+				cs.At(uint64(i)) // interleaved crash decisions
+			}
+			if inj.Packet().Drop {
+				n++
+			}
+		}
+		return n
+	}
+	if a, b := drops(false), drops(true); a != b {
+		t.Fatalf("crash checks perturbed the drop schedule: %d vs %d", a, b)
+	}
+}

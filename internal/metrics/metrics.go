@@ -110,6 +110,12 @@ type Reliability struct {
 	// Missing is the number of announced sequence numbers still absent
 	// (0 when Expected is unknown).
 	Missing int
+	// Shed is the number of AFRs admission control dropped for this
+	// sub-window under overload (recorded by header peek before the
+	// discard). Shed records that were later recovered via NACK still
+	// count here: Shed measures overload pressure, Missing measures the
+	// damage left after recovery.
+	Shed int
 }
 
 // Complete reports whether every announced AFR arrived. An unknown
@@ -137,6 +143,7 @@ func (r *Reliability) Add(o Reliability) {
 	r.Received += o.Received
 	r.Recovered += o.Recovered
 	r.Missing += o.Missing
+	r.Shed += o.Shed
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice). AARE is

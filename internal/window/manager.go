@@ -76,6 +76,17 @@ func (m *Manager) ForceTerminate() uint64 {
 	return ended
 }
 
+// FastForward jumps the manager to sub-window sw without terminating the
+// skipped ones. A controller restarting from a checkpoint uses it so the
+// sub-windows the pre-crash run already finished are not re-terminated
+// (and their windows not re-emitted) when the first post-restart packet
+// arrives. Moving backwards is a no-op: sub-windows only advance.
+func (m *Manager) FastForward(sw uint64) {
+	if sw > m.cur {
+		m.cur = sw
+	}
+}
+
 // Tick advances the window mechanism with a pure timing event (no packet):
 // the periodic timeout signals OmniWindow generates so windows terminate
 // even when the link goes quiet. It returns the terminated sub-windows.

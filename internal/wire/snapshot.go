@@ -1,0 +1,425 @@
+// Snapshot and write-ahead-log codecs for controller durability
+// (internal/durable). Both follow the wire v2 conventions: fixed-layout
+// big-endian encoding, a version byte so future layouts can coexist, and
+// a CRC-32 (IEEE) trailer so torn writes and bit rot are detected instead
+// of silently merged — a checkpoint that fails its checksum is refused,
+// never half-loaded.
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"omniwindow/internal/packet"
+)
+
+// SnapMagic ("OWSN") and SnapVersion identify checkpoint snapshots.
+const (
+	SnapMagic   uint32 = 0x4F57534E
+	SnapVersion uint8  = 1
+)
+
+// WAL record types. Every controller-state mutation that replay must
+// reproduce has a frame type; anything absent from this list is derivable
+// or cosmetic (operation timings, for example, are not restored).
+const (
+	// WALAFRBatch carries ingested AFR records (first transmissions or
+	// retransmissions, per the Retrans flag).
+	WALAFRBatch byte = 1
+	// WALTrigger carries a sub-window's announced key count.
+	WALTrigger byte = 2
+	// WALFinish marks a FinishSubWindow call; replay re-runs the window
+	// assembly so re-emitted windows are byte-identical.
+	WALFinish byte = 3
+	// WALShed records AFRs dropped by admission control so restored
+	// Degraded/ShedAFRs accounting matches the pre-crash state.
+	WALShed byte = 4
+)
+
+// SnapContrib is one sub-window's contribution to a flow, as stored in the
+// key-value table (the controller rebuilds merged values by re-absorbing
+// contributions in order; every merge kind is order-insensitive, so the
+// rebuild is exact).
+type SnapContrib struct {
+	SW          uint64
+	Attr        uint64
+	Distinct    [4]uint64
+	HasDistinct bool
+}
+
+// SnapEntry is one flow's row.
+type SnapEntry struct {
+	Key      packet.FlowKey
+	Contribs []SnapContrib
+}
+
+// SnapDedup is one open sub-window's arrival state.
+type SnapDedup struct {
+	SW        uint64
+	Expected  int32
+	Recovered uint32
+	Shed      uint32
+	Seen      []uint32
+}
+
+// SnapRel is one finished sub-window's final delivery accounting.
+type SnapRel struct {
+	SW        uint64
+	Expected  int32
+	Received  uint32
+	Recovered uint32
+	Missing   uint32
+	Shed      uint32
+}
+
+// Snapshot is the complete restorable controller state at a sub-window
+// boundary. Entries, Pending, Dedups and Rels are flat (not per-shard) and
+// deterministically ordered by the exporter, so the encoding is
+// byte-stable and restore re-routes rows by hash — a snapshot taken at one
+// shard count loads correctly at another.
+type Snapshot struct {
+	// ThroughLSN is the WAL high-water mark the snapshot covers: replay
+	// must skip frames with LSN <= ThroughLSN (they are already folded
+	// in), which makes a crash between checkpoint rename and WAL
+	// truncation harmless.
+	ThroughLSN uint64
+	// LastFinished is the newest sub-window whose FinishSubWindow ran
+	// before the snapshot (valid when HasFinished); replayed WALFinish
+	// frames at or below it are skipped.
+	LastFinished uint64
+	HasFinished  bool
+	Entries      []SnapEntry
+	Pending      []packet.AFR
+	Dedups       []SnapDedup
+	Rels         []SnapRel
+}
+
+const snapContribSize = 8 + 8 + 32 + 1
+const snapHeaderSize = 4 + 1 + 8 + 8 + 1
+
+// EncodeSnapshot serializes s into buf (grown as needed) and returns the
+// resulting slice, ending in the CRC-32 trailer.
+func EncodeSnapshot(buf []byte, s *Snapshot) []byte {
+	buf = buf[:0]
+	buf = binary.BigEndian.AppendUint32(buf, SnapMagic)
+	buf = append(buf, SnapVersion)
+	buf = binary.BigEndian.AppendUint64(buf, s.ThroughLSN)
+	buf = binary.BigEndian.AppendUint64(buf, s.LastFinished)
+	buf = append(buf, b2u(s.HasFinished))
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Entries)))
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		kb := e.Key.Bytes()
+		buf = append(buf, kb[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Contribs)))
+		for j := range e.Contribs {
+			cb := &e.Contribs[j]
+			buf = binary.BigEndian.AppendUint64(buf, cb.SW)
+			buf = binary.BigEndian.AppendUint64(buf, cb.Attr)
+			for _, w := range cb.Distinct {
+				buf = binary.BigEndian.AppendUint64(buf, w)
+			}
+			buf = append(buf, b2u(cb.HasDistinct))
+		}
+	}
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Pending)))
+	for i := range s.Pending {
+		buf = appendAFR(buf, &s.Pending[i])
+	}
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Dedups)))
+	for i := range s.Dedups {
+		d := &s.Dedups[i]
+		buf = binary.BigEndian.AppendUint64(buf, d.SW)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(d.Expected))
+		buf = binary.BigEndian.AppendUint32(buf, d.Recovered)
+		buf = binary.BigEndian.AppendUint32(buf, d.Shed)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(d.Seen)))
+		for _, s := range d.Seen {
+			buf = binary.BigEndian.AppendUint32(buf, s)
+		}
+	}
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Rels)))
+	for i := range s.Rels {
+		r := &s.Rels[i]
+		buf = binary.BigEndian.AppendUint64(buf, r.SW)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Expected))
+		buf = binary.BigEndian.AppendUint32(buf, r.Received)
+		buf = binary.BigEndian.AppendUint32(buf, r.Recovered)
+		buf = binary.BigEndian.AppendUint32(buf, r.Missing)
+		buf = binary.BigEndian.AppendUint32(buf, r.Shed)
+	}
+
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// snapReader cursors over a checksum-verified snapshot body. Every read
+// re-checks the remaining length, so a decoder that survives the CRC (a
+// deliberately patched checksum, as the fuzz target produces) still fails
+// cleanly with ErrTruncated instead of panicking or over-allocating.
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.data)-r.off < n {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (r *snapReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *snapReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *snapReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// count reads a length prefix and rejects values whose minimal encoding
+// cannot fit in the remaining bytes (allocation-bomb guard).
+func (r *snapReader) count(minPer int) int {
+	n := int(r.u32())
+	if r.err == nil && n*minPer > len(r.data)-r.off {
+		r.err = ErrTruncated
+		return 0
+	}
+	return n
+}
+
+// DecodeSnapshot parses a snapshot produced by EncodeSnapshot, verifying
+// the version and the CRC-32 trailer first.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderSize+sumSize {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(data) != SnapMagic {
+		return nil, ErrBadMagic
+	}
+	if data[4] != SnapVersion {
+		return nil, ErrBadVersion
+	}
+	body := data[:len(data)-sumSize]
+	if binary.BigEndian.Uint32(data[len(body):]) != crc32.ChecksumIEEE(body) {
+		return nil, ErrChecksum
+	}
+	r := &snapReader{data: body, off: 5}
+	s := &Snapshot{
+		ThroughLSN:   r.u64(),
+		LastFinished: r.u64(),
+		HasFinished:  r.u8() != 0,
+	}
+
+	if n := r.count(packet.KeyBytes + 4); n > 0 {
+		s.Entries = make([]SnapEntry, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			var e SnapEntry
+			var kb [packet.KeyBytes]byte
+			if r.need(packet.KeyBytes) {
+				copy(kb[:], r.data[r.off:])
+				r.off += packet.KeyBytes
+			}
+			e.Key = packet.KeyFromBytes(kb)
+			if nc := r.count(snapContribSize); nc > 0 {
+				e.Contribs = make([]SnapContrib, 0, nc)
+				for j := 0; j < nc && r.err == nil; j++ {
+					var cb SnapContrib
+					cb.SW = r.u64()
+					cb.Attr = r.u64()
+					for w := range cb.Distinct {
+						cb.Distinct[w] = r.u64()
+					}
+					cb.HasDistinct = r.u8() != 0
+					e.Contribs = append(e.Contribs, cb)
+				}
+			}
+			s.Entries = append(s.Entries, e)
+		}
+	}
+
+	if n := r.count(afrSize); n > 0 {
+		s.Pending = make([]packet.AFR, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			var rec packet.AFR
+			if r.need(afrSize) {
+				decodeAFR(r.data[r.off:], &rec)
+				r.off += afrSize
+			}
+			s.Pending = append(s.Pending, rec)
+		}
+	}
+
+	if n := r.count(8 + 4 + 4 + 4 + 4); n > 0 {
+		s.Dedups = make([]SnapDedup, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			var d SnapDedup
+			d.SW = r.u64()
+			d.Expected = int32(r.u32())
+			d.Recovered = r.u32()
+			d.Shed = r.u32()
+			if ns := r.count(4); ns > 0 {
+				d.Seen = make([]uint32, 0, ns)
+				for j := 0; j < ns && r.err == nil; j++ {
+					d.Seen = append(d.Seen, r.u32())
+				}
+			}
+			s.Dedups = append(s.Dedups, d)
+		}
+	}
+
+	if n := r.count(8 + 5*4); n > 0 {
+		s.Rels = make([]SnapRel, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			var rel SnapRel
+			rel.SW = r.u64()
+			rel.Expected = int32(r.u32())
+			rel.Received = r.u32()
+			rel.Recovered = r.u32()
+			rel.Missing = r.u32()
+			rel.Shed = r.u32()
+			s.Rels = append(s.Rels, rel)
+		}
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, ErrTruncated
+	}
+	return s, nil
+}
+
+// WALRecord is one write-ahead-log frame's payload. Frames are
+// length-prefixed and CRC-trailed, so replay detects the torn tail a crash
+// mid-append leaves behind and stops cleanly there.
+type WALRecord struct {
+	Type byte
+	// LSN is the global log sequence number; the durable layer merges
+	// per-shard logs by LSN to recover a total replay order.
+	LSN       uint64
+	SubWindow uint64
+	// KeyCount is the trigger announcement (WALTrigger).
+	KeyCount uint32
+	// Count is the shed record count (WALShed).
+	Count uint32
+	// Retrans marks a batch that arrived via the NACK/retransmit path,
+	// so replayed delivery accounting matches the original.
+	Retrans bool
+	AFRs    []packet.AFR
+}
+
+// walHeaderSize is the fixed frame prefix: payload length (4).
+const walHeaderSize = 4
+
+// AppendWALRecord appends one framed record to buf and returns it.
+func AppendWALRecord(buf []byte, rec *WALRecord) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // patched below
+	payload := len(buf)
+	buf = append(buf, rec.Type)
+	buf = binary.BigEndian.AppendUint64(buf, rec.LSN)
+	buf = binary.BigEndian.AppendUint64(buf, rec.SubWindow)
+	switch rec.Type {
+	case WALAFRBatch:
+		buf = append(buf, b2u(rec.Retrans))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.AFRs)))
+		for i := range rec.AFRs {
+			buf = appendAFR(buf, &rec.AFRs[i])
+		}
+	case WALTrigger:
+		buf = binary.BigEndian.AppendUint32(buf, rec.KeyCount)
+	case WALShed:
+		buf = binary.BigEndian.AppendUint32(buf, rec.Count)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-payload))
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[payload:]))
+}
+
+// DecodeWALRecord parses the first frame of data, returning the record and
+// the bytes consumed. ErrTruncated means the frame is incomplete (a torn
+// tail — the caller stops replay there); ErrChecksum means the frame is
+// complete but corrupt.
+func DecodeWALRecord(data []byte) (*WALRecord, int, error) {
+	if len(data) < walHeaderSize {
+		return nil, 0, ErrTruncated
+	}
+	plen := int(binary.BigEndian.Uint32(data))
+	total := walHeaderSize + plen + sumSize
+	if plen < 1+8+8 || len(data) < total {
+		return nil, 0, ErrTruncated
+	}
+	payload := data[walHeaderSize : walHeaderSize+plen]
+	if binary.BigEndian.Uint32(data[walHeaderSize+plen:]) != crc32.ChecksumIEEE(payload) {
+		return nil, 0, ErrChecksum
+	}
+	rec := &WALRecord{
+		Type:      payload[0],
+		LSN:       binary.BigEndian.Uint64(payload[1:]),
+		SubWindow: binary.BigEndian.Uint64(payload[9:]),
+	}
+	rest := payload[17:]
+	switch rec.Type {
+	case WALAFRBatch:
+		if len(rest) < 5 {
+			return nil, 0, ErrTruncated
+		}
+		rec.Retrans = rest[0] != 0
+		n := int(binary.BigEndian.Uint32(rest[1:]))
+		rest = rest[5:]
+		if len(rest) != n*afrSize {
+			return nil, 0, ErrTruncated
+		}
+		if n > 0 {
+			rec.AFRs = make([]packet.AFR, n)
+			for i := 0; i < n; i++ {
+				decodeAFR(rest[i*afrSize:], &rec.AFRs[i])
+			}
+		}
+	case WALTrigger:
+		if len(rest) != 4 {
+			return nil, 0, ErrTruncated
+		}
+		rec.KeyCount = binary.BigEndian.Uint32(rest)
+	case WALFinish:
+		if len(rest) != 0 {
+			return nil, 0, ErrTruncated
+		}
+	case WALShed:
+		if len(rest) != 4 {
+			return nil, 0, ErrTruncated
+		}
+		rec.Count = binary.BigEndian.Uint32(rest)
+	default:
+		return nil, 0, ErrBadVersion
+	}
+	return rec, total, nil
+}

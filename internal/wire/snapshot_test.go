@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"omniwindow/internal/packet"
+)
+
+func snapKey(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: uint32(i), DstIP: 7, SrcPort: uint16(i), DstPort: 53, Proto: 17}
+}
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		ThroughLSN:   42,
+		LastFinished: 3,
+		HasFinished:  true,
+		Entries: []SnapEntry{
+			{Key: snapKey(1), Contribs: []SnapContrib{
+				{SW: 0, Attr: 5},
+				{SW: 1, Attr: 7, Distinct: [4]uint64{1, 2, 3, 4}, HasDistinct: true},
+			}},
+			{Key: snapKey(2), Contribs: []SnapContrib{{SW: 1, Attr: 9}}},
+		},
+		Pending: []packet.AFR{
+			{Key: snapKey(3), Attr: 11, SubWindow: 4, Seq: 0},
+			{Key: snapKey(4), Attr: 13, SubWindow: 4, Seq: 1, HasDistinct: true, Distinct: [4]uint64{9, 0, 0, 1}},
+		},
+		Dedups: []SnapDedup{
+			{SW: 4, Expected: 5, Recovered: 1, Shed: 2, Seen: []uint32{0, 1, 3}},
+			{SW: 5, Expected: -1},
+		},
+		Rels: []SnapRel{
+			{SW: 3, Expected: 10, Received: 10, Recovered: 2, Missing: 0, Shed: 1},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	buf := EncodeSnapshot(nil, s)
+	got, err := DecodeSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", s, got)
+	}
+	// Deterministic: same snapshot, same bytes.
+	if string(buf) != string(EncodeSnapshot(nil, sampleSnapshot())) {
+		t.Fatal("snapshot encoding is not byte-stable")
+	}
+}
+
+func TestSnapshotEmptyRoundTrip(t *testing.T) {
+	buf := EncodeSnapshot(nil, &Snapshot{})
+	got, err := DecodeSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&Snapshot{}, got) {
+		t.Fatalf("empty snapshot round trip: %+v", got)
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	buf := EncodeSnapshot(nil, sampleSnapshot())
+	for _, pos := range []int{5, len(buf) / 2, len(buf) - 5} {
+		mangled := append([]byte(nil), buf...)
+		mangled[pos] ^= 0x40
+		if _, err := DecodeSnapshot(mangled); err == nil {
+			t.Fatalf("bit flip at %d not detected", pos)
+		}
+	}
+	for _, cut := range []int{1, 10, len(buf) / 2} {
+		if _, err := DecodeSnapshot(buf[:len(buf)-cut]); err == nil {
+			t.Fatalf("truncation by %d not detected", cut)
+		}
+	}
+	if _, err := DecodeSnapshot(nil); err != ErrTruncated {
+		t.Fatalf("nil snapshot: %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[4] = 99
+	if _, err := DecodeSnapshot(bad); err != ErrBadVersion {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []*WALRecord{
+		{Type: WALAFRBatch, LSN: 1, SubWindow: 2, Retrans: true, AFRs: []packet.AFR{
+			{Key: snapKey(1), Attr: 3, SubWindow: 2, Seq: 9},
+		}},
+		{Type: WALAFRBatch, LSN: 2, SubWindow: 2, AFRs: []packet.AFR{}},
+		{Type: WALTrigger, LSN: 3, SubWindow: 2, KeyCount: 77},
+		{Type: WALFinish, LSN: 4, SubWindow: 2},
+		{Type: WALShed, LSN: 5, SubWindow: 2, Count: 13},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendWALRecord(buf, r)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := DecodeWALRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if len(want.AFRs) == 0 {
+			want.AFRs = nil
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("record %d mismatch:\nin:  %+v\nout: %+v", i, want, got)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestWALRecordTornTail(t *testing.T) {
+	full := AppendWALRecord(nil, &WALRecord{Type: WALTrigger, LSN: 1, SubWindow: 5, KeyCount: 3})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeWALRecord(full[:len(full)-cut]); err != ErrTruncated {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-6] ^= 1
+	if _, _, err := DecodeWALRecord(corrupt); err != ErrChecksum {
+		t.Fatalf("corrupt frame: %v, want ErrChecksum", err)
+	}
+}

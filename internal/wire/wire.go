@@ -92,16 +92,7 @@ func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.OW.Seqs)))
 
 	for i := range p.OW.AFRs {
-		r := &p.OW.AFRs[i]
-		rk := r.Key.Bytes()
-		buf = append(buf, rk[:]...)
-		buf = binary.BigEndian.AppendUint64(buf, r.Attr)
-		buf = binary.BigEndian.AppendUint64(buf, r.SubWindow)
-		buf = binary.BigEndian.AppendUint32(buf, r.Seq)
-		buf = append(buf, r.App, b2u(r.HasDistinct))
-		for _, w := range r.Distinct {
-			buf = binary.BigEndian.AppendUint64(buf, w)
-		}
+		buf = appendAFR(buf, &p.OW.AFRs[i])
 	}
 	for _, w := range p.OW.RawWords {
 		buf = binary.BigEndian.AppendUint64(buf, w)
@@ -153,20 +144,8 @@ func Decode(data []byte) (*packet.Packet, error) {
 	if nAFR > 0 {
 		p.OW.AFRs = make([]packet.AFR, nAFR)
 		for i := 0; i < nAFR; i++ {
-			r := &p.OW.AFRs[i]
-			copy(kb[:], data[off:])
-			r.Key = packet.KeyFromBytes(kb)
-			off += packet.KeyBytes
-			r.Attr = binary.BigEndian.Uint64(data[off:])
-			r.SubWindow = binary.BigEndian.Uint64(data[off+8:])
-			r.Seq = binary.BigEndian.Uint32(data[off+16:])
-			r.App = data[off+20]
-			r.HasDistinct = data[off+21] != 0
-			off += 22
-			for w := range r.Distinct {
-				r.Distinct[w] = binary.BigEndian.Uint64(data[off:])
-				off += 8
-			}
+			decodeAFR(data[off:], &p.OW.AFRs[i])
+			off += afrSize
 		}
 	}
 	if nRaw > 0 {
@@ -188,6 +167,83 @@ func Decode(data []byte) (*packet.Packet, error) {
 
 // magicValue aliases Magic internally.
 const magicValue = Magic
+
+// appendAFR serializes one AFR in the fixed afrSize layout shared by
+// datagrams, WAL records and snapshots.
+func appendAFR(buf []byte, r *packet.AFR) []byte {
+	rk := r.Key.Bytes()
+	buf = append(buf, rk[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, r.Attr)
+	buf = binary.BigEndian.AppendUint64(buf, r.SubWindow)
+	buf = binary.BigEndian.AppendUint32(buf, r.Seq)
+	buf = append(buf, r.App, b2u(r.HasDistinct))
+	for _, w := range r.Distinct {
+		buf = binary.BigEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// decodeAFR parses one afrSize-byte record. The caller guarantees
+// len(data) >= afrSize.
+func decodeAFR(data []byte, r *packet.AFR) {
+	var kb [packet.KeyBytes]byte
+	copy(kb[:], data)
+	r.Key = packet.KeyFromBytes(kb)
+	off := packet.KeyBytes
+	r.Attr = binary.BigEndian.Uint64(data[off:])
+	r.SubWindow = binary.BigEndian.Uint64(data[off+8:])
+	r.Seq = binary.BigEndian.Uint32(data[off+16:])
+	r.App = data[off+20]
+	r.HasDistinct = data[off+21] != 0
+	off += 22
+	for w := range r.Distinct {
+		r.Distinct[w] = binary.BigEndian.Uint64(data[off:])
+		off += 8
+	}
+}
+
+// Peek reads a datagram's routing fields — flag, header sub-window, key
+// count and the per-record sub-windows of AFR payloads — without a full
+// decode and without verifying the checksum. Admission control uses it to
+// classify frames and to account records it is about to shed (recording
+// WHICH sub-window lost data even when the frame itself is discarded).
+// Because the CRC is not checked, a corrupted frame may peek to garbage;
+// shed accounting is therefore advisory while ingest stays CRC-exact.
+type Peek struct {
+	// Flag is the OmniWindow frame type.
+	Flag packet.OWFlag
+	// SubWindow and KeyCount are the header fields (trigger frames).
+	SubWindow uint64
+	KeyCount  uint32
+	// AFRSubWindows maps sub-window -> record count for AFR-bearing
+	// frames (nil when the frame carries none).
+	AFRSubWindows map[uint64]int
+}
+
+// PeekDatagram inspects data; ok is false when the frame is too short or
+// not an OmniWindow v2 datagram (such frames cannot be attributed).
+func PeekDatagram(data []byte) (Peek, bool) {
+	if len(data) < headerSize || binary.BigEndian.Uint16(data) != magicValue || data[2] != Version {
+		return Peek{}, false
+	}
+	pk := Peek{
+		Flag:      packet.OWFlag(data[3]),
+		SubWindow: binary.BigEndian.Uint64(data[4:]),
+		KeyCount:  binary.BigEndian.Uint32(data[17:]),
+	}
+	off := 22 + packet.KeyBytes
+	nAFR := int(binary.BigEndian.Uint16(data[off+9:]))
+	off = headerSize
+	if nAFR > 0 && len(data) >= headerSize+nAFR*afrSize {
+		pk.AFRSubWindows = make(map[uint64]int, 1)
+		for i := 0; i < nAFR; i++ {
+			sw := binary.BigEndian.Uint64(data[off+packet.KeyBytes+8:])
+			pk.AFRSubWindows[sw]++
+			off += afrSize
+		}
+	}
+	return pk, true
+}
 
 func b2u(b bool) byte {
 	if b {

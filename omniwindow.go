@@ -29,6 +29,7 @@ import (
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/controller"
+	"omniwindow/internal/durable"
 	"omniwindow/internal/faults"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/rdma"
@@ -113,6 +114,51 @@ type Config struct {
 	// internal wire into an adversarial one.
 	AFRFaults *faults.Injector
 
+	// CheckpointDir enables controller durability: at sub-window
+	// boundaries the complete controller state is checkpointed into this
+	// directory (atomic temp-file + rename), and between checkpoints
+	// every ingested AFR batch, trigger and finish is appended to a
+	// per-shard write-ahead log — a deployment restarted on the same
+	// directory replays back to the exact pre-crash state. Requires a
+	// single-app, non-RDMA deployment. Empty disables durability.
+	CheckpointDir string
+	// CheckpointEvery is the number of sub-window boundaries between
+	// checkpoints (<= 0 means 1, a checkpoint at every boundary); the WAL
+	// covers the boundaries in between. It must align with the merge
+	// plan's slide — a multiple or a divisor of Plan.Slide — so
+	// checkpoints land at window-emission cadence and replay never
+	// re-assembles a half-covered window from mixed state.
+	CheckpointEvery int
+	// Standby enables the hot-standby controller pair: a second
+	// controller tails every checkpoint, a lease-based health probe
+	// detects primary death, and the standby takes over mid-window —
+	// the in-flight sub-window is its only gap, recovered through the
+	// ordinary NACK/retransmit loop before the region resets. Requires
+	// CheckpointDir, an explicit Shards count (primary and standby must
+	// agree across restarts), and CheckpointEvery 1 (older sub-windows'
+	// switch state is already reset, so only the current one is
+	// re-queryable).
+	Standby bool
+	// LeaseTTL is the primary-liveness lease duration in virtual time.
+	// The standby promotes only once the lease lapses, so a takeover
+	// never races a live primary; the wait is charged to the C&R budget.
+	// <= 0 defaults to 2×SubWindow (falling back to 2×Grace when no
+	// fixed sub-window length exists).
+	LeaseTTL time.Duration
+	// Crash schedules simulated controller deaths at sub-window
+	// boundaries (seeded, deterministic — see faults.CrashSchedule).
+	// Without Standby the deployment halts at the crash (restart it on
+	// the same CheckpointDir to recover); with Standby it fails over.
+	Crash *faults.CrashSchedule
+
+	// MaxQueueDepth bounds the network collector's ingest queue when this
+	// config is served over UDP (see CollectorConfig); <= 0 uses the
+	// collector default. Negative values are rejected.
+	MaxQueueDepth int
+	// ShedPolicy selects what the network collector's admission control
+	// drops under overload.
+	ShedPolicy controller.ShedPolicy
+
 	// RDMA enables the §7 collection path: AFRs land in registered
 	// controller memory via simulated WRITE verbs, with hot keys cached
 	// in a switch-side address MAT.
@@ -163,6 +209,12 @@ type Stats struct {
 	ControllerCPUVirtual time.Duration
 	// RecircPasses is the total number of recirculation pipeline passes.
 	RecircPasses int
+	// Failovers counts hot-standby promotions (0 or 1: a deployment has
+	// one standby).
+	Failovers int
+	// ReplayedWindows counts windows re-emitted by WAL replay during
+	// recovery, included in Results in their original positions.
+	ReplayedWindows int
 }
 
 // AppSpec describes one co-deployed telemetry application.
@@ -215,6 +267,16 @@ type Deployment struct {
 	regionOwner [2]uint64
 	regionOwned [2]bool
 
+	// Durability and failover (nil/zero unless CheckpointDir is set).
+	store      *durable.Store
+	standby    *controller.Controller
+	lease      *durable.Lease
+	ckptShards int
+	failedOver bool
+	crashed    bool
+	crashedAt  uint64
+	storeErr   error
+
 	// testAFRLoss, when set, drops the i-th AFR packet before delivery —
 	// a fault-injection hook for exercising the reliability protocol.
 	testAFRLoss func(i int) bool
@@ -237,6 +299,37 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	if err := cfg.Plan.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("omniwindow: RetryBackoff must be non-negative, got %v (use RetryLimit < 0 to disable recovery)", cfg.RetryBackoff)
+	}
+	if cfg.RetryMaxBackoff < 0 {
+		return nil, fmt.Errorf("omniwindow: RetryMaxBackoff must be non-negative, got %v", cfg.RetryMaxBackoff)
+	}
+	if cfg.MaxQueueDepth < 0 {
+		return nil, fmt.Errorf("omniwindow: MaxQueueDepth must be non-negative, got %d (0 means the collector default)", cfg.MaxQueueDepth)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("omniwindow: CheckpointEvery must be non-negative, got %d (0 means every boundary)", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 1 {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("omniwindow: CheckpointEvery %d is set but CheckpointDir is empty — nothing would be checkpointed", cfg.CheckpointEvery)
+		}
+		if cfg.CheckpointEvery%cfg.Plan.Slide != 0 && cfg.Plan.Slide%cfg.CheckpointEvery != 0 {
+			return nil, fmt.Errorf("omniwindow: CheckpointEvery %d does not align with the plan's slide %d (it must be a multiple or a divisor, so checkpoints land at window-emission cadence)", cfg.CheckpointEvery, cfg.Plan.Slide)
+		}
+	}
+	if cfg.Standby {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("omniwindow: Standby requires CheckpointDir — the standby promotes from tailed checkpoints")
+		}
+		if cfg.Shards <= 0 {
+			return nil, fmt.Errorf("omniwindow: Standby requires an explicit Shards count, got %d — primary and standby must agree on the WAL's shard layout across restarts", cfg.Shards)
+		}
+		if cfg.CheckpointEvery > 1 {
+			return nil, fmt.Errorf("omniwindow: Standby requires CheckpointEvery 1, got %d — only the in-flight sub-window's switch state is still queryable at takeover", cfg.CheckpointEvery)
+		}
 	}
 	apps := cfg.Apps
 	if len(apps) == 0 {
@@ -350,11 +443,98 @@ func New(cfg Config) (*Deployment, error) {
 		}
 	}
 
+	if cfg.CheckpointDir != "" {
+		if cfg.RDMA {
+			return nil, fmt.Errorf("omniwindow: durability covers the packet collection path; it cannot be combined with RDMA")
+		}
+		if len(apps) > 1 {
+			return nil, fmt.Errorf("omniwindow: durability supports single-app deployments only, got %d apps", len(apps))
+		}
+		if err := d.openDurability(); err != nil {
+			return nil, err
+		}
+	}
+
 	if err := d.deployResources(); err != nil {
 		return nil, err
 	}
 	d.installProgram()
+	if d.store != nil {
+		if err := d.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// openDurability opens the checkpoint/WAL store and, when configured,
+// builds the hot-standby controller and the liveness lease.
+func (d *Deployment) openDurability() error {
+	cfg := &d.cfg
+	d.ckptShards = d.ctrl.Shards()
+	store, err := durable.Open(cfg.CheckpointDir, d.ckptShards)
+	if err != nil {
+		return fmt.Errorf("omniwindow: %w", err)
+	}
+	d.store = store
+	if !cfg.Standby {
+		return nil
+	}
+	spec := d.apps[0]
+	standby, err := controller.NewWithError(controller.Config{
+		Plan:            cfg.Plan,
+		Kind:            spec.Kind,
+		Threshold:       spec.Threshold,
+		Detector:        spec.Detector,
+		DistinctCounter: spec.DistinctCounter,
+		CaptureValues:   spec.CaptureValues,
+		Shards:          cfg.Shards,
+	})
+	if err != nil {
+		return fmt.Errorf("omniwindow: standby controller: %w", err)
+	}
+	d.standby = standby
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = 2 * cfg.SubWindow
+	}
+	if ttl <= 0 {
+		ttl = 2 * cfg.Grace
+	}
+	d.lease = durable.NewLease(int64(ttl))
+	d.lease.Renew(0)
+	return nil
+}
+
+// CollectorConfig translates the deployment's overload knobs into the UDP
+// collector's admission-control settings, for callers serving this config
+// over the network (see examples/udpcollector).
+func (c Config) CollectorConfig() controller.CollectorConfig {
+	return controller.CollectorConfig{
+		MaxQueueDepth: c.MaxQueueDepth,
+		Policy:        c.ShedPolicy,
+	}
+}
+
+// Crashed reports whether (and at which sub-window boundary) the
+// scheduled controller crash halted this deployment. A halted deployment
+// ignores further traffic; build a new one on the same CheckpointDir to
+// recover.
+func (d *Deployment) Crashed() (sw uint64, ok bool) { return d.crashedAt, d.crashed }
+
+// DurabilityErr reports the first checkpoint/WAL write failure, if any —
+// after one, the deployment stops logging (its durable state is frozen at
+// the last good frame) but keeps processing traffic.
+func (d *Deployment) DurabilityErr() error { return d.storeErr }
+
+// CloseDurability flushes and closes the checkpoint/WAL store (a no-op
+// without CheckpointDir). Call it when the deployment is done so a later
+// deployment can reopen the directory.
+func (d *Deployment) CloseDurability() error {
+	if d.store == nil {
+		return nil
+	}
+	return d.store.Close()
 }
 
 // Switch exposes the simulated switch (resource ledger, cost model).

@@ -62,19 +62,48 @@ func freqConfig(plan window.Plan, threshold uint64, rdmaMode bool) Config {
 
 func TestConfigValidation(t *testing.T) {
 	base := freqConfig(window.Tumbling(5), 10, false)
-	cases := []func(*Config){
-		func(c *Config) { c.SubWindow = 0 },
-		func(c *Config) { c.Plan = window.Plan{} },
-		func(c *Config) { c.AppFactory = nil },
-		func(c *Config) { c.Slots = 0 },
-		func(c *Config) { c.Slots = 100 }, // mismatch with app's 4096
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero sub-window", func(c *Config) { c.SubWindow = 0 }},
+		{"empty plan", func(c *Config) { c.Plan = window.Plan{} }},
+		{"nil app factory", func(c *Config) { c.AppFactory = nil }},
+		{"zero slots", func(c *Config) { c.Slots = 0 }},
+		{"slot mismatch", func(c *Config) { c.Slots = 100 }}, // app built 4096
+		{"negative retry backoff", func(c *Config) { c.RetryBackoff = -time.Millisecond }},
+		{"negative retry max backoff", func(c *Config) { c.RetryMaxBackoff = -time.Millisecond }},
+		{"negative queue depth", func(c *Config) { c.MaxQueueDepth = -1 }},
+		{"negative checkpoint cadence", func(c *Config) { c.CheckpointEvery = -1 }},
+		{"checkpoint cadence without directory", func(c *Config) { c.CheckpointEvery = 2 }},
+		{"checkpoint cadence misaligned with slide", func(c *Config) {
+			c.CheckpointDir = "x"
+			c.CheckpointEvery = 3 // Tumbling(5): slide 5 — 3 is neither multiple nor divisor
+		}},
+		{"standby without checkpoint directory", func(c *Config) { c.Standby = true }},
+		{"standby without explicit shards", func(c *Config) {
+			c.CheckpointDir = "x"
+			c.Standby = true
+		}},
+		{"standby with sparse checkpoints", func(c *Config) {
+			c.CheckpointDir = "x"
+			c.Standby = true
+			c.Shards = 4
+			c.CheckpointEvery = 5
+		}},
+		{"durability with RDMA", func(c *Config) {
+			c.RDMA = true
+			c.CheckpointDir = "x"
+		}},
 	}
-	for i, mutate := range cases {
-		cfg := base
-		mutate(&cfg)
-		if _, err := New(cfg); err == nil {
-			t.Fatalf("case %d: invalid config accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
 	}
 	if _, err := New(base); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
