@@ -3,8 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz examples reproduce fmt vet clean \
-	ci fmt-check fuzz-smoke bench-smoke chaos failover
+.PHONY: all build test race bench bench-json fuzz examples reproduce fmt \
+	vet clean ci fmt-check fuzz-smoke bench-smoke chaos failover \
+	fabric-chaos
 
 all: build vet test
 
@@ -12,13 +13,14 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
 
 # ci mirrors .github/workflows/ci.yml so the same gates run locally.
-ci: build vet fmt-check test race chaos failover fuzz-smoke bench-smoke
+ci: build vet fmt-check test race chaos failover fabric-chaos fuzz-smoke \
+	bench-smoke
 
 # Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
 # schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
@@ -34,6 +36,13 @@ failover:
 	$(GO) test -race -run 'Crash|Failover|Shed|Store|Lease' \
 		. ./internal/controller/ ./internal/faults/ ./internal/durable/
 
+# Fabric chaos suite: switch reboots, stalls and clock drift on multi-hop
+# topologies, under the race detector. Every schedule uses fixed seeds
+# (the Fixed boundary lists and seeds 1..5 in fabric_test.go), so each
+# failure sequence is a reproducible test case.
+fabric-chaos:
+	$(GO) test -race ./internal/fabric/ ./internal/faults/
+
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
 		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
@@ -48,9 +57,18 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkController -benchtime 1x .
 
-# Regenerate every paper table/figure once (tables in the bench log).
-bench:
+# Regenerate every paper table/figure once (tables in the bench log), and
+# refresh the machine-readable perf snapshot.
+bench: bench-json
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
+
+# Machine-readable perf numbers for the controller-merge and fabric hot
+# paths: ns/op and allocs/op, emitted as BENCH_PR4.json for cross-PR
+# diffing.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkControllerSharded|BenchmarkFabric' \
+		-benchtime 100x -benchmem . ./internal/fabric/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
 # Micro-benchmarks across all packages.
 microbench:

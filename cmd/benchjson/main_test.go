@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFabricProcess-8  \t 1000 \t 7881 ns/op \t 1559 B/op \t 24 allocs/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if r.Name != "BenchmarkFabricProcess" || r.Procs != 8 || r.Iterations != 1000 {
+		t.Fatalf("header misparsed: %+v", r)
+	}
+	if r.NsPerOp != 7881 || r.BytesPerOp == nil || *r.BytesPerOp != 1559 ||
+		r.AllocsPerOp == nil || *r.AllocsPerOp != 24 {
+		t.Fatalf("metrics misparsed: %+v", r)
+	}
+}
+
+func TestParseLineWithoutBenchmem(t *testing.T) {
+	r, ok := parseLine("BenchmarkControllerSharded/shards=4-8   50   111.5 ns/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if r.Name != "BenchmarkControllerSharded/shards=4" || r.NsPerOp != 111.5 {
+		t.Fatalf("misparsed: %+v", r)
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatal("phantom benchmem metrics")
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkX-2  10  5 ns/op  1.5 windows/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if r.Extra["windows/op"] != 1.5 {
+		t.Fatalf("custom metric lost: %+v", r)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tomniwindow\t0.5s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 100", // too short
+		"BenchmarkNoNs-8 100 12 B/op 3 allocs/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("noise parsed as benchmark: %q", line)
+		}
+	}
+}

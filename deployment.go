@@ -104,6 +104,16 @@ func (d *Deployment) installProgram() {
 			return
 		}
 		res := d.manager.OnPacket(p, p.Time)
+		if d.decisionHook != nil {
+			d.decisionHook(p, res)
+		}
+		if res.StaleEpoch {
+			// Stamped by a rebooted, not-yet-resynced switch: the embedded
+			// sub-window is garbage. The packet still forwards (it is user
+			// traffic) but is never monitored here.
+			d.stats.StaleEpochStamps++
+			return
+		}
 		for _, ended := range res.Terminated {
 			trig := p.Clone()
 			trig.OW.Flag = packet.OWTrigger
@@ -257,10 +267,34 @@ func (d *Deployment) handleSwitchOutput(out switchsim.Output) {
 			d.spilled[c.OW.SubWindow] = append(d.spilled[c.OW.SubWindow], c.OW.Key)
 		case packet.OWLatencySpike:
 			d.stats.Spikes++
-			// The controller processes spike packets in software; the
-			// synchronous driver has already counted them.
+			d.ingestSpike(c)
 		case packet.OWAFR:
 			d.deliverAFRs(c)
+		}
+	}
+}
+
+// ingestSpike merges one latency-spike copy through the controller's
+// software path (§5): the stamped sub-window is no longer preserved in any
+// data-plane region, so the controller folds the packet's contribution in
+// directly. The application's flowkey definition still applies — a packet
+// the query's filter would have skipped is skipped here too.
+func (d *Deployment) ingestSpike(c *packet.Packet) {
+	if d.cfg.KeyOf != nil {
+		k, ok := d.cfg.KeyOf(c)
+		if !ok {
+			return
+		}
+		c = c.Clone()
+		c.Key = k
+	}
+	for i, ctrl := range d.ctrls {
+		attr := uint64(1)
+		if d.apps[i].SpikeAttr != nil {
+			attr = d.apps[i].SpikeAttr(c)
+		}
+		if ctrl.IngestSpike(c, attr) && i == 0 {
+			d.stats.SpikesMerged++
 		}
 	}
 }

@@ -1,9 +1,15 @@
-// networkwide runs OmniWindow across a small leaf-spine fabric: three
-// ingress leaf switches each deploy the same heavy-hitter app, every
-// packet is measured once at its ingress leaf (the first-hop stamp
-// decides its sub-window network-wide), and the controller merges the
-// three switches' AFR streams per window into one fabric-wide view —
+// networkwide runs OmniWindow across a small leaf fabric using the
+// fabric package: three ingress leaf switches each deploy the same
+// heavy-hitter app, every packet is measured once at its ingress leaf
+// (the first-hop stamp decides its sub-window network-wide), and the
+// fabric merges the three switches' windows into one network-wide view —
 // which matches an omniscient single-switch ideal exactly.
+//
+// The second half of the demo reruns the same trace with leaf 1 on a
+// reboot schedule: the fabric resyncs the wiped switch with epoch
+// beacons, and every window whose coverage the failure touched comes
+// back explicitly marked Degraded with the failed switch named and its
+// coverage gap recorded — instead of silently undercounting.
 //
 // Run with:
 //
@@ -17,6 +23,8 @@ import (
 	"time"
 
 	"omniwindow"
+	"omniwindow/internal/fabric"
+	"omniwindow/internal/faults"
 	"omniwindow/internal/hashing"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/sketch"
@@ -30,8 +38,8 @@ const (
 	threshold = 400
 )
 
-func newLeaf(id int) *omniwindow.Deployment {
-	d, err := omniwindow.New(omniwindow.Config{
+func leafConfig(id int) omniwindow.Config {
+	return omniwindow.Config{
 		SubWindow: 100 * time.Millisecond,
 		Plan:      omniwindow.Tumbling(5),
 		Kind:      omniwindow.Frequency,
@@ -41,11 +49,31 @@ func newLeaf(id int) *omniwindow.Deployment {
 		},
 		Slots:         slots,
 		CaptureValues: true,
-	})
+	}
+}
+
+func newFabric(scheds []*faults.SwitchSchedule) *fabric.Fabric {
+	cfg := fabric.Config{
+		Switches: make([]fabric.SwitchConfig, leaves),
+		// ECMP-style ingress assignment: each flow enters the fabric at
+		// one leaf, chosen by a hash of its key, and is metered only
+		// there.
+		Route: func(p *packet.Packet) []int {
+			return []int{hashing.Index(p.Key, 0xECA9, leaves)}
+		},
+		Beacons: true,
+	}
+	for i := range cfg.Switches {
+		cfg.Switches[i].Config = leafConfig(i)
+		if scheds != nil {
+			cfg.Switches[i].Faults = scheds[i]
+		}
+	}
+	f, err := fabric.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return d
+	return f
 }
 
 func main() {
@@ -58,71 +86,76 @@ func main() {
 	}
 	pkts := trace.New(cfg).Generate()
 
-	// ECMP-style ingress assignment: each flow enters the fabric at one
-	// leaf, chosen by a hash of its key.
-	leafs := make([]*omniwindow.Deployment, leaves)
-	for i := range leafs {
-		leafs[i] = newLeaf(i)
-	}
 	perLeaf := make([]int, leaves)
 	for i := range pkts {
-		l := hashing.Index(pkts[i].Key, 0xECA9, leaves)
-		perLeaf[l]++
-		leafs[l].ProcessPacket(&pkts[i])
+		perLeaf[hashing.Index(pkts[i].Key, 0xECA9, leaves)]++
 	}
 	fmt.Printf("ingress distribution across %d leaves: %v\n\n", leaves, perLeaf)
 
-	// Fabric-wide view: merge the per-leaf windows (frequency statistics
-	// sum across switches because every packet was metered exactly once,
-	// at its first hop).
-	type win struct{ start, end uint64 }
-	merged := map[win]map[packet.FlowKey]uint64{}
-	for _, leaf := range leafs {
-		for _, w := range leaf.RunFor(nil, cfg.Duration) {
-			key := win{w.Start, w.End}
-			m, ok := merged[key]
-			if !ok {
-				m = map[packet.FlowKey]uint64{}
-				merged[key] = m
-			}
-			for k, v := range w.Values {
-				m[k] += v
-			}
-		}
-	}
-
-	// Omniscient reference: exact counts over the same windows.
-	var spans []win
-	for s := range merged {
-		spans = append(spans, s)
-	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
-	for _, s := range spans {
-		exact := map[packet.FlowKey]uint64{}
-		lo := int64(s.start) * 100 * trace.Millisecond
-		hi := int64(s.end+1) * 100 * trace.Millisecond
-		for i := range pkts {
-			if pkts[i].Time >= lo && pkts[i].Time < hi {
-				exact[pkts[i].Key]++
-			}
-		}
-		var detected []packet.FlowKey
+	// Fault-free run: the fabric-wide merge matches an omniscient exact
+	// reference.
+	healthy := newFabric(nil)
+	windows := healthy.Run(clone(pkts))
+	for _, w := range windows {
+		exact := exactCounts(pkts, w.Start, w.End)
 		mismatches := 0
-		for k, v := range merged[s] {
-			if v >= threshold {
-				detected = append(detected, k)
-			}
+		for k, v := range w.Values {
 			if exact[k] != 0 && v < exact[k] {
 				mismatches++
 			}
 		}
-		sort.Slice(detected, func(i, j int) bool {
-			return merged[s][detected[i]] > merged[s][detected[j]]
-		})
 		fmt.Printf("fabric window [sub %d..%d]: %d flows merged, undercounts vs omniscient: %d\n",
-			s.start, s.end, len(merged[s]), mismatches)
+			w.Start, w.End, len(w.Values), mismatches)
+		detected := append([]packet.FlowKey(nil), w.Detected...)
+		sort.Slice(detected, func(i, j int) bool {
+			return w.Values[detected[i]] > w.Values[detected[j]]
+		})
 		for _, k := range detected {
-			fmt.Printf("  heavy: %-45s fabric=%d exact=%d\n", k, merged[s][k], exact[k])
+			fmt.Printf("  heavy: %-45s fabric=%d exact=%d\n", k, w.Values[k], exact[k])
 		}
 	}
+
+	// Chaos run: leaf 1 reboots at sub-window boundary 3, wiping its
+	// counter, registers and epoch. Its in-flight data is lost, but the
+	// fabric charges the loss to the affected windows instead of hiding
+	// it, and an epoch beacon resyncs the switch at the next boundary.
+	fmt.Println("\n--- rerun with leaf 1 rebooting at sub-window 3 ---")
+	scheds := make([]*faults.SwitchSchedule, leaves)
+	scheds[1] = &faults.SwitchSchedule{Reboot: faults.CrashSchedule{Fixed: []uint64{3}}}
+	chaos := newFabric(scheds)
+	for _, w := range chaos.Run(clone(pkts)) {
+		status := "exact"
+		if w.Degraded {
+			status = fmt.Sprintf("DEGRADED (switches %v, gaps %v)", w.DegradedSwitches, w.Gaps)
+		}
+		fmt.Printf("fabric window [sub %d..%d]: %d flows, %s\n",
+			w.Start, w.End, len(w.Values), status)
+	}
+	fmt.Printf("leaf 1 reboots: %d, epoch after resync: %d, coverage gaps: %v\n",
+		chaos.Node(1).Stats().Reboots, chaos.Node(1).Epoch(), chaos.Gaps(1))
+	if v := chaos.Violations(); len(v) > 0 {
+		fmt.Printf("consistency violations: %v\n", v)
+	} else {
+		fmt.Println("consistency violations: none (no stale-epoch stamp was ever monitored)")
+	}
+}
+
+func clone(pkts []packet.Packet) []packet.Packet {
+	out := make([]packet.Packet, len(pkts))
+	copy(out, pkts)
+	return out
+}
+
+// exactCounts is the omniscient reference: per-flow packet counts over a
+// window's time span.
+func exactCounts(pkts []packet.Packet, start, end uint64) map[packet.FlowKey]uint64 {
+	exact := map[packet.FlowKey]uint64{}
+	lo := int64(start) * 100 * trace.Millisecond
+	hi := int64(end+1) * 100 * trace.Millisecond
+	for i := range pkts {
+		if pkts[i].Time >= lo && pkts[i].Time < hi {
+			exact[pkts[i].Key]++
+		}
+	}
+	return exact
 }

@@ -141,6 +141,21 @@ type WindowResult struct {
 	// statistics are a lower bound that overload, not the network,
 	// caused — consumers must not read it as ground truth.
 	Degraded bool
+	// SpikePackets counts latency-spike packets merged into this window's
+	// sub-windows through the controller's software path (§5): packets
+	// whose stamped sub-window was no longer preserved in the data plane,
+	// so their contribution was added to the key-value table directly.
+	// Each spike copy is merged exactly once (dedup by flow key + packet
+	// sequence per sub-window), so the merged statistics stay exact.
+	SpikePackets int
+	// DegradedSwitches lists, for network-wide deployments, the switches
+	// whose coverage is missing or partial in this window (reboot wiped
+	// their uncollected regions, they stamped while unsynced, or they were
+	// quarantined). It extends the Degraded contract to the switch plane:
+	// non-empty DegradedSwitches implies Degraded, and the window's
+	// statistics are a lower bound on the flows those switches carried.
+	// The fabric layer fills it; single-switch controllers leave it nil.
+	DegradedSwitches []int
 }
 
 // Controller assembles windows from AFR batches. Ingest (Receive,
@@ -150,12 +165,18 @@ type Controller struct {
 	cfg    Config
 	shards []*shard
 
-	// mu guards dedups, times and rel. Per-shard and per-sub-window
-	// state have their own finer locks so concurrent ingest mostly
-	// avoids this one.
+	// mu guards dedups, times, rel, spikes and spikeDone. Per-shard and
+	// per-sub-window state have their own finer locks so concurrent
+	// ingest mostly avoids this one.
 	mu     sync.Mutex
 	dedups map[uint64]*dedup
 	times  map[uint64]*OpTimes
+	// spikes tracks, per open sub-window, the latency-spike copies merged
+	// through the software path (dedup so each copy counts exactly once);
+	// spikeDone keeps each finished sub-window's final count until the
+	// sub-window retires, for window-level SpikePackets accounting.
+	spikes    map[uint64]*spikeState
+	spikeDone map[uint64]int
 	// rel records each finished sub-window's final delivery accounting
 	// (snapshotted by FinishSubWindow before the dedup state retires) so
 	// window assembly can mark windows with unrecovered gaps Incomplete.
@@ -182,11 +203,13 @@ func NewWithError(cfg Config) (*Controller, error) {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	c := &Controller{
-		cfg:    cfg,
-		shards: make([]*shard, cfg.Shards),
-		dedups: make(map[uint64]*dedup),
-		times:  make(map[uint64]*OpTimes),
-		rel:    make(map[uint64]metrics.Reliability),
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		dedups:    make(map[uint64]*dedup),
+		times:     make(map[uint64]*OpTimes),
+		rel:       make(map[uint64]metrics.Reliability),
+		spikes:    make(map[uint64]*spikeState),
+		spikeDone: make(map[uint64]int),
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -356,6 +379,98 @@ func (c *Controller) IngestAFRs(recs []packet.AFR) {
 	}
 }
 
+// spikeID identifies one latency-spike packet copy within its stamped
+// sub-window: the flow key plus the packet-level sequence number. Link
+// faults can duplicate a spike copy, and several downstream switches of
+// one path may each clone the same late packet toward a shared controller;
+// the ID makes every copy merge exactly once.
+type spikeID struct {
+	key packet.FlowKey
+	seq uint32
+}
+
+// spikeState is one open sub-window's software-path bookkeeping.
+type spikeState struct {
+	mu    sync.Mutex
+	seen  map[spikeID]bool
+	count int
+}
+
+func (c *Controller) spikeFor(sw uint64) *spikeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.spikes[sw]
+	if !ok {
+		s = &spikeState{seen: make(map[spikeID]bool)}
+		c.spikes[sw] = s
+	}
+	return s
+}
+
+// IngestSpike merges one latency-spike packet copy through the software
+// path (§5): the packet's stamped sub-window is no longer preserved in any
+// data-plane region, so its contribution — attr, computed by the caller
+// from the application's merge pattern — is added to the key-value table
+// directly, attributed to the stamped sub-window. Copies are deduplicated
+// by (flow key, packet sequence) per sub-window, so duplicated or
+// multiply-cloned spikes merge exactly once. It returns false without
+// merging when the packet carries no stamp, when a copy of it was already
+// merged, or when the stamped sub-window has already been finished (its
+// window is emitted; merging now would silently corrupt later windows
+// sharing the table). Safe for concurrent callers.
+func (c *Controller) IngestSpike(p *packet.Packet, attr uint64) bool {
+	if !p.OW.HasSubWindow {
+		return false
+	}
+	sw := p.OW.SubWindow
+	c.mu.Lock()
+	finished := c.hasFin && sw <= c.lastFin
+	c.mu.Unlock()
+	if finished {
+		return false
+	}
+	st := c.spikeFor(sw)
+	id := spikeID{key: p.Key, seq: p.Seq}
+	st.mu.Lock()
+	if st.seen[id] {
+		st.mu.Unlock()
+		return false
+	}
+	st.seen[id] = true
+	st.count++
+	st.mu.Unlock()
+
+	// The contribution enters the owning shard's pending list like an AFR
+	// and is folded by the next FinishSubWindow. It deliberately bypasses
+	// the AFR sequence dedup: spike packets are not part of the switch's
+	// announced per-sub-window sequence space, so they must not consume
+	// (or collide with) AFR sequence numbers in loss accounting.
+	s := c.shards[c.shardIndex(p.Key)]
+	s.mu.Lock()
+	s.pending[sw] = append(s.pending[sw], packet.AFR{Key: p.Key, Attr: attr, SubWindow: sw})
+	s.mu.Unlock()
+	return true
+}
+
+// SpikePackets reports the number of spike copies merged so far for a
+// sub-window (live state while open, the final count after finishing, 0
+// once retired or never seen).
+func (c *Controller) SpikePackets(sw uint64) int {
+	c.mu.Lock()
+	st, live := c.spikes[sw]
+	done, ok := c.spikeDone[sw]
+	c.mu.Unlock()
+	if live {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.count
+	}
+	if ok {
+		return done
+	}
+	return 0
+}
+
 // MissingSeqs reports AFR sequence numbers the controller has not received
 // for a sub-window, given the key count announced by the trigger packet.
 // It returns nil when nothing is known to be missing (§8, reliability).
@@ -435,7 +550,19 @@ func (c *Controller) forEachShard(f func(i int, s *shard)) {
 // FinishSubWindow inserts the sub-window's batch into the key-value table
 // (O2), merges per-flow statistics (O3), and — when a complete window ends
 // here per the plan — processes the query (O4) and evicts retired
-// sub-windows (O5). It returns the completed windows, usually zero or one.
+// sub-windows (O5). It returns the completed windows, usually zero or one
+// per call.
+//
+// Sub-windows finish strictly in order: finishing one that is already
+// finished is a no-op, and finishing one beyond lastFin+1 first finishes
+// the skipped range. The skips happen when a rebooted switch resyncs past
+// sub-windows its new incarnation never observed — without the fill, the
+// window boundaries inside the gap would never assemble and, worse, never
+// run O5 eviction, so contributions from before the gap would leak into
+// the value of every window emitted after it. A filled sub-window that was
+// never announced by a trigger is charged one missing AFR, so the window
+// spanning it reports Incomplete instead of passing off the data loss as
+// an exact result.
 //
 // All four operations run across shards on a worker pool; per-shard
 // durations are summed into the sub-window's OpTimes so Exp#4's breakdown
@@ -447,6 +574,35 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 	c.finishMu.Lock()
 	defer c.finishMu.Unlock()
 
+	c.mu.Lock()
+	done, last := c.hasFin, c.lastFin
+	c.mu.Unlock()
+	if done && sw <= last {
+		return nil
+	}
+	var out []WindowResult
+	if done {
+		for fill := last + 1; fill < sw; fill++ {
+			c.mu.Lock()
+			_, announced := c.dedups[fill]
+			_, accounted := c.rel[fill]
+			if !announced && !accounted {
+				// Nothing was ever announced for this sub-window: its
+				// data died with the switch. Record the loss so the
+				// spanning window is marked Incomplete.
+				c.rel[fill] = metrics.Reliability{Missing: 1}
+			}
+			c.mu.Unlock()
+			out = append(out, c.finishOne(fill)...)
+		}
+	}
+	return append(out, c.finishOne(sw)...)
+}
+
+// finishOne runs the four finish operations for a single sub-window.
+// Caller holds finishMu and has established that sw is the next
+// sub-window in finish order.
+func (c *Controller) finishOne(sw uint64) []WindowResult {
 	// O2 + O3 per shard: drain the routed records, insert, merge.
 	type o23 struct{ insert, merge time.Duration }
 	o23s := make([]o23, len(c.shards))
@@ -498,6 +654,13 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		c.rel[sw] = rel
 	}
 	delete(c.dedups, sw)
+	// Same for the software path: freeze the sub-window's spike count.
+	if st, live := c.spikes[sw]; live {
+		st.mu.Lock()
+		c.spikeDone[sw] = st.count
+		st.mu.Unlock()
+		delete(c.spikes, sw)
+	}
 	if !c.hasFin || sw > c.lastFin {
 		c.lastFin, c.hasFin = sw, true
 	}
@@ -547,6 +710,7 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		if r.Shed > 0 && r.Missing > 0 {
 			res.Degraded = true
 		}
+		res.SpikePackets += c.spikeDone[s]
 	}
 	c.mu.Unlock()
 	res.Incomplete = res.MissingAFRs > 0
@@ -597,6 +761,16 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 		for old := range c.rel {
 			if old <= retire {
 				delete(c.rel, old)
+			}
+		}
+		for old := range c.spikes {
+			if old <= retire {
+				delete(c.spikes, old)
+			}
+		}
+		for old := range c.spikeDone {
+			if old <= retire {
+				delete(c.spikeDone, old)
 			}
 		}
 		c.mu.Unlock()

@@ -1,0 +1,62 @@
+package faults
+
+// SwitchSchedule describes the failure behaviour of one simulated switch.
+// Like CrashSchedule it is boundary-driven and stateless: each fault kind
+// hashes (Seed, boundary) independently, so enabling reboots never shifts
+// the stall schedule and vice versa. The zero value is a healthy switch.
+type SwitchSchedule struct {
+	// Reboot fires a power-cycle at matching sub-window boundaries: the
+	// switch loses all register state (flowkey trackers, app slots, the
+	// sub-window counter and any in-progress collection) and comes back
+	// unsynchronized at epoch 0 until it resyncs.
+	Reboot CrashSchedule
+
+	// Stall makes the switch miss its collection deadline for matching
+	// sub-windows: AFRs for that sub-window arrive StallDelay boundaries
+	// late (default 1). The data is not lost — just tardy — which is the
+	// failure mode quarantine exists to catch.
+	Stall CrashSchedule
+
+	// StallDelay is how many boundaries a stalled collection slips.
+	// Zero means 1.
+	StallDelay int
+
+	// ClockDriftPerSub skews the switch's local clock by this many
+	// nanoseconds per elapsed sub-window, modelling a slow or fast
+	// oscillator. Positive drift runs the clock fast. Timeout-signalled
+	// deployments fed through a drifting hop terminate sub-windows early
+	// or late relative to the fabric, which the stamping protocol must
+	// absorb.
+	ClockDriftPerSub int64
+}
+
+// RebootAt reports whether the switch power-cycles at boundary sw.
+// Nil-safe: a nil schedule is a healthy switch.
+func (s *SwitchSchedule) RebootAt(sw uint64) bool {
+	if s == nil {
+		return false
+	}
+	return s.Reboot.At(sw)
+}
+
+// StallAt reports whether the switch's collection for sub-window sw is
+// delayed, and by how many boundaries.
+func (s *SwitchSchedule) StallAt(sw uint64) (bool, int) {
+	if s == nil || !s.Stall.At(sw) {
+		return false, 0
+	}
+	d := s.StallDelay
+	if d <= 0 {
+		d = 1
+	}
+	return true, d
+}
+
+// DriftAt returns the switch's accumulated clock skew after sw elapsed
+// sub-windows.
+func (s *SwitchSchedule) DriftAt(sw uint64) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ClockDriftPerSub * int64(sw)
+}

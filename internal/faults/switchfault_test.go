@@ -1,0 +1,75 @@
+package faults
+
+import "testing"
+
+func TestSwitchScheduleNilSafe(t *testing.T) {
+	var s *SwitchSchedule
+	if s.RebootAt(3) {
+		t.Fatal("nil schedule rebooted")
+	}
+	if ok, _ := s.StallAt(3); ok {
+		t.Fatal("nil schedule stalled")
+	}
+	if s.DriftAt(10) != 0 {
+		t.Fatal("nil schedule drifted")
+	}
+}
+
+func TestSwitchScheduleZeroHealthy(t *testing.T) {
+	s := &SwitchSchedule{}
+	for sw := uint64(0); sw < 100; sw++ {
+		if s.RebootAt(sw) {
+			t.Fatalf("zero schedule rebooted at %d", sw)
+		}
+		if ok, _ := s.StallAt(sw); ok {
+			t.Fatalf("zero schedule stalled at %d", sw)
+		}
+	}
+}
+
+func TestSwitchScheduleFixedReboot(t *testing.T) {
+	s := &SwitchSchedule{Reboot: CrashSchedule{Fixed: []uint64{4, 9}}}
+	for sw := uint64(0); sw < 12; sw++ {
+		want := sw == 4 || sw == 9
+		if s.RebootAt(sw) != want {
+			t.Fatalf("RebootAt(%d) = %v, want %v", sw, !want, want)
+		}
+	}
+}
+
+// Enabling one fault kind must not shift the other's schedule: the two
+// draws are independent stateless hashes of (their own seed, boundary).
+func TestSwitchScheduleIndependentDraws(t *testing.T) {
+	rebootOnly := &SwitchSchedule{Reboot: CrashSchedule{Seed: 7, Prob: 0.3}}
+	both := &SwitchSchedule{
+		Reboot: CrashSchedule{Seed: 7, Prob: 0.3},
+		Stall:  CrashSchedule{Seed: 8, Prob: 0.5},
+	}
+	for sw := uint64(0); sw < 200; sw++ {
+		if rebootOnly.RebootAt(sw) != both.RebootAt(sw) {
+			t.Fatalf("stall schedule perturbed reboot draw at %d", sw)
+		}
+	}
+}
+
+func TestSwitchScheduleStallDelayDefault(t *testing.T) {
+	s := &SwitchSchedule{Stall: CrashSchedule{Fixed: []uint64{2}}}
+	ok, d := s.StallAt(2)
+	if !ok || d != 1 {
+		t.Fatalf("StallAt(2) = %v,%d, want true,1", ok, d)
+	}
+	s.StallDelay = 3
+	if _, d := s.StallAt(2); d != 3 {
+		t.Fatalf("StallDelay override ignored: got %d", d)
+	}
+}
+
+func TestSwitchScheduleDrift(t *testing.T) {
+	s := &SwitchSchedule{ClockDriftPerSub: -250}
+	if got := s.DriftAt(4); got != -1000 {
+		t.Fatalf("DriftAt(4) = %d, want -1000", got)
+	}
+	if got := s.DriftAt(0); got != 0 {
+		t.Fatalf("DriftAt(0) = %d, want 0", got)
+	}
+}

@@ -16,8 +16,21 @@ type Hop struct {
 	// Offset is the hop's clock deviation from true time in virtual ns
 	// (what PTP leaves uncorrected).
 	Offset int64
+	// OffsetFunc, when non-nil, is evaluated per traversal and added on
+	// top of Offset. A slow-oscillator switch whose skew grows over time
+	// (faults.SwitchSchedule.ClockDriftPerSub) plugs in here.
+	OffsetFunc func() int64
 	// Process handles the packet at this hop with the hop's local time.
 	Process func(p *packet.Packet, localTime int64)
+}
+
+// localOffset is the hop's effective clock deviation for one traversal.
+func (h *Hop) localOffset() int64 {
+	off := h.Offset
+	if h.OffsetFunc != nil {
+		off += h.OffsetFunc()
+	}
+	return off
 }
 
 // LinkAction is what a fault layer decides for one packet crossing one
@@ -64,7 +77,7 @@ func (path Path) Run(pkts []packet.Packet) (dropped int) {
 // duplicates so each copy experiences the remaining hops independently.
 func (path Path) runFrom(p *packet.Packet, startHop int, t int64) (dropped int) {
 	for h := startHop; h < len(path.Hops); h++ {
-		path.Hops[h].Process(p, t+path.Hops[h].Offset)
+		path.Hops[h].Process(p, t+path.Hops[h].localOffset())
 		if h == len(path.Hops)-1 {
 			break
 		}

@@ -31,6 +31,16 @@ func fuzzSeeds() [][]byte {
 		Flag: packet.OWRetransmit, SubWindow: 5, HasSubWindow: true,
 		AFRs: []packet.AFR{{Attr: 9, SubWindow: 5, Seq: 2}},
 	}})
+	// Epoch-carrying stamps (wire v3): a synced first-hop stamp and a
+	// latency-spike copy bound for the controller's software path.
+	add(&packet.Packet{OW: packet.OWHeader{
+		SubWindow: 7, HasSubWindow: true, Epoch: 3,
+		Key: packet.FlowKey{SrcIP: 9, Proto: 6},
+	}})
+	add(&packet.Packet{OW: packet.OWHeader{
+		Flag: packet.OWLatencySpike, SubWindow: 2, HasSubWindow: true, Epoch: 4,
+		Key: packet.FlowKey{SrcIP: 12, DstIP: 8, Proto: 17},
+	}})
 
 	// Mangled variants: run each frame through a truncate-always and a
 	// corrupt-always injector, as in-flight damage from the fault layer.

@@ -18,10 +18,12 @@ import (
 )
 
 // Magic ("OW" in ASCII) and Version identify OmniWindow datagrams.
-// Version 2 added the NACK sequence list and the CRC-32 trailer.
+// Version 2 added the NACK sequence list and the CRC-32 trailer; version 3
+// added the synchronization epoch carried by every stamp (switch-failure
+// tolerance: stale-epoch stamps from rebooted switches are rejected).
 const (
 	Magic   uint16 = 0x4F57
-	Version uint8  = 2
+	Version uint8  = 3
 )
 
 // Errors returned by Decode.
@@ -37,9 +39,9 @@ var (
 const afrSize = packet.KeyBytes + 8 + 8 + 4 + 1 + 1 + 32
 
 // headerSize is the fixed prefix: magic(2) + version(1) + flag(1) +
-// subwindow(8) + hasSub(1) + index(4) + keycount(4) + app(1) + key(13) +
-// userSignal(8) + hasUser(1) + nAFRs(2) + nRaw(2) + nSeqs(2).
-const headerSize = 2 + 1 + 1 + 8 + 1 + 4 + 4 + 1 + packet.KeyBytes + 8 + 1 + 2 + 2 + 2
+// subwindow(8) + hasSub(1) + epoch(8) + index(4) + keycount(4) + app(1) +
+// key(13) + userSignal(8) + hasUser(1) + nAFRs(2) + nRaw(2) + nSeqs(2).
+const headerSize = 2 + 1 + 1 + 8 + 1 + 8 + 4 + 4 + 1 + packet.KeyBytes + 8 + 1 + 2 + 2 + 2
 
 // sumSize is the CRC-32 (IEEE) trailer covering everything before it.
 // In-flight truncation changes the frame length (caught by the count
@@ -80,6 +82,7 @@ func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 	buf = append(buf, Version, byte(p.OW.Flag))
 	buf = binary.BigEndian.AppendUint64(buf, p.OW.SubWindow)
 	buf = append(buf, b2u(p.OW.HasSubWindow))
+	buf = binary.BigEndian.AppendUint64(buf, p.OW.Epoch)
 	buf = binary.BigEndian.AppendUint32(buf, p.OW.Index)
 	buf = binary.BigEndian.AppendUint32(buf, p.OW.KeyCount)
 	buf = append(buf, p.OW.App)
@@ -120,13 +123,14 @@ func Decode(data []byte) (*packet.Packet, error) {
 	p.OW.Flag = packet.OWFlag(data[3])
 	p.OW.SubWindow = binary.BigEndian.Uint64(data[4:])
 	p.OW.HasSubWindow = data[12] != 0
-	p.OW.Index = binary.BigEndian.Uint32(data[13:])
-	p.OW.KeyCount = binary.BigEndian.Uint32(data[17:])
-	p.OW.App = data[21]
+	p.OW.Epoch = binary.BigEndian.Uint64(data[13:])
+	p.OW.Index = binary.BigEndian.Uint32(data[21:])
+	p.OW.KeyCount = binary.BigEndian.Uint32(data[25:])
+	p.OW.App = data[29]
 	var kb [packet.KeyBytes]byte
-	copy(kb[:], data[22:])
+	copy(kb[:], data[30:])
 	p.OW.Key = packet.KeyFromBytes(kb)
-	off := 22 + packet.KeyBytes
+	off := 30 + packet.KeyBytes
 	p.OW.UserSignal = binary.BigEndian.Uint64(data[off:])
 	p.OW.HasUserSignal = data[off+8] != 0
 	nAFR := int(binary.BigEndian.Uint16(data[off+9:]))
@@ -229,9 +233,9 @@ func PeekDatagram(data []byte) (Peek, bool) {
 	pk := Peek{
 		Flag:      packet.OWFlag(data[3]),
 		SubWindow: binary.BigEndian.Uint64(data[4:]),
-		KeyCount:  binary.BigEndian.Uint32(data[17:]),
+		KeyCount:  binary.BigEndian.Uint32(data[25:]),
 	}
-	off := 22 + packet.KeyBytes
+	off := 30 + packet.KeyBytes
 	nAFR := int(binary.BigEndian.Uint16(data[off+9:]))
 	off = headerSize
 	if nAFR > 0 && len(data) >= headerSize+nAFR*afrSize {

@@ -12,6 +12,7 @@ func samplePacket() *packet.Packet {
 		Flag:          packet.OWAFR,
 		SubWindow:     42,
 		HasSubWindow:  true,
+		Epoch:         5,
 		Index:         7,
 		KeyCount:      3,
 		App:           1,
@@ -30,6 +31,7 @@ func samplePacket() *packet.Packet {
 
 func headerEqual(a, b *packet.OWHeader) bool {
 	if a.Flag != b.Flag || a.SubWindow != b.SubWindow || a.HasSubWindow != b.HasSubWindow ||
+		a.Epoch != b.Epoch ||
 		a.Index != b.Index || a.KeyCount != b.KeyCount || a.App != b.App || a.Key != b.Key ||
 		a.UserSignal != b.UserSignal || a.HasUserSignal != b.HasUserSignal ||
 		len(a.AFRs) != len(b.AFRs) || len(a.RawWords) != len(b.RawWords) ||

@@ -9,11 +9,17 @@ import (
 	"omniwindow/internal/window"
 )
 
-// TestNetworkWideConsistency chains two deployments: the upstream switch
-// stamps each packet's sub-window and the downstream one adopts the
-// stamp, so their per-window per-flow counts agree exactly even though
-// the downstream switch observes packets after a link delay that pushes
-// many of them past its local sub-window boundaries.
+// TestNetworkWideConsistency chains two deployments by hand: the
+// upstream switch stamps each packet's sub-window and the downstream one
+// adopts the stamp, so their per-window per-flow counts agree exactly
+// even though the downstream switch observes packets after a link delay
+// that pushes many of them past its local sub-window boundaries.
+//
+// This is the low-level regression for ProcessAndForward itself; the
+// topology-level port of the same property — including switch failures,
+// epochs and quarantine — lives in internal/fabric (TestFabricConsistency
+// and the chaos tests), which wires deployments over netsim links instead
+// of this manual loop.
 func TestNetworkWideConsistency(t *testing.T) {
 	pkts := burstTrace(map[int64][]int{
 		50 * ms:  {1, 2},

@@ -64,6 +64,20 @@ type Config struct {
 	// <= 0 defaults to runtime.GOMAXPROCS(0); 1 forces the sequential
 	// controller. Results are identical for every shard count.
 	Shards int
+	// Preserve is the consistency model's preservation depth (§5): how
+	// many terminated sub-windows stay monitorable so out-of-order packets
+	// can still land in their stamped sub-window. 0 uses the deepest
+	// supported depth — the region count minus the active region, i.e. 1
+	// with the two-region layout. Values at or above the region count are
+	// rejected: the "preserved" region would already hold newer state.
+	Preserve int
+	// SpikeAttr computes the software path's per-packet contribution for a
+	// latency-spike copy (§5): a spike packet's stamped sub-window is no
+	// longer preserved in any data-plane region, so the controller merges
+	// the packet directly, and this function supplies the attribute value
+	// one packet contributes under the app's merge pattern. Nil means 1
+	// (count semantics, matching the default frequency application).
+	SpikeAttr func(p *packet.Packet) uint64
 
 	// AppFactory builds one region's application state, sized for one
 	// sub-window's traffic. Called once per memory region.
@@ -183,6 +197,16 @@ type Stats struct {
 	Spills int
 	// Spikes counts latency-spike packets forwarded to the controller.
 	Spikes int
+	// SpikesMerged counts spike copies the controller's software path
+	// actually merged (each distinct packet exactly once; duplicates and
+	// too-late copies are not merged).
+	SpikesMerged int
+	// StaleEpochStamps counts packets rejected because their stamp was
+	// written under an older synchronization epoch (by a rebooted,
+	// not-yet-resynced switch). They are never monitored.
+	StaleEpochStamps int
+	// Reboots counts power-cycles injected into this switch.
+	Reboots int
 	// AFRs counts collected flow records.
 	AFRs int
 	// HotAFRs and ColdAFRs split the RDMA path's records.
@@ -225,12 +249,14 @@ type AppSpec struct {
 	Factory func(region int) afr.StateApp
 	// Kind is the statistic's merge pattern.
 	Kind afr.Kind
-	// Threshold, Detector, DistinctCounter and CaptureValues parameterize
-	// the app's controller, as in the single-app Config fields.
+	// Threshold, Detector, DistinctCounter, CaptureValues and SpikeAttr
+	// parameterize the app's controller, as in the single-app Config
+	// fields.
 	Threshold       uint64
 	Detector        func(k packet.FlowKey, v uint64) bool
 	DistinctCounter afr.DistinctCounter
 	CaptureValues   bool
+	SpikeAttr       func(p *packet.Packet) uint64
 }
 
 // Deployment is a running OmniWindow instance.
@@ -276,6 +302,13 @@ type Deployment struct {
 	crashed    bool
 	crashedAt  uint64
 	storeErr   error
+
+	// preserve is the resolved consistency-model preservation depth.
+	preserve int
+	// decisionHook, when set, observes every traffic packet's window
+	// decision — the fabric's invariant checker uses it to prove no
+	// stale-epoch stamp is ever monitored and spikes are copied once.
+	decisionHook func(p *packet.Packet, r window.Result)
 
 	// testAFRLoss, when set, drops the i-th AFR packet before delivery —
 	// a fault-injection hook for exercising the reliability protocol.
@@ -344,6 +377,7 @@ func New(cfg Config) (*Deployment, error) {
 			Detector:        cfg.Detector,
 			DistinctCounter: cfg.DistinctCounter,
 			CaptureValues:   cfg.CaptureValues,
+			SpikeAttr:       cfg.SpikeAttr,
 		}}
 	}
 	for i, a := range apps {
@@ -390,7 +424,15 @@ func New(cfg Config) (*Deployment, error) {
 	d.sw = switchsim.NewWithCapacity(0, switchsim.DefaultCapacity(), cfg.Costs)
 
 	regions := window.NewRegions(2, cfg.Slots)
-	d.manager = window.NewManager(cfg.Signal, regions)
+	d.preserve = cfg.Preserve
+	if d.preserve == 0 {
+		d.preserve = regions.N() - 1
+	}
+	manager, err := window.NewManagerPreserve(cfg.Signal, regions, d.preserve)
+	if err != nil {
+		return nil, fmt.Errorf("omniwindow: %w", err)
+	}
+	d.manager = manager
 
 	perRegion := make([][]afr.StateApp, 2)
 	for r := range perRegion {
@@ -539,6 +581,79 @@ func (d *Deployment) CloseDurability() error {
 
 // Switch exposes the simulated switch (resource ledger, cost model).
 func (d *Deployment) Switch() *switchsim.Switch { return d.sw }
+
+// Epoch returns the switch's current synchronization epoch (0 when epochs
+// are unused, or after a reboot until the switch resyncs).
+func (d *Deployment) Epoch() uint64 { return d.manager.Epoch() }
+
+// SetEpoch joins the switch to a fabric synchronization epoch: stamps it
+// writes carry the epoch, stamps from older epochs are rejected as stale.
+func (d *Deployment) SetEpoch(e uint64) { d.manager.SetEpoch(e) }
+
+// CurrentSubWindow returns the switch's local sub-window counter.
+func (d *Deployment) CurrentSubWindow() uint64 { return d.manager.Cur() }
+
+// ResyncBeacon applies a controller-announced (epoch, sub-window) beacon:
+// the switch adopts the epoch and jumps forward to the fabric's sub-window
+// without terminating the skipped range (whose state belongs to the
+// pre-reboot incarnation). Beacons from older epochs are ignored.
+func (d *Deployment) ResyncBeacon(epoch, sw uint64) { d.manager.Resync(epoch, sw) }
+
+// SetDecisionHook registers an observer over every traffic packet's window
+// decision (stamp written/adopted, spike escape, stale-epoch rejection).
+// The fabric's invariant checker uses it; nil unregisters.
+func (d *Deployment) SetDecisionHook(h func(p *packet.Packet, r window.Result)) {
+	d.decisionHook = h
+}
+
+// UncollectedSubWindows lists the sub-windows whose switch state has not
+// yet been collected — region owners and grace-pending C&R rounds. This is
+// exactly the data a power-cycle at this instant would destroy; the fabric
+// charges it to the rebooted switch as a coverage gap.
+func (d *Deployment) UncollectedSubWindows() []uint64 {
+	seen := make(map[uint64]bool, 4)
+	var out []uint64
+	add := func(sw uint64) {
+		if !seen[sw] {
+			seen[sw] = true
+			out = append(out, sw)
+		}
+	}
+	for r, owned := range d.regionOwned {
+		if owned {
+			add(d.regionOwner[r])
+		}
+	}
+	for _, cr := range d.pending {
+		add(cr.sw)
+	}
+	return out
+}
+
+// Reboot power-cycles the switch: every register — flowkey trackers,
+// application state, the sub-window counter, the synchronization epoch —
+// is wiped. The deployment comes back up immediately but unsynced (epoch
+// 0, sub-window 0): stamps it writes are rejected as stale by synced
+// switches until it resyncs from the first in-epoch stamp it forwards or
+// from a controller beacon (ResyncBeacon), and its first local sub-window
+// advance adopts the clock's value without re-terminating the skipped
+// range. The controller is NOT restarted — it is a separate box — so its
+// announced-sub-window ledger survives: a sub-window announced before the
+// wipe still reaches FinishSubWindow at its grace deadline, finds nothing
+// to collect, and finalizes its windows explicitly marked Incomplete with
+// the announced records missing. Nothing is silently undercounted.
+func (d *Deployment) Reboot() {
+	d.engine.PowerCycle()
+	manager, err := window.NewManagerPreserve(d.cfg.Signal, d.manager.Regions(), d.preserve)
+	if err != nil {
+		panic(err) // unreachable: the same arguments validated in New
+	}
+	manager.BootUnsynced()
+	d.manager = manager
+	d.regionOwned = [2]bool{}
+	d.regionOwner = [2]uint64{}
+	d.stats.Reboots++
+}
 
 // Controller exposes the controller (per-sub-window timing breakdowns).
 func (d *Deployment) Controller() *controller.Controller { return d.ctrl }

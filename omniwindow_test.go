@@ -95,6 +95,9 @@ func TestConfigValidation(t *testing.T) {
 			c.RDMA = true
 			c.CheckpointDir = "x"
 		}},
+		{"negative preserve", func(c *Config) { c.Preserve = -1 }},
+		{"preserve equal to region count", func(c *Config) { c.Preserve = 2 }}, // 2 regions: only 1 previous sub-window has live state
+		{"preserve beyond region count", func(c *Config) { c.Preserve = 7 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +110,12 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(base); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	// The largest valid Preserve with the default two regions.
+	max := base
+	max.Preserve = 1
+	if _, err := New(max); err != nil {
+		t.Fatalf("valid Preserve rejected: %v", err)
 	}
 }
 
