@@ -1,6 +1,7 @@
 package omniwindow
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -73,6 +74,15 @@ func TestChaosRecoveryByteIdentical(t *testing.T) {
 		{"drop5/seed3", faults.Config{Seed: 3, Drop: 0.05}},
 		{"drop20+dup/seed1", faults.Config{Seed: 1, Drop: 0.20, Duplicate: 0.20, MaxDuplicates: 2}},
 		{"dup-only/seed2", faults.Config{Seed: 2, Duplicate: 0.5, MaxDuplicates: 3}},
+	}
+	// Nightly sweep: OMNIWINDOW_EXTRA_SEEDS widens the fixed table with
+	// derived seeds on the mixed drop+duplicate schedule.
+	for _, s := range faults.ExtraSeeds(1) {
+		cases = append(cases, struct {
+			name string
+			cfg  faults.Config
+		}{fmt.Sprintf("drop10+dup/seed%d", s),
+			faults.Config{Seed: int64(s), Drop: 0.10, Duplicate: 0.10, MaxDuplicates: 2}})
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,6 +10,15 @@
 // Non-benchmark lines (package headers, PASS/ok trailers, warm-up noise)
 // are passed through to stderr untouched, so the command is transparent
 // in a pipe.
+//
+// It is also the perf-regression gate: compare mode diffs two of its own
+// JSON documents and fails when any shared benchmark slowed down past the
+// tolerance —
+//
+//	benchjson -compare BENCH_PR4.json BENCH_NOW.json -tolerance 0.15
+//
+// exits 1 if any benchmark's ns/op grew by more than 15%. Improvements,
+// added and removed benchmarks are reported but never fail the gate.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,7 +59,29 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	compare := flag.Bool("compare", false, "diff two benchjson documents (baseline current) and fail on ns/op regressions")
+	tolerance := flag.Float64("tolerance", 0.15, "with -compare: maximum allowed fractional ns/op increase")
 	flag.Parse()
+
+	if *compare {
+		// The flag package stops at the first positional argument, so
+		// `-compare baseline.json current.json -tolerance 0.15` leaves
+		// -tolerance unparsed; accept it in trailing position too.
+		files, err := parseCompareArgs(flag.Args(), tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressed, err := compareFiles(os.Stdout, files[0], files[1], *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -97,6 +129,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// parseCompareArgs splits -compare's remaining arguments into exactly two
+// file paths, honouring a -tolerance flag in trailing position (the flag
+// package only parses flags that precede the first positional argument).
+func parseCompareArgs(args []string, tolerance *float64) ([]string, error) {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; arg {
+		case "-tolerance", "--tolerance":
+			if i+1 >= len(args) {
+				return nil, fmt.Errorf("%s needs a value", arg)
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad tolerance %q: %v", args[i], err)
+			}
+			*tolerance = v
+		default:
+			files = append(files, arg)
+		}
+	}
+	if len(files) != 2 {
+		return nil, fmt.Errorf("-compare needs exactly two files: baseline current")
+	}
+	return files, nil
+}
+
+// compareFiles diffs two benchjson documents and reports per-benchmark
+// ns/op movement. It returns regressed=true when any benchmark present in
+// both grew by more than tolerance (a fraction, e.g. 0.15 = +15%).
+func compareFiles(w io.Writer, baselinePath, currentPath string, tolerance float64) (regressed bool, err error) {
+	baseline, err := loadDoc(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	current, err := loadDoc(currentPath)
+	if err != nil {
+		return false, err
+	}
+	return compareDocs(w, baseline, current, tolerance), nil
+}
+
+func loadDoc(path string) (Output, error) {
+	var doc Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return doc, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc, nil
+}
+
+// compareDocs writes one line per benchmark and returns true if any shared
+// benchmark regressed past tolerance. Benchmarks only in one document are
+// listed but never fail the gate (renames and additions are routine).
+func compareDocs(w io.Writer, baseline, current Output, tolerance float64) bool {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	cur := make(map[string]Result, len(current.Benchmarks))
+	names := make([]string, 0, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "  NEW   %-45s %14.0f ns/op\n", name, c.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  SKIP  %-45s baseline has no ns/op\n", name)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-9s %-45s %14.0f → %14.0f ns/op  (%+.1f%%, tolerance +%.0f%%)\n",
+			verdict, name, b.NsPerOp, c.NsPerOp, delta*100, tolerance*100)
+	}
+	removed := make([]string, 0)
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "  GONE  %-45s (in baseline only)\n", name)
+	}
+	return regressed
 }
 
 // parseLine parses one `go test -bench` result line:

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkFabricProcess-8  \t 1000 \t 7881 ns/op \t 1559 B/op \t 24 allocs/op")
@@ -36,6 +42,107 @@ func TestParseLineCustomMetric(t *testing.T) {
 	}
 	if r.Extra["windows/op"] != 1.5 {
 		t.Fatalf("custom metric lost: %+v", r)
+	}
+}
+
+// writeDoc marshals an Output to a temp file for compareFiles.
+func writeDoc(t *testing.T, name string, doc Output) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareDetectsRegression: a >tolerance ns/op increase on a shared
+// benchmark fails the gate; improvements, additions and removals do not.
+func TestCompareDetectsRegression(t *testing.T) {
+	baseline := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	current := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1200}, // +20% > 15%
+		{Name: "BenchmarkB", NsPerOp: 500},  // improvement
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	}}
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb,
+		writeDoc(t, "base.json", baseline), writeDoc(t, "cur.json", current), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("20% regression at 15% tolerance not flagged")
+	}
+	report := sb.String()
+	for _, want := range []string{
+		"REGRESSED", "BenchmarkA", "+20.0%",
+		"ok", "BenchmarkB",
+		"NEW", "BenchmarkNew",
+		"GONE", "BenchmarkGone",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestCompareWithinTolerance: movement inside the tolerance passes.
+func TestCompareWithinTolerance(t *testing.T) {
+	baseline := Output{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	current := Output{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1100}}}
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb,
+		writeDoc(t, "base.json", baseline), writeDoc(t, "cur.json", current), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("+10%% flagged at 15%% tolerance:\n%s", sb.String())
+	}
+}
+
+// TestCompareRejectsBadInput: missing files and empty documents error out
+// instead of silently passing the gate.
+func TestCompareRejectsBadInput(t *testing.T) {
+	good := writeDoc(t, "good.json", Output{Benchmarks: []Result{{Name: "B", NsPerOp: 1}}})
+	empty := writeDoc(t, "empty.json", Output{})
+	var sb strings.Builder
+	if _, err := compareFiles(&sb, good, filepath.Join(t.TempDir(), "missing.json"), 0.15); err == nil {
+		t.Error("missing current file accepted")
+	}
+	if _, err := compareFiles(&sb, empty, good, 0.15); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}
+
+// TestParseCompareArgs: trailing -tolerance is honoured, bad arity and
+// bad values are rejected.
+func TestParseCompareArgs(t *testing.T) {
+	tol := 0.15
+	files, err := parseCompareArgs([]string{"base.json", "cur.json", "-tolerance", "0.05"}, &tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files[0] != "base.json" || files[1] != "cur.json" || tol != 0.05 {
+		t.Fatalf("parsed files=%v tol=%v", files, tol)
+	}
+	for _, bad := range [][]string{
+		{"only-one.json"},
+		{"a.json", "b.json", "c.json"},
+		{"a.json", "b.json", "-tolerance"},
+		{"a.json", "b.json", "-tolerance", "lots"},
+	} {
+		if _, err := parseCompareArgs(bad, &tol); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
 	}
 }
 

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"omniwindow/internal/obs"
+)
+
+// TestParseMetrics exercises the text parser on the shapes the obs
+// endpoint actually emits: unlabeled counters, labeled families, and
+// histogram bucket/sum/count lines.
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP omniwindow_switch_packets_total packets
+# TYPE omniwindow_switch_packets_total counter
+omniwindow_switch_packets_total{switch="0"} 100
+omniwindow_switch_packets_total{switch="1"} 50
+omniwindow_controller_afrs_total 42
+omniwindow_cr_collect_seconds_bucket{le="0.001"} 3
+omniwindow_cr_collect_seconds_bucket{le="0.01"} 7
+omniwindow_cr_collect_seconds_bucket{le="+Inf"} 8
+omniwindow_cr_collect_seconds_sum 0.5
+omniwindow_cr_collect_seconds_count 8
+`
+	s, err := parseMetrics(text, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.values[`omniwindow_switch_packets_total{switch="1"}`]; got != 50 {
+		t.Errorf("labeled sample = %v, want 50", got)
+	}
+	if got := s.values["omniwindow_controller_afrs_total"]; got != 42 {
+		t.Errorf("unlabeled sample = %v, want 42", got)
+	}
+	if got := s.sumMatching("omniwindow_switch_packets_total"); got != 150 {
+		t.Errorf("sumMatching folded labeled family to %v, want 150", got)
+	}
+
+	h, ok := s.hists["omniwindow_cr_collect_seconds"]
+	if !ok {
+		t.Fatal("histogram not parsed")
+	}
+	// Cumulative 3,7,8 → per-bucket 3,4,1.
+	wantBounds := []float64{0.001, 0.01}
+	wantCounts := []int64{3, 4, 1}
+	if len(h.bounds) != len(wantBounds) || h.bounds[0] != 0.001 || h.bounds[1] != 0.01 {
+		t.Errorf("bounds = %v, want %v", h.bounds, wantBounds)
+	}
+	if len(h.counts) != 3 || h.counts[0] != 3 || h.counts[1] != 4 || h.counts[2] != 1 {
+		t.Errorf("per-bucket counts = %v, want %v", h.counts, wantCounts)
+	}
+	if h.total != 8 {
+		t.Errorf("total = %d, want 8", h.total)
+	}
+	if h.sum != 0.5 {
+		t.Errorf("sum = %v, want 0.5", h.sum)
+	}
+}
+
+// TestParseMetricsRejectsGarbage: malformed lines fail loudly instead of
+// silently skewing the dashboard.
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"metric notanumber",
+	} {
+		if _, err := parseMetrics(bad, time.Now()); err == nil {
+			t.Errorf("parseMetrics(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestSplitBucket covers labeled and unlabeled bucket names, and
+// non-bucket names passing through.
+func TestSplitBucket(t *testing.T) {
+	cases := []struct {
+		name, base, le string
+		ok             bool
+	}{
+		{`f_seconds_bucket{le="0.5"}`, "f_seconds", "0.5", true},
+		{`f_seconds_bucket{switch="2",le="+Inf"}`, `f_seconds{switch="2"}`, "+Inf", true},
+		{`f_seconds_sum`, "", "", false},
+		{`f_seconds{switch="2"}`, "", "", false},
+	}
+	for _, c := range cases {
+		base, le, ok := splitBucket(c.name)
+		if ok != c.ok || base != c.base || le != c.le {
+			t.Errorf("splitBucket(%q) = (%q,%q,%v), want (%q,%q,%v)",
+				c.name, base, le, ok, c.base, c.le, c.ok)
+		}
+	}
+}
+
+// TestScrapeQuantileMatchesLiveHistogram round-trips a live obs.Histogram
+// through its own Prometheus exposition and checks owtop's re-derived
+// quantiles agree exactly with the live Quantile — same buckets, same
+// estimator, so the dashboard shows what the process would report.
+func TestScrapeQuantileMatchesLiveHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("rt_seconds", "round trip", obs.DurationBuckets())
+	for i := 1; i <= 500; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := parseMetrics(sb.String(), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, ok := s.hists["rt_seconds"]
+	if !ok {
+		t.Fatalf("histogram missing from scrape; families: %v", s.hists)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		live := h.Quantile(q).Seconds()
+		scraped := hd.quantile(q)
+		// The live value round-trips through a nanosecond time.Duration.
+		if math.Abs(live-scraped) > 1e-9 {
+			t.Errorf("q%.2f: scraped %v != live %v", q, scraped, live)
+		}
+	}
+}
+
+// TestRate: per-second deltas across snapshots, including label folding,
+// first-scrape and counter-reset handling.
+func TestRate(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	prev := &snapshot{at: t0, values: map[string]float64{
+		`c_total{switch="0"}`: 10,
+		`c_total{switch="1"}`: 5,
+	}}
+	cur := &snapshot{at: t0.Add(2 * time.Second), values: map[string]float64{
+		`c_total{switch="0"}`: 30,
+		`c_total{switch="1"}`: 15,
+	}}
+	if got := rate(prev, cur, "c_total"); got != 15 {
+		t.Errorf("rate = %v, want 15 ((30+15-10-5)/2s)", got)
+	}
+	if got := rate(nil, cur, "c_total"); got != 0 {
+		t.Errorf("first-scrape rate = %v, want 0", got)
+	}
+	reset := &snapshot{at: t0.Add(4 * time.Second), values: map[string]float64{
+		`c_total{switch="0"}`: 1,
+	}}
+	if got := rate(cur, reset, "c_total"); got != 0 {
+		t.Errorf("post-reset rate = %v, want 0", got)
+	}
+}
+
+// TestMergedHist folds two labeled instances of one family into a single
+// distribution.
+func TestMergedHist(t *testing.T) {
+	s := &snapshot{
+		values: map[string]float64{},
+		hists: map[string]*histData{
+			`lat_seconds{switch="0"}`: {bounds: []float64{0.1}, counts: []int64{2, 1}, total: 3, sum: 0.4},
+			`lat_seconds{switch="1"}`: {bounds: []float64{0.1}, counts: []int64{4, 0}, total: 4, sum: 0.2},
+			"other_seconds":           {bounds: []float64{0.1}, counts: []int64{9, 9}, total: 18, sum: 9},
+		},
+	}
+	m := s.mergedHist("lat_seconds")
+	if m == nil {
+		t.Fatal("mergedHist returned nil")
+	}
+	if m.total != 7 || m.counts[0] != 6 || m.counts[1] != 1 {
+		t.Errorf("merged = counts %v total %d, want [6 1] 7", m.counts, m.total)
+	}
+	if math.Abs(m.sum-0.6) > 1e-12 {
+		t.Errorf("merged sum = %v, want 0.6", m.sum)
+	}
+	if s.mergedHist("missing_seconds") != nil {
+		t.Error("mergedHist fabricated a family")
+	}
+}
+
+// TestRenderFrame smoke-tests one dashboard frame against a realistic
+// snapshot pair: the headline rates, totals and quantile rows all land in
+// the output.
+func TestRenderFrame(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("omniwindow_cr_collect_seconds", "", obs.DurationBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	reg.Counter("omniwindow_controller_afrs_total", "").Add(1000)
+	reg.Counter("omniwindow_switch_packets_total", "").Add(5000)
+	reg.Counter("omniwindow_controller_windows_total", "").Add(7)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(200, 0)
+	prev := &snapshot{at: t0, values: map[string]float64{
+		"omniwindow_controller_afrs_total": 0,
+	}}
+	cur, err := parseMetrics(sb.String(), t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	render(&out, prev, cur, []traceEvent{
+		{At: t0.UnixNano(), Stage: "collected", SubWindow: 3, Shard: 1, Value: 42},
+	})
+	frame := out.String()
+	for _, want := range []string{
+		"1000 AFR/s", // (1000-0)/1s
+		"7 total",    // windows
+		"C&R round",
+		"3.", // ~3ms quantile rendered in ms
+		"recent window events",
+		"collected",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omniwindow/internal/controller"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/switchsim"
 )
@@ -112,6 +113,7 @@ func (d *Deployment) installProgram() {
 			// sub-window is garbage. The packet still forwards (it is user
 			// traffic) but is never monitored here.
 			d.stats.StaleEpochStamps++
+			d.obs.staleEpoch.Inc()
 			return
 		}
 		for _, ended := range res.Terminated {
@@ -157,6 +159,7 @@ func (d *Deployment) ProcessPacket(p *packet.Packet) {
 	q := *p
 	out := d.sw.Inject(&q)
 	d.stats.Packets++
+	d.obs.packets.Inc()
 	d.handleSwitchOutput(out)
 }
 
@@ -176,6 +179,7 @@ func (d *Deployment) ProcessAndForward(p *packet.Packet) []*packet.Packet {
 	q := *p
 	out := d.sw.Inject(&q)
 	d.stats.Packets++
+	d.obs.packets.Inc()
 	d.handleSwitchOutput(out)
 	return out.Forward
 }
@@ -264,9 +268,11 @@ func (d *Deployment) handleSwitchOutput(out switchsim.Output) {
 			d.onTerminated(c.OW.SubWindow)
 		case packet.OWSpill:
 			d.stats.Spills++
+			d.obs.spills.Inc()
 			d.spilled[c.OW.SubWindow] = append(d.spilled[c.OW.SubWindow], c.OW.Key)
 		case packet.OWLatencySpike:
 			d.stats.Spikes++
+			d.obs.spikes.Inc()
 			d.ingestSpike(c)
 		case packet.OWAFR:
 			d.deliverAFRs(c)
@@ -395,6 +401,7 @@ func (d *Deployment) collect(sw uint64) {
 				func(seqs []uint32) error {
 					for _, rp := range d.engine.RetransmitPackets(seqs) {
 						d.stats.Retransmitted += len(rp.OW.AFRs)
+						d.obs.retrans.Add(int64(len(rp.OW.AFRs)))
 						d.deliverAFRs(rp)
 					}
 					return nil
@@ -402,6 +409,9 @@ func (d *Deployment) collect(sw uint64) {
 				func(wait time.Duration) { virtual += wait },
 			)
 			d.stats.RecoveryRounds += rec.Rounds
+			if rec.Rounds > 0 {
+				d.obs.ring.Record(obs.StageRecovered, sw, -1, int64(rec.Rounds))
+			}
 			if !rec.Complete && len(rec.Missing) > 0 {
 				d.stats.IncompleteSubWindows++
 			}
@@ -446,6 +456,11 @@ func (d *Deployment) collect(sw uint64) {
 	d.stats.CollectVirtual += virtual
 	if virtual > d.stats.MaxCollectVirtual {
 		d.stats.MaxCollectVirtual = virtual
+	}
+	d.obs.afrs.Add(int64(afrs))
+	d.obs.collect.Observe(virtual)
+	if owned {
+		d.obs.ring.Record(obs.StageCollected, sw, region, int64(afrs))
 	}
 
 	var windows []controller.WindowResult

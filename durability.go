@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omniwindow/internal/hashing"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/wire"
 )
@@ -77,10 +78,12 @@ func (d *Deployment) logFinish(sw uint64) {
 		return
 	}
 	snap := d.ctrl.ExportState()
+	ckptStart := time.Now()
 	if err := d.store.Checkpoint(snap); err != nil {
 		d.storeErr = err
 		return
 	}
+	d.obs.ring.Record(obs.StageCheckpoint, sw, -1, int64(time.Since(ckptStart)))
 	// The standby tails checkpoints: each one overwrites its whole state,
 	// keeping it at most one checkpoint interval behind the primary.
 	if d.standby != nil && !d.failedOver {
@@ -154,6 +157,7 @@ func (d *Deployment) recover() error {
 func (d *Deployment) failover(sw uint64) time.Duration {
 	d.failedOver = true
 	d.stats.Failovers++
+	d.obs.ring.Record(obs.StageFailover, sw, -1, 0)
 	wait := time.Duration(d.lease.Remaining(d.now))
 	d.lease.Release()
 	d.ctrls[0] = d.standby

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -52,7 +53,7 @@ func leafConfig(id int) omniwindow.Config {
 	}
 }
 
-func newFabric(scheds []*faults.SwitchSchedule) *fabric.Fabric {
+func newFabric(scheds []*faults.SwitchSchedule, debugAddr string) *fabric.Fabric {
 	cfg := fabric.Config{
 		Switches: make([]fabric.SwitchConfig, leaves),
 		// ECMP-style ingress assignment: each flow enters the fabric at
@@ -62,6 +63,10 @@ func newFabric(scheds []*faults.SwitchSchedule) *fabric.Fabric {
 			return []int{hashing.Index(p.Key, 0xECA9, leaves)}
 		},
 		Beacons: true,
+		// One aggregated observability endpoint for the whole fabric:
+		// every leaf's metrics carry a switch label, and the lifecycle
+		// trace interleaves all three. Empty disables.
+		DebugAddr: debugAddr,
 	}
 	for i := range cfg.Switches {
 		cfg.Switches[i].Config = leafConfig(i)
@@ -77,6 +82,9 @@ func newFabric(scheds []*faults.SwitchSchedule) *fabric.Fabric {
 }
 
 func main() {
+	debugAddr := flag.String("debug", "", "serve the fabric-wide observability endpoint on this address; empty disables")
+	flag.Parse()
+
 	cfg := trace.DefaultConfig(21)
 	cfg.Flows = 6000
 	cfg.Duration = 1000 * trace.Millisecond
@@ -94,7 +102,11 @@ func main() {
 
 	// Fault-free run: the fabric-wide merge matches an omniscient exact
 	// reference.
-	healthy := newFabric(nil)
+	healthy := newFabric(nil, *debugAddr)
+	if *debugAddr != "" {
+		fmt.Printf("observability endpoint: %s/metrics\n", healthy.DebugURL())
+		defer healthy.CloseDebug()
+	}
 	windows := healthy.Run(clone(pkts))
 	for _, w := range windows {
 		exact := exactCounts(pkts, w.Start, w.End)
@@ -122,7 +134,7 @@ func main() {
 	fmt.Println("\n--- rerun with leaf 1 rebooting at sub-window 3 ---")
 	scheds := make([]*faults.SwitchSchedule, leaves)
 	scheds[1] = &faults.SwitchSchedule{Reboot: faults.CrashSchedule{Fixed: []uint64{3}}}
-	chaos := newFabric(scheds)
+	chaos := newFabric(scheds, "")
 	for _, w := range chaos.Run(clone(pkts)) {
 		status := "exact"
 		if w.Degraded {

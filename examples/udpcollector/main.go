@@ -17,6 +17,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -26,6 +27,7 @@ import (
 	"omniwindow/internal/afr"
 	"omniwindow/internal/controller"
 	"omniwindow/internal/faults"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/sketch"
 	"omniwindow/internal/switchsim"
@@ -41,6 +43,9 @@ const (
 )
 
 func main() {
+	debugAddr := flag.String("debug", "", "serve the observability endpoint (/metrics, /debug/windows, pprof) on this address, e.g. 127.0.0.1:9900; empty disables")
+	flag.Parse()
+
 	// ---- Controller machine: UDP listener + controller. ----
 	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -84,6 +89,23 @@ func main() {
 		},
 	})
 	defer ctrl.Close()
+
+	// Manual instrumentation — this example assembles the collector from
+	// parts rather than going through omniwindow.Config, so it wires the
+	// observability layer by hand: the controller's counters/histograms
+	// plus the collector's scrape-time queue and delivery metrics, served
+	// on one endpoint. Point owtop (cmd/owtop) at it while this runs.
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		inner.SetObs(controller.Instrument(reg, ""))
+		col.Instrument(reg, "")
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint: %s/metrics\n", srv.URL())
+	}
 
 	// ---- Switch machine: data plane + lossy UDP uplink. ----
 	uplink, err := net.ListenPacket("udp", "127.0.0.1:0")

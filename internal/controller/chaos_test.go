@@ -144,6 +144,15 @@ func TestChaosUDPRecoveryExact(t *testing.T) {
 		{"mixed/seed1", faults.Config{Seed: 1, Drop: 0.10, Duplicate: 0.10, Reorder: 0.15, Truncate: 0.05, Corrupt: 0.05}},
 		{"mangle-heavy/seed2", faults.Config{Seed: 2, Truncate: 0.25, Corrupt: 0.25}},
 	}
+	// Nightly sweep: OMNIWINDOW_EXTRA_SEEDS widens the fixed table with
+	// derived seeds on the full mixed schedule.
+	for _, s := range faults.ExtraSeeds(2) {
+		cases = append(cases, struct {
+			name string
+			cfg  faults.Config
+		}{fmt.Sprintf("mixed/seed%d", s),
+			faults.Config{Seed: int64(s), Drop: 0.10, Duplicate: 0.10, Reorder: 0.15, Truncate: 0.05, Corrupt: 0.05}})
+	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			h := newChaosHarness(t, tc.cfg)

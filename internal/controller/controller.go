@@ -24,6 +24,7 @@ import (
 	"omniwindow/internal/afr"
 	"omniwindow/internal/hashing"
 	"omniwindow/internal/metrics"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/window"
 )
@@ -190,6 +191,11 @@ type Controller struct {
 	// finishMu serializes window assembly: FinishSubWindow drains and
 	// merges every shard, so two assemblies must not interleave.
 	finishMu sync.Mutex
+
+	// obs is the runtime instrumentation handle set (internal/obs). The
+	// zero value is disabled: every handle is nil and every call a
+	// no-op, keeping the hot path untouched. Install with SetObs.
+	obs Obs
 }
 
 // NewWithError validates the configuration and builds a controller. An
@@ -303,6 +309,7 @@ func (c *Controller) Receive(p *packet.Packet) {
 		d.mu.Lock()
 		d.expected = int(p.OW.KeyCount)
 		d.mu.Unlock()
+		c.obs.Ring.Record(obs.StageAnnounced, p.OW.SubWindow, -1, int64(p.OW.KeyCount))
 		c.addCollect(p.OW.SubWindow, time.Since(start))
 	}
 }
@@ -317,6 +324,7 @@ func (c *Controller) ingestOne(r packet.AFR, retrans bool) {
 	d.mu.Lock()
 	if d.seen[r.Seq] {
 		d.mu.Unlock()
+		c.obs.Duplicates.Inc()
 		return // duplicate delivery
 	}
 	d.seen[r.Seq] = true
@@ -324,6 +332,10 @@ func (c *Controller) ingestOne(r packet.AFR, retrans bool) {
 		d.recovered++
 	}
 	d.mu.Unlock()
+	c.obs.Ingested.Inc()
+	if retrans {
+		c.obs.Recovered.Inc()
+	}
 	s := c.shards[si]
 	s.mu.Lock()
 	s.pending[r.SubWindow] = append(s.pending[r.SubWindow], r)
@@ -349,6 +361,7 @@ func (c *Controller) IngestAFRs(recs []packet.AFR) {
 	parts := make([][]packet.AFR, len(c.shards))
 	var d *dedup
 	var dsw uint64
+	var admitted, dups int64
 	for i, r := range recs {
 		if d == nil || r.SubWindow != dsw {
 			if d != nil {
@@ -358,14 +371,18 @@ func (c *Controller) IngestAFRs(recs []packet.AFR) {
 			d.mu.Lock()
 		}
 		if d.seen[r.Seq] {
+			dups++
 			continue
 		}
 		d.seen[r.Seq] = true
+		admitted++
 		parts[sis[i]] = append(parts[sis[i]], r)
 	}
 	if d != nil {
 		d.mu.Unlock()
 	}
+	c.obs.Ingested.Add(admitted)
+	c.obs.Duplicates.Add(dups)
 	for si, part := range parts {
 		if len(part) == 0 {
 			continue
@@ -449,6 +466,7 @@ func (c *Controller) IngestSpike(p *packet.Packet, attr uint64) bool {
 	s.mu.Lock()
 	s.pending[sw] = append(s.pending[sw], packet.AFR{Key: p.Key, Attr: attr, SubWindow: sw})
 	s.mu.Unlock()
+	c.obs.Spikes.Inc()
 	return true
 }
 
@@ -603,6 +621,7 @@ func (c *Controller) FinishSubWindow(sw uint64) []WindowResult {
 // Caller holds finishMu and has established that sw is the next
 // sub-window in finish order.
 func (c *Controller) finishOne(sw uint64) []WindowResult {
+	finStart := time.Now()
 	// O2 + O3 per shard: drain the routed records, insert, merge.
 	type o23 struct{ insert, merge time.Duration }
 	o23s := make([]o23, len(c.shards))
@@ -641,9 +660,12 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 		t = &OpTimes{}
 		c.times[sw] = t
 	}
+	var o2sum, o3sum time.Duration
 	for _, o := range o23s {
 		t.Insert += o.insert
 		t.Merge += o.merge
+		o2sum += o.insert
+		o3sum += o.merge
 	}
 	// Snapshot the final delivery accounting before retiring the dedup
 	// state: window assembly needs to know whether recovery left gaps.
@@ -665,9 +687,13 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 		c.lastFin, c.hasFin = sw, true
 	}
 	c.mu.Unlock()
+	c.obs.OpInsert.Observe(o2sum)
+	c.obs.OpMerge.Observe(o3sum)
 
 	wStart, ok := c.cfg.Plan.Ends(sw)
 	if !ok {
+		c.obs.Finish.Observe(time.Since(finStart))
+		c.obs.Ring.Record(obs.StageFinished, sw, len(c.shards), int64(time.Since(finStart)))
 		return nil
 	}
 
@@ -733,11 +759,14 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 	fold := time.Since(start)
 
 	c.mu.Lock()
+	o4sum := fold
 	for _, o := range o4s {
 		t.Process += o.scan
+		o4sum += o.scan
 	}
 	t.Process += fold
 	c.mu.Unlock()
+	c.obs.OpProcess.Observe(o4sum)
 
 	// O5: retire sub-windows that no future window needs.
 	if retire, ok := c.cfg.Plan.Retire(sw); ok {
@@ -750,9 +779,12 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 			evicts[i] = time.Since(start)
 		})
 		c.mu.Lock()
+		var o5sum time.Duration
 		for _, dt := range evicts {
 			t.Evict += dt
+			o5sum += dt
 		}
+		c.obs.OpEvict.Observe(o5sum)
 		for old := range c.dedups {
 			if old <= retire {
 				delete(c.dedups, old)
@@ -774,6 +806,16 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 			}
 		}
 		c.mu.Unlock()
+	}
+	c.obs.Finish.Observe(time.Since(finStart))
+	c.obs.Ring.Record(obs.StageFinished, sw, len(c.shards), int64(time.Since(finStart)))
+	c.obs.Ring.Record(obs.StageWindowEmitted, sw, -1, int64(wStart))
+	c.obs.Windows.Inc()
+	if res.Incomplete {
+		c.obs.IncompleteWindows.Inc()
+	}
+	if res.Degraded {
+		c.obs.DegradedWindows.Inc()
 	}
 	return []WindowResult{res}
 }

@@ -13,6 +13,7 @@ import (
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/metrics"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/wire"
 )
@@ -26,6 +27,8 @@ func (c *Controller) NoteShed(sw uint64, n int) {
 	if n <= 0 {
 		return
 	}
+	c.obs.Shed.Add(int64(n))
+	c.obs.Ring.Record(obs.StageShed, sw, -1, int64(n))
 	c.mu.Lock()
 	if d, live := c.dedups[sw]; live {
 		c.mu.Unlock()

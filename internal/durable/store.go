@@ -31,7 +31,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/wire"
 )
@@ -67,6 +69,14 @@ type Store struct {
 	// (partial temp file), "checkpoint-rename" (temp complete, rename not
 	// done), "wal-truncate" (checkpoint renamed, logs not yet truncated).
 	crash func(point string) bool
+
+	// Nil-safe instrumentation handles (see Instrument).
+	walLat      *obs.Histogram
+	ckptLat     *obs.Histogram
+	appends     *obs.Counter
+	checkpoints *obs.Counter
+	walBytes    *obs.Counter
+	ckptBytes   *obs.Counter
 }
 
 // Open creates (or reopens) a store with the given shard count. Reopening
@@ -123,6 +133,25 @@ func Open(dir string, shards int) (*Store, error) {
 // SetCrash installs the simulated-crash hook (tests only; see Store.crash).
 func (s *Store) SetCrash(fn func(point string) bool) { s.crash = fn }
 
+// Instrument registers the durability metric family on reg: WAL append
+// and checkpoint latency distributions plus operation/byte counters. The
+// handles are nil-safe, so an uninstrumented store (the default) pays
+// nothing. Call before the store carries traffic.
+func (s *Store) Instrument(reg *obs.Registry, labels string) {
+	n := func(name string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
+	}
+	s.walLat = reg.Histogram(n("omniwindow_durable_wal_append_seconds"), "write-ahead log append latency (frame encode + write)", nil)
+	s.ckptLat = reg.Histogram(n("omniwindow_durable_checkpoint_seconds"), "checkpoint latency (encode + temp write + rename + truncate)", nil)
+	s.appends = reg.Counter(n("omniwindow_durable_wal_appends_total"), "write-ahead log frames appended")
+	s.checkpoints = reg.Counter(n("omniwindow_durable_checkpoints_total"), "checkpoints completed")
+	s.walBytes = reg.Counter(n("omniwindow_durable_wal_bytes_total"), "bytes appended to the write-ahead logs")
+	s.ckptBytes = reg.Counter(n("omniwindow_durable_checkpoint_bytes_total"), "bytes written per completed checkpoint snapshot")
+}
+
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
@@ -166,6 +195,7 @@ func (s *Store) die(f *os.File, frame []byte) error {
 
 // append writes one framed record to f.
 func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
@@ -178,6 +208,9 @@ func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
 	if _, err := f.Write(frame); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
+	s.appends.Inc()
+	s.walBytes.Add(int64(len(frame)))
+	s.walLat.Observe(time.Since(start))
 	return nil
 }
 
@@ -223,6 +256,7 @@ func (s *Store) AppendShed(sw uint64, n uint32) error {
 // the snapshot by construction (the caller exports controller state after
 // logging everything it ingested).
 func (s *Store) Checkpoint(snap *wire.Snapshot) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
@@ -265,6 +299,9 @@ func (s *Store) Checkpoint(snap *wire.Snapshot) error {
 	if _, err := s.ctl.Seek(0, 0); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
+	s.checkpoints.Inc()
+	s.ckptBytes.Add(int64(len(buf)))
+	s.ckptLat.Observe(time.Since(start))
 	return nil
 }
 

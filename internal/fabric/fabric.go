@@ -26,6 +26,7 @@ import (
 	"omniwindow/internal/controller"
 	"omniwindow/internal/faults"
 	"omniwindow/internal/netsim"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/window"
 )
@@ -65,6 +66,17 @@ type Config struct {
 	// quarantined, the switch forwards traffic but monitors nothing, and
 	// its reports are excluded from merged windows.
 	QuarantineFor int
+
+	// DebugAddr, when non-empty, serves one aggregated observability
+	// endpoint for the whole fabric: every switch's deployment registers
+	// into a shared registry with a switch="i" label, plus fabric-level
+	// health metrics (strikes, quarantines, readmissions) and the merged
+	// window-lifecycle trace ring. Empty leaves the fabric uninstrumented.
+	DebugAddr string
+	// Obs optionally supplies the shared registry instead of (or in
+	// addition to) DebugAddr. Either enables instrumentation. Per-switch
+	// Config.Obs/ObsLabels are overridden by the fabric's.
+	Obs *obs.Registry
 }
 
 // CoverageGap is one switch's span of sub-windows with missing or partial
@@ -118,6 +130,11 @@ type node struct {
 	gaps    []CoverageGap // closed gaps
 	gapOpen bool          // an open gap awaiting resync
 	gapFrom uint64
+
+	// Fabric-health instrumentation (nil when observability is off).
+	obsStrikes     *obs.Counter
+	obsQuarantines *obs.Counter
+	obsReadmits    *obs.Counter
 }
 
 // strikeKey dedups strikes to one per cause per fabric sub-window.
@@ -131,6 +148,11 @@ type Fabric struct {
 	cfg   Config
 	nodes []*node
 	epoch uint64
+
+	// Observability (nil unless Config.Obs or Config.DebugAddr is set).
+	reg      *obs.Registry
+	ring     *obs.Ring
+	debugSrv *obs.Server
 
 	paths map[string]*netsim.Path
 	// routesBySub records, per stamped sub-window, the concrete routes
@@ -176,20 +198,67 @@ func New(cfg Config) (*Fabric, error) {
 		routesBySub: make(map[uint64]map[string][]int),
 		spikeSeen:   make(map[spikeObs]int),
 	}
+	if cfg.Obs != nil || cfg.DebugAddr != "" {
+		f.reg = cfg.Obs
+		if f.reg == nil {
+			f.reg = obs.NewRegistry()
+		}
+		f.ring = f.reg.Ring(0)
+	}
 	for i := range cfg.Switches {
 		sc := cfg.Switches[i].Config
 		sc.CaptureValues = true
+		if f.reg != nil {
+			// Every switch registers into the shared registry with a
+			// switch label; the deployments' ring events interleave into
+			// one fabric-wide lifecycle trace.
+			sc.Obs = f.reg
+			sc.ObsLabels = fmt.Sprintf("switch=%q", fmt.Sprint(i))
+			sc.DebugAddr = "" // one fabric endpoint, not one per switch
+		}
 		d, err := omniwindow.New(sc)
 		if err != nil {
+			f.closeObs()
 			return nil, fmt.Errorf("fabric: switch %d: %w", i, err)
 		}
 		d.SetEpoch(f.epoch)
 		n := &node{d: d, sched: cfg.Switches[i].Faults, struck: make(map[strikeKey]bool)}
+		if f.reg != nil {
+			l := fmt.Sprintf("{switch=%q}", fmt.Sprint(i))
+			n.obsStrikes = f.reg.Counter("omniwindow_fabric_strikes_total"+l, "health strikes recorded against the switch")
+			n.obsQuarantines = f.reg.Counter("omniwindow_fabric_quarantines_total"+l, "times the switch was quarantined")
+			n.obsReadmits = f.reg.Counter("omniwindow_fabric_readmits_total"+l, "times the switch was resynced and readmitted")
+		}
 		f.nodes = append(f.nodes, n)
 		f.installHook(i, n)
 	}
+	if cfg.DebugAddr != "" {
+		srv, err := obs.Serve(cfg.DebugAddr, f.reg)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: debug endpoint: %w", err)
+		}
+		f.debugSrv = srv
+	}
 	return f, nil
 }
+
+// closeObs tears down the debug endpoint during failed construction.
+func (f *Fabric) closeObs() {
+	if f.debugSrv != nil {
+		f.debugSrv.Close()
+	}
+}
+
+// Obs exposes the fabric's shared observability registry (nil when
+// instrumentation is off).
+func (f *Fabric) Obs() *obs.Registry { return f.reg }
+
+// DebugURL returns the fabric debug endpoint's base URL ("" when
+// DebugAddr was not configured).
+func (f *Fabric) DebugURL() string { return f.debugSrv.URL() }
+
+// CloseDebug stops the fabric debug endpoint; safe to call repeatedly.
+func (f *Fabric) CloseDebug() error { return f.debugSrv.Close() }
 
 // installHook registers the invariant checker on one switch: no
 // stale-epoch stamp may ever be monitored or terminate sub-windows, and
@@ -233,9 +302,12 @@ func (f *Fabric) strike(idx int, cause uint8) {
 	}
 	n.struck[k] = true
 	n.strikes++
+	n.obsStrikes.Inc()
 	if f.cfg.StrikeLimit > 0 && n.strikes >= f.cfg.StrikeLimit {
 		n.quarantined = true
 		n.freeAt = f.fabricSW + uint64(f.cfg.QuarantineFor)
+		n.obsQuarantines.Inc()
+		f.ring.Record(obs.StageQuarantine, f.fabricSW, idx, int64(n.freeAt))
 		f.openGap(idx, f.fabricSW)
 	}
 }
@@ -405,6 +477,8 @@ func (f *Fabric) boundary(b uint64) {
 				// Readmit: force a resync and clean the slate.
 				n.quarantined = false
 				n.strikes = 0
+				n.obsReadmits.Inc()
+				f.ring.Record(obs.StageReadmit, b, i, 0)
 				n.d.ResyncBeacon(f.epoch, b)
 				f.closeGap(i, b)
 			}

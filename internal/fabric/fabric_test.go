@@ -276,7 +276,10 @@ func TestFabricChaosRebootOrigin(t *testing.T) {
 // the failed switch's gap, and no stale-epoch stamp may ever be monitored.
 func TestFabricChaosSeededReboots(t *testing.T) {
 	pkts := steadyTrace([]int{1, 2, 3, 4, 5}, 240, 2000*ms)
-	for seed := uint64(1); seed <= 5; seed++ {
+	// Nightly sweep: OMNIWINDOW_EXTRA_SEEDS appends derived seeds to the
+	// fixed 1..5 table.
+	seeds := append([]uint64{1, 2, 3, 4, 5}, faults.ExtraSeeds(3)...)
+	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			scheds := []*faults.SwitchSchedule{

@@ -1,0 +1,30 @@
+package faults
+
+import (
+	"os"
+	"strconv"
+)
+
+// ExtraSeedsEnv is the environment variable nightly CI sets to widen the
+// chaos seed sweeps beyond the fixed per-test tables.
+const ExtraSeedsEnv = "OMNIWINDOW_EXTRA_SEEDS"
+
+// ExtraSeeds returns additional deterministic chaos seeds derived from
+// base when OMNIWINDOW_EXTRA_SEEDS asks for a deeper sweep (its value is
+// the number of extra seeds). It returns nil in ordinary runs — unset,
+// zero or unparseable — so PR-time suites keep their small fixed tables
+// and only scheduled runs pay for the sweep. The derived seeds start at
+// 1000+100*base, far from the hand-picked single-digit seeds in the test
+// tables, and every (base, env) pair yields the same list: a nightly
+// failure names a seed that replays locally with the same env set.
+func ExtraSeeds(base uint64) []uint64 {
+	n, err := strconv.Atoi(os.Getenv(ExtraSeedsEnv))
+	if err != nil || n <= 0 {
+		return nil
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = 1000 + 100*base + uint64(i)
+	}
+	return seeds
+}

@@ -1,0 +1,35 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtraSeedsDisabledByDefault(t *testing.T) {
+	t.Setenv(ExtraSeedsEnv, "")
+	if s := ExtraSeeds(3); s != nil {
+		t.Fatalf("unset env produced seeds %v", s)
+	}
+	for _, bad := range []string{"0", "-2", "ten"} {
+		t.Setenv(ExtraSeedsEnv, bad)
+		if s := ExtraSeeds(3); s != nil {
+			t.Fatalf("env %q produced seeds %v", bad, s)
+		}
+	}
+}
+
+func TestExtraSeedsDeterministic(t *testing.T) {
+	t.Setenv(ExtraSeedsEnv, "3")
+	want := []uint64{1200, 1201, 1202}
+	if got := ExtraSeeds(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtraSeeds(2) = %v, want %v", got, want)
+	}
+	if got := ExtraSeeds(2); !reflect.DeepEqual(got, want) {
+		t.Fatal("same env+base produced a different list")
+	}
+	// Different bases sweep disjoint ranges so suites don't repeat each
+	// other's schedules.
+	if got := ExtraSeeds(3); got[0] != 1300 {
+		t.Fatalf("ExtraSeeds(3)[0] = %d, want 1300", got[0])
+	}
+}

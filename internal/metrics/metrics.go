@@ -2,6 +2,11 @@
 // evaluation: precision, recall and F1 over detected-anomaly sets, average
 // relative error (ARE) for per-flow estimates, and average ARE (AARE)
 // across windows for cardinality-style tasks.
+//
+// These are offline quality measures computed against ground truth after a
+// run. Runtime observability — counters, latency histograms and the
+// window-lifecycle trace a live pipeline exposes on Config.DebugAddr — is
+// the separate internal/obs package.
 package metrics
 
 import (

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram: observations land in the
+// first bucket whose upper bound (in seconds) is >= the value, plus an
+// implicit +Inf bucket. Buckets are atomic, so Observe is safe for
+// concurrent callers and never allocates; quantiles are estimated by
+// linear interpolation inside the owning bucket, so their relative error
+// is bounded by the bucket ratio (2x for DurationBuckets). A nil
+// *Histogram ignores observations and reads zeros.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // sorted upper bounds, seconds
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// DurationBuckets is the default latency bucket layout: powers of two
+// from 1µs to ~8.6s, 24 buckets (+Inf implicit). It spans everything the
+// pipeline times — sub-microsecond shard ops round up into the first
+// bucket, and a collect-and-reset round that blows past the sub-window
+// budget still lands on the scale.
+func DurationBuckets() []float64 {
+	b := make([]float64, 24)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		sort.Float64s(bounds)
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.observeSeconds(d.Seconds(), int64(d))
+}
+
+// ObserveSeconds records one observation given in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	if h == nil {
+		return
+	}
+	h.observeSeconds(s, int64(s*1e9))
+}
+
+func (h *Histogram) observeSeconds(s float64, ns int64) {
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations by
+// linear interpolation within the bucket holding the target rank. With no
+// observations it returns 0; ranks in the +Inf bucket clamp to the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	snap := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	return time.Duration(QuantileFromBuckets(h.bounds, snap, total, q) * 1e9)
+}
+
+// QuantileFromBuckets estimates a quantile in seconds from cumulative-free
+// bucket counts (counts[i] observations in (bounds[i-1], bounds[i]];
+// counts[len(bounds)] is the +Inf bucket). It is the shared estimator
+// between the live histogram and scrape-side consumers (owtop re-derives
+// quantiles from Prometheus bucket lines with the same math).
+func QuantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string // full name including embedded labels
+	value  float64
+	labels map[string]string
+}
+
+// parsePrometheus is a strict text-format (0.0.4) consumer: it validates
+// the HELP/TYPE header discipline (exactly one per family, before any
+// sample of it) and parses every sample line back into structured form —
+// the round-trip half of the exposition tests.
+func parsePrometheus(t *testing.T, text string) (map[string]float64, map[string]string, []promSample) {
+	t.Helper()
+	values := make(map[string]float64)
+	types := make(map[string]string)
+	helped := make(map[string]bool)
+	var samples []promSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if helped[parts[0]] {
+				t.Fatalf("family %q has two HELP headers", parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("family %q has two TYPE headers", parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		fam := name
+		labels := map[string]string{}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			fam = name[:i]
+			inner := strings.TrimSuffix(name[i+1:], "}")
+			for _, pair := range strings.Split(inner, ",") {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+				unq, err := strconv.Unquote(kv[1])
+				if err != nil {
+					t.Fatalf("label value not quoted in %q: %v", line, err)
+				}
+				labels[kv[0]] = unq
+			}
+		}
+		baseFam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(fam, "_bucket"), "_sum"), "_count")
+		if _, ok := types[fam]; !ok {
+			if _, ok := types[baseFam]; !ok {
+				t.Fatalf("sample %q has no TYPE header", line)
+			}
+		}
+		values[name] = v
+		samples = append(samples, promSample{name: name, value: v, labels: labels})
+	}
+	return values, types, samples
+}
+
+// TestPrometheusRoundTrip builds a registry with every metric kind,
+// renders it, parses the text back, and checks the parsed numbers equal
+// the live handles — the exposition is consumed and validated, not just
+// eyeballed.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ow_afrs_total", "AFR records ingested")
+	c.Add(12345)
+	g := reg.Gauge("ow_queue_depth", "ingest queue depth")
+	g.Set(77)
+	reg.CounterFunc("ow_drops_total", "decode failures", func() int64 { return 9 })
+	reg.GaugeFunc("ow_table_size", "flows resident", func() int64 { return 4096 })
+	h := reg.Histogram("ow_collect_seconds", "C&R latency", []float64{0.001, 0.01, 0.1, 1})
+	h.ObserveSeconds(0.0005) // bucket le=0.001
+	h.ObserveSeconds(0.005)  // bucket le=0.01
+	h.ObserveSeconds(0.05)   // bucket le=0.1
+	h.ObserveSeconds(0.05)
+	h.ObserveSeconds(5) // +Inf
+	for i := 0; i < 3; i++ {
+		reg.Counter(fmt.Sprintf("ow_reboots_total{switch=%q}", fmt.Sprint(i)), "per-switch reboots").Add(int64(i))
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	values, types, samples := parsePrometheus(t, sb.String())
+
+	if values["ow_afrs_total"] != 12345 {
+		t.Fatalf("counter round-trip: %v", values["ow_afrs_total"])
+	}
+	if types["ow_afrs_total"] != "counter" {
+		t.Fatalf("counter TYPE: %q", types["ow_afrs_total"])
+	}
+	if values["ow_queue_depth"] != 77 || types["ow_queue_depth"] != "gauge" {
+		t.Fatal("gauge round-trip failed")
+	}
+	if values["ow_drops_total"] != 9 || values["ow_table_size"] != 4096 {
+		t.Fatal("func metric round-trip failed")
+	}
+	if types["ow_collect_seconds"] != "histogram" {
+		t.Fatalf("histogram TYPE: %q", types["ow_collect_seconds"])
+	}
+	// Cumulative buckets: 1, 2, 4, 4, and +Inf covers all 5.
+	wantBuckets := map[string]float64{
+		"0.001": 1, "0.01": 2, "0.1": 4, "1": 4, "+Inf": 5,
+	}
+	seen := 0
+	for _, s := range samples {
+		if !strings.HasPrefix(s.name, "ow_collect_seconds_bucket") {
+			continue
+		}
+		le := s.labels["le"]
+		want, ok := wantBuckets[le]
+		if !ok {
+			t.Fatalf("unexpected bucket le=%q", le)
+		}
+		if s.value != want {
+			t.Fatalf("bucket le=%q: got %v, want %v", le, s.value, want)
+		}
+		seen++
+	}
+	if seen != len(wantBuckets) {
+		t.Fatalf("saw %d buckets, want %d", seen, len(wantBuckets))
+	}
+	if values["ow_collect_seconds_count"] != 5 {
+		t.Fatalf("histogram count: %v", values["ow_collect_seconds_count"])
+	}
+	sum := values["ow_collect_seconds_sum"]
+	if sum < 5.1 || sum > 5.2 {
+		t.Fatalf("histogram sum: %v", sum)
+	}
+	// Labeled family: three instances, one family, per-instance values.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("ow_reboots_total{switch=%q}", fmt.Sprint(i))
+		if values[name] != float64(i) {
+			t.Fatalf("labeled instance %s: %v", name, values[name])
+		}
+	}
+	if types["ow_reboots_total"] != "counter" {
+		t.Fatal("labeled family missing TYPE")
+	}
+}
+
+// TestHTTPEndpoint serves a registry over a real listener and exercises
+// /metrics, /debug/windows and the pprof index.
+func TestHTTPEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ep_total", "test").Add(3)
+	ring := reg.Ring(16)
+	ring.Record(StageAnnounced, 7, -1, 100)
+	ring.Record(StageCollected, 7, 0, 100)
+	ring.Record(StageWindowEmitted, 7, -1, 3)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	values, _, _ := parsePrometheus(t, body)
+	if values["ep_total"] != 3 {
+		t.Fatalf("/metrics ep_total: %v", values["ep_total"])
+	}
+
+	code, body = get("/debug/windows")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/windows status %d", code)
+	}
+	var dump struct {
+		Total  uint64 `json:"total_events"`
+		Events []struct {
+			Stage     string `json:"stage"`
+			SubWindow uint64 `json:"sub_window"`
+			Value     int64  `json:"value"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/windows not JSON: %v\n%s", err, body)
+	}
+	if dump.Total != 3 || len(dump.Events) != 3 {
+		t.Fatalf("trace dump: total %d, %d events", dump.Total, len(dump.Events))
+	}
+	if dump.Events[0].Stage != "announced" || dump.Events[2].Stage != "window_emitted" {
+		t.Fatalf("stage names: %+v", dump.Events)
+	}
+	if dump.Events[2].SubWindow != 7 || dump.Events[2].Value != 3 {
+		t.Fatalf("event payload: %+v", dump.Events[2])
+	}
+
+	// last=N trims to the newest events.
+	code, body = get("/debug/windows?last=1")
+	if code != http.StatusOK {
+		t.Fatal("last=1 failed")
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 1 || dump.Events[0].Stage != "window_emitted" {
+		t.Fatalf("last=1: %+v", dump.Events)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("pprof index status %d", code)
+	}
+
+	if srv.Close() != nil {
+		t.Fatal("double close errored")
+	}
+}
+
+// TestQuantileFromBuckets: the scrape-side estimator (what owtop uses on
+// parsed bucket lines) agrees with the live histogram's.
+func TestQuantileFromBuckets(t *testing.T) {
+	h := newHistogram("x_seconds", "test", nil)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		live := h.Quantile(q).Seconds()
+		scraped := QuantileFromBuckets(h.bounds, counts, total, q)
+		// Quantile truncates to whole nanoseconds; allow that much slack.
+		if diff := live - scraped; diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("q=%v: live %v != scraped %v", q, live, scraped)
+		}
+	}
+}

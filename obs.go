@@ -1,0 +1,111 @@
+package omniwindow
+
+import (
+	"fmt"
+
+	"omniwindow/internal/controller"
+	"omniwindow/internal/obs"
+)
+
+// This file wires the deployment into internal/obs: counters and latency
+// histograms over the C&R pipeline, window-lifecycle trace events, and
+// the optional HTTP debug endpoint (Config.DebugAddr). Instrumentation is
+// strictly opt-in — without Config.Obs or Config.DebugAddr every handle
+// below stays nil and each call site is an allocation-free no-op, which
+// is what keeps the hot paths within the benchmark-regression budget.
+
+// deployObs holds the deployment-level instrumentation handles. These
+// cover what the controller and durable store cannot see themselves: the
+// switch-side pipeline (packets, spills, spikes, stale stamps, reboots)
+// and the C&R driver (virtual collect time, retransmissions).
+type deployObs struct {
+	packets    *obs.Counter
+	afrs       *obs.Counter
+	spills     *obs.Counter
+	spikes     *obs.Counter
+	staleEpoch *obs.Counter
+	reboots    *obs.Counter
+	retrans    *obs.Counter
+	collect    *obs.Histogram // modeled C&R virtual time per sub-window
+	ring       *obs.Ring
+}
+
+// setupObs builds the registry (or adopts the caller-supplied one),
+// instruments every layer, and starts the debug endpoint when DebugAddr
+// is set. A no-op when neither Obs nor DebugAddr is configured.
+func (d *Deployment) setupObs() error {
+	cfg := &d.cfg
+	if cfg.Obs == nil && cfg.DebugAddr == "" {
+		return nil
+	}
+	d.reg = cfg.Obs
+	if d.reg == nil {
+		d.reg = obs.NewRegistry()
+	}
+	labels := cfg.ObsLabels
+
+	n := func(name string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
+	}
+	d.obs = deployObs{
+		packets:    d.reg.Counter(n("omniwindow_switch_packets_total"), "trace packets processed through the switch pipeline"),
+		afrs:       d.reg.Counter(n("omniwindow_cr_afrs_total"), "AFR records collected across C&R rounds"),
+		spills:     d.reg.Counter(n("omniwindow_switch_spills_total"), "flow keys spilled to the controller (flowkey array full)"),
+		spikes:     d.reg.Counter(n("omniwindow_switch_spikes_total"), "latency-spike packets forwarded to the controller"),
+		staleEpoch: d.reg.Counter(n("omniwindow_switch_stale_epoch_total"), "packets rejected for carrying a stale-epoch stamp"),
+		reboots:    d.reg.Counter(n("omniwindow_switch_reboots_total"), "power-cycles injected into this switch"),
+		retrans:    d.reg.Counter(n("omniwindow_cr_retransmitted_total"), "AFR records re-sent by the NACK/retransmit protocol"),
+		collect:    d.reg.Histogram(n("omniwindow_cr_collect_seconds"), "modeled C&R virtual time per sub-window (enumeration + recovery + reset)", nil),
+		ring:       d.reg.Ring(0),
+	}
+
+	// Per-app controllers: single-app deployments register unlabeled (or
+	// with the caller's labels); co-deployed apps add an app label so the
+	// families stay distinguishable.
+	for i, ctrl := range d.ctrls {
+		l := labels
+		if len(d.ctrls) > 1 {
+			app := fmt.Sprintf("app=%q", d.apps[i].Name)
+			if l == "" {
+				l = app
+			} else {
+				l = l + "," + app
+			}
+		}
+		ctrl.SetObs(controller.Instrument(d.reg, l))
+	}
+	if d.store != nil {
+		d.store.Instrument(d.reg, labels)
+	}
+	// The hot standby shares the primary's handles: it only processes
+	// traffic after promotion, so the combined counts read as one
+	// controller's — which, to the deployment, they are.
+	if d.standby != nil {
+		d.standby.SetObs(controller.Instrument(d.reg, labels))
+	}
+
+	if cfg.DebugAddr != "" {
+		srv, err := obs.Serve(cfg.DebugAddr, d.reg)
+		if err != nil {
+			return fmt.Errorf("omniwindow: debug endpoint: %w", err)
+		}
+		d.debugSrv = srv
+	}
+	return nil
+}
+
+// Obs exposes the deployment's observability registry (nil when
+// instrumentation is off). Callers can register their own metrics on it
+// or render it with WritePrometheus.
+func (d *Deployment) Obs() *obs.Registry { return d.reg }
+
+// DebugURL returns the running debug endpoint's base URL ("" when
+// DebugAddr was not configured).
+func (d *Deployment) DebugURL() string { return d.debugSrv.URL() }
+
+// CloseDebug stops the debug endpoint (a no-op when DebugAddr was not
+// configured). Safe to call more than once.
+func (d *Deployment) CloseDebug() error { return d.debugSrv.Close() }

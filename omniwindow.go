@@ -31,6 +31,7 @@ import (
 	"omniwindow/internal/controller"
 	"omniwindow/internal/durable"
 	"omniwindow/internal/faults"
+	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/rdma"
 	"omniwindow/internal/switchsim"
@@ -184,6 +185,26 @@ type Config struct {
 
 	// Costs is the virtual-time cost model; zero value uses defaults.
 	Costs switchsim.CostModel
+
+	// DebugAddr, when non-empty, serves the runtime observability endpoint
+	// on this address ("127.0.0.1:0" picks a free port; read it back with
+	// DebugURL): Prometheus text on /metrics, the window-lifecycle trace
+	// ring as JSON on /debug/windows, and the standard net/http/pprof
+	// profiles on /debug/pprof/. Empty leaves the deployment completely
+	// uninstrumented — the hot paths then carry nil handles whose calls
+	// are no-ops and allocation-free (see internal/obs). Close the
+	// endpoint with CloseDebug.
+	DebugAddr string
+	// Obs optionally supplies an existing observability registry to
+	// instrument into, instead of (or in addition to) DebugAddr — the
+	// fabric uses this to aggregate every switch's deployment into one
+	// endpoint. Setting either Obs or DebugAddr enables instrumentation.
+	Obs *obs.Registry
+	// ObsLabels is an optional Prometheus label set (e.g. `switch="2"`)
+	// embedded in every metric name this deployment registers, so several
+	// deployments sharing one registry stay distinguishable. Ignored when
+	// instrumentation is off.
+	ObsLabels string
 }
 
 // Stats aggregates a deployment run's behaviour for the micro-benchmarks.
@@ -302,6 +323,11 @@ type Deployment struct {
 	crashed    bool
 	crashedAt  uint64
 	storeErr   error
+
+	// Observability (zero unless Config.Obs or Config.DebugAddr is set).
+	reg      *obs.Registry
+	obs      deployObs
+	debugSrv *obs.Server
 
 	// preserve is the resolved consistency-model preservation depth.
 	preserve int
@@ -497,6 +523,9 @@ func New(cfg Config) (*Deployment, error) {
 		}
 	}
 
+	if err := d.setupObs(); err != nil {
+		return nil, err
+	}
 	if err := d.deployResources(); err != nil {
 		return nil, err
 	}
@@ -588,7 +617,10 @@ func (d *Deployment) Epoch() uint64 { return d.manager.Epoch() }
 
 // SetEpoch joins the switch to a fabric synchronization epoch: stamps it
 // writes carry the epoch, stamps from older epochs are rejected as stale.
-func (d *Deployment) SetEpoch(e uint64) { d.manager.SetEpoch(e) }
+func (d *Deployment) SetEpoch(e uint64) {
+	d.manager.SetEpoch(e)
+	d.obs.ring.Record(obs.StageEpochResync, d.manager.Cur(), -1, int64(e))
+}
 
 // CurrentSubWindow returns the switch's local sub-window counter.
 func (d *Deployment) CurrentSubWindow() uint64 { return d.manager.Cur() }
@@ -597,7 +629,13 @@ func (d *Deployment) CurrentSubWindow() uint64 { return d.manager.Cur() }
 // the switch adopts the epoch and jumps forward to the fabric's sub-window
 // without terminating the skipped range (whose state belongs to the
 // pre-reboot incarnation). Beacons from older epochs are ignored.
-func (d *Deployment) ResyncBeacon(epoch, sw uint64) { d.manager.Resync(epoch, sw) }
+func (d *Deployment) ResyncBeacon(epoch, sw uint64) {
+	before := d.manager.Epoch()
+	d.manager.Resync(epoch, sw)
+	if d.manager.Epoch() != before {
+		d.obs.ring.Record(obs.StageEpochResync, sw, -1, int64(epoch))
+	}
+}
 
 // SetDecisionHook registers an observer over every traffic packet's window
 // decision (stamp written/adopted, spike escape, stale-epoch rejection).
@@ -643,6 +681,16 @@ func (d *Deployment) UncollectedSubWindows() []uint64 {
 // to collect, and finalizes its windows explicitly marked Incomplete with
 // the announced records missing. Nothing is silently undercounted.
 func (d *Deployment) Reboot() {
+	if d.obs.ring != nil {
+		oldest := int64(-1)
+		for _, sw := range d.UncollectedSubWindows() {
+			if oldest < 0 || int64(sw) < oldest {
+				oldest = int64(sw)
+			}
+		}
+		d.obs.ring.Record(obs.StageReboot, d.manager.Cur(), -1, oldest)
+	}
+	d.obs.reboots.Inc()
 	d.engine.PowerCycle()
 	manager, err := window.NewManagerPreserve(d.cfg.Signal, d.manager.Regions(), d.preserve)
 	if err != nil {
