@@ -74,9 +74,10 @@ staticcheck:
 	fi
 
 # Coverage gate: total statement coverage must not erode. The threshold
-# sits 2 points under the measured total at the time the gate was set
-# (78.9%), so routine churn doesn't flake while real erosion fails.
-COVER_THRESHOLD = 76.9
+# sits 2 points under the measured total at the time the gate was last
+# ratcheted (81.5%, after the cmd/ binaries gained tests), so routine
+# churn doesn't flake while real erosion fails.
+COVER_THRESHOLD = 79.5
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -106,25 +107,30 @@ bench-smoke:
 bench: bench-json
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
 
-# Machine-readable perf numbers for the controller-merge and fabric hot
-# paths: ns/op and allocs/op, emitted as BENCH_PR6.json for cross-PR
-# diffing (BENCH_PR4.json is the previous PR's snapshot, kept for
-# comparison).
+# Machine-readable perf numbers for the controller-merge, batched-ingest,
+# collector-decode and fabric hot paths: ns/op, B/op and allocs/op, emitted
+# as BENCH_PR7.json for cross-PR diffing (BENCH_PR4.json and BENCH_PR6.json
+# are earlier snapshots, kept for comparison). The ingest benchmarks carry
+# 0 allocs/op baselines, so the compare gate pins them at zero: any new
+# steady-state allocation on the pooled hot path fails bench-diff.
+BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric
+
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkControllerSharded|BenchmarkFabric' \
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
 
 # Perf-regression gate: rerun the hot-path benchmarks and fail if any
-# shared benchmark's ns/op grew more than 15% over the checked-in
-# baseline. CI runs this on every PR; locally, quiesce the machine first.
+# shared benchmark's ns/op or allocs/op grew more than 15% over the
+# checked-in baseline (0-alloc baselines allow 0). CI runs this on every
+# PR; locally, quiesce the machine first.
 BENCH_CURRENT ?= /tmp/omniwindow_bench_current.json
 
 bench-diff:
-	$(GO) test -run xxx -bench 'BenchmarkControllerSharded|BenchmarkFabric' \
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json $(BENCH_CURRENT) \
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json $(BENCH_CURRENT) \
 		-tolerance 0.15
 
 # Micro-benchmarks across all packages.

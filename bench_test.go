@@ -23,6 +23,7 @@ import (
 	"omniwindow/internal/packet"
 	"omniwindow/internal/switchsim"
 	"omniwindow/internal/window"
+	"omniwindow/internal/wire"
 )
 
 const benchSeed = 2023
@@ -244,6 +245,122 @@ func BenchmarkControllerSharded(b *testing.B) {
 			b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "AFRs/s")
 		})
 	}
+}
+
+// benchBase generates n well-spread unique-key AFRs for sub-window 0.
+func benchBase(n int) []packet.AFR {
+	recs := make([]packet.AFR, n)
+	for i := range recs {
+		h := hashing.Mix64(uint64(i) + 1)
+		recs[i] = packet.AFR{
+			Key: packet.FlowKey{
+				SrcIP: uint32(h), DstIP: uint32(h >> 32),
+				SrcPort: uint16(i), DstPort: 443, Proto: packet.ProtoTCP,
+			},
+			Attr: uint64(i%100 + 1),
+			Seq:  uint32(i),
+		}
+	}
+	return recs
+}
+
+// BenchmarkControllerIngestBatch measures the steady-state batched ingest
+// path alone — one IngestAFRs call per iteration, sub-window assembly
+// excluded via StopTimer — at several batch sizes. Run with -benchmem:
+// the pooled steady state must sit at ~0 allocs/op, which the CI
+// bench-regression gate pins against the checked-in baseline.
+func BenchmarkControllerIngestBatch(b *testing.B) {
+	const flowsPerSW = 1 << 16
+	for _, batch := range []int{1, 32, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			ctrl := controller.New(controller.Config{
+				Plan: window.Tumbling(1), Kind: afr.Frequency,
+				Threshold: flowsPerSW + 1, Shards: runtime.GOMAXPROCS(0),
+				ExpectedFlows: flowsPerSW,
+			})
+			recs := benchBase(flowsPerSW)
+			b.ReportAllocs()
+			b.ResetTimer()
+			at, sw := 0, uint64(0)
+			for i := 0; i < b.N; i++ {
+				end := at + batch
+				if end > flowsPerSW {
+					end = flowsPerSW
+				}
+				ctrl.IngestAFRs(recs[at:end])
+				at = end
+				if at == flowsPerSW {
+					// Rotate the sub-window outside the timer: this
+					// benchmark isolates per-batch ingest cost.
+					b.StopTimer()
+					ctrl.FinishSubWindow(sw)
+					sw++
+					for j := range recs {
+						recs[j].SubWindow = sw
+					}
+					at = 0
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "AFRs/s")
+		})
+	}
+}
+
+// BenchmarkCollectorDecodeIngest measures the collector worker loop body:
+// wire-decode one MTU-sized AFR frame into a long-lived packet, then
+// batched controller ingest — the per-datagram cost of the UDP path. Run
+// with -benchmem: the pooled steady state must sit at ~0 allocs/op.
+func BenchmarkCollectorDecodeIngest(b *testing.B) {
+	const (
+		batch    = wire.MaxAFRsPerDatagram
+		flowsPSW = 1 << 14
+		nFrames  = flowsPSW / batch
+	)
+	ctrl := controller.New(controller.Config{
+		Plan: window.Tumbling(1), Kind: afr.Frequency,
+		Threshold: flowsPSW + 1, Shards: runtime.GOMAXPROCS(0),
+		ExpectedFlows: flowsPSW,
+	})
+	recs := benchBase(flowsPSW)
+	frames := make([][]byte, nFrames)
+	encode := func() {
+		for f := 0; f < nFrames; f++ {
+			enc, err := wire.Encode(frames[f][:0], &packet.Packet{OW: packet.OWHeader{
+				Flag: packet.OWAFR, AFRs: recs[f*batch : (f+1)*batch],
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames[f] = enc
+		}
+	}
+	encode()
+	var p packet.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	fi, sw := 0, uint64(0)
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeInto(&p, frames[fi]); err != nil {
+			b.Fatal(err)
+		}
+		ctrl.Receive(&p)
+		fi++
+		if fi == nFrames {
+			b.StopTimer()
+			ctrl.FinishSubWindow(sw)
+			sw++
+			for j := range recs {
+				recs[j].SubWindow = sw
+			}
+			encode()
+			fi = 0
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "AFRs/s")
 }
 
 // BenchmarkSketchZoo compares every heavy-hitter-capable sketch in the

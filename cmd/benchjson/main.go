@@ -17,7 +17,10 @@
 //
 //	benchjson -compare BENCH_PR4.json BENCH_NOW.json -tolerance 0.15
 //
-// exits 1 if any benchmark's ns/op grew by more than 15%. Improvements,
+// exits 1 if any benchmark's ns/op grew by more than 15%, or if any
+// benchmark's allocs/op grew past the same fractional tolerance when both
+// documents carry -benchmem data (a 0 allocs/op baseline therefore pins
+// the benchmark at zero: any new allocation fails the gate). Improvements,
 // added and removed benchmarks are reported but never fail the gate.
 package main
 
@@ -189,8 +192,11 @@ func loadDoc(path string) (Output, error) {
 }
 
 // compareDocs writes one line per benchmark and returns true if any shared
-// benchmark regressed past tolerance. Benchmarks only in one document are
-// listed but never fail the gate (renames and additions are routine).
+// benchmark regressed past tolerance — in ns/op, or in allocs/op when both
+// documents carry -benchmem data. An allocs/op baseline of 0 allows 0:
+// zero-allocation hot paths stay pinned at zero. Benchmarks only in one
+// document are listed but never fail the gate (renames and additions are
+// routine).
 func compareDocs(w io.Writer, baseline, current Output, tolerance float64) bool {
 	base := make(map[string]Result, len(baseline.Benchmarks))
 	for _, r := range baseline.Benchmarks {
@@ -222,8 +228,17 @@ func compareDocs(w io.Writer, baseline, current Output, tolerance float64) bool 
 			verdict = "REGRESSED"
 			regressed = true
 		}
-		fmt.Fprintf(w, "  %-9s %-45s %14.0f → %14.0f ns/op  (%+.1f%%, tolerance +%.0f%%)\n",
-			verdict, name, b.NsPerOp, c.NsPerOp, delta*100, tolerance*100)
+		allocs := ""
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			allowed := int64(float64(*b.AllocsPerOp) * (1 + tolerance))
+			if *c.AllocsPerOp > allowed {
+				verdict = "REGRESSED"
+				regressed = true
+			}
+			allocs = fmt.Sprintf("  %d → %d allocs/op", *b.AllocsPerOp, *c.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "  %-9s %-45s %14.0f → %14.0f ns/op  (%+.1f%%, tolerance +%.0f%%)%s\n",
+			verdict, name, b.NsPerOp, c.NsPerOp, delta*100, tolerance*100, allocs)
 	}
 	removed := make([]string, 0)
 	for name := range base {

@@ -94,6 +94,75 @@ func TestCompareDetectsRegression(t *testing.T) {
 	}
 }
 
+// iptr builds an *int64 literal for Result benchmem fields.
+func iptr(n int64) *int64 { return &n }
+
+// TestCompareDetectsAllocRegression: when both documents carry -benchmem
+// data, allocs/op growth past the tolerance fails the gate even with
+// flat ns/op — GC pressure is a regression in its own right.
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	baseline := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: iptr(100)},
+	}}
+	current := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: iptr(130)}, // +30% > 15%
+	}}
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb,
+		writeDoc(t, "base.json", baseline), writeDoc(t, "cur.json", current), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("+30%% allocs/op at 15%% tolerance not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "100 → 130 allocs/op") {
+		t.Errorf("report missing the allocs movement:\n%s", sb.String())
+	}
+}
+
+// TestCompareZeroAllocBaselinePinned: a 0 allocs/op baseline allows no
+// allocations at all — this is the zero-allocation hot-path pin.
+func TestCompareZeroAllocBaselinePinned(t *testing.T) {
+	baseline := Output{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: iptr(0)},
+	}}
+	current := Output{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: iptr(1)},
+	}}
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb,
+		writeDoc(t, "base.json", baseline), writeDoc(t, "cur.json", current), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("0 → 1 allocs/op not flagged:\n%s", sb.String())
+	}
+}
+
+// TestCompareAllocsWithinToleranceAndMissing: allocs inside the tolerance
+// pass, and a document without benchmem data never trips the alloc gate.
+func TestCompareAllocsWithinToleranceAndMissing(t *testing.T) {
+	baseline := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: iptr(100)},
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: iptr(5)},
+	}}
+	current := Output{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: iptr(110)}, // +10% < 15%
+		{Name: "BenchmarkB", NsPerOp: 1000},                         // no -benchmem this run
+	}}
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb,
+		writeDoc(t, "base.json", baseline), writeDoc(t, "cur.json", current), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("tolerated/missing allocs flagged:\n%s", sb.String())
+	}
+}
+
 // TestCompareWithinTolerance: movement inside the tolerance passes.
 func TestCompareWithinTolerance(t *testing.T) {
 	baseline := Output{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,10 +25,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 1-10, 'ablations' or 'all'")
-	seed := flag.Int64("seed", 2023, "random seed")
-	scale := flag.String("scale", "small", "workload scale: 'small' or 'tiny'")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, runs the selected
+// experiments, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("omnibench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: 1-10, 'ablations' or 'all'")
+	seed := fs.Int64("seed", 2023, "random seed")
+	scale := fs.String("scale", "small", "workload scale: 'small' or 'tiny'")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -36,70 +47,73 @@ func main() {
 	case "tiny":
 		sc = experiments.TinyScale(*seed)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scale %q\n", *scale)
+		return 2
 	}
 
+	section := func(title string) {
+		fmt.Fprintf(stdout, "\n=== %s ===\n", title)
+	}
 	runners := map[string]func(){
 		"1": func() {
 			section("Exp#1 — query-driven telemetry accuracy (Figure 7)")
-			fmt.Print(experiments.RunExp1(sc).Table())
+			fmt.Fprint(stdout, experiments.RunExp1(sc).Table())
 		},
 		"2": func() {
 			section("Exp#2 — sketch-based algorithms (Figure 8)")
-			fmt.Print(experiments.RunExp2(sc).Table())
+			fmt.Fprint(stdout, experiments.RunExp2(sc).Table())
 		},
 		"3": func() {
 			section("Exp#3 — DML case study via user-defined signals (Figure 9)")
 			res := experiments.RunExp3(dml.DefaultConfig(*seed))
-			fmt.Printf("max in-network measurement error: %.4f\n", res.MaxRelError())
-			fmt.Print(res.Table())
+			fmt.Fprintf(stdout, "max in-network measurement error: %.4f\n", res.MaxRelError())
+			fmt.Fprint(stdout, res.Table())
 		},
 		"4": func() {
 			section("Exp#4 — controller time breakdown O1-O5 (Figure 10)")
-			fmt.Print(experiments.RunExp4(sc).Table())
+			fmt.Fprint(stdout, experiments.RunExp4(sc).Table())
 		},
 		"5": func() {
 			section("Exp#5 — switch resource breakdown (Table 2)")
-			fmt.Print(experiments.RunExp5(sc).Table())
+			fmt.Fprint(stdout, experiments.RunExp5(sc).Table())
 		},
 		"6": func() {
 			section("Exp#6 — AFR generation & collection time (Figure 11)")
 			passes, afrs := experiments.ValidateExp6Passes(4096, 16)
-			fmt.Printf("functional check: %d passes enumerated %d AFRs\n", passes, afrs)
-			fmt.Print(experiments.RunExp6(experiments.DefaultExp6Config()).Table())
+			fmt.Fprintf(stdout, "functional check: %d passes enumerated %d AFRs\n", passes, afrs)
+			fmt.Fprint(stdout, experiments.RunExp6(experiments.DefaultExp6Config()).Table())
 		},
 		"7": func() {
 			section("Exp#7 — AFR aggregation time, 1M flows (Figure 12)")
-			fmt.Print(experiments.RunExp7(1 << 20).Table())
+			fmt.Fprint(stdout, experiments.RunExp7(1<<20).Table())
 		},
 		"8": func() {
 			section("Exp#8 — in-switch reset time (Figure 13)")
 			passes, clean := experiments.ValidateExp8Reset(4, 4096, 16)
-			fmt.Printf("functional check: %d passes, registers clean: %v\n", passes, clean)
-			fmt.Print(experiments.RunExp8(65536, switchsim.DefaultCosts()).Table())
+			fmt.Fprintf(stdout, "functional check: %d passes, registers clean: %v\n", passes, clean)
+			fmt.Fprint(stdout, experiments.RunExp8(65536, switchsim.DefaultCosts()).Table())
 		},
 		"9": func() {
 			section("Exp#9 — window consistency vs PTP deviation (Figure 14)")
-			fmt.Print(experiments.RunExp9(experiments.DefaultExp9Config(*seed)).Table())
+			fmt.Fprint(stdout, experiments.RunExp9(experiments.DefaultExp9Config(*seed)).Table())
 		},
 		"10": func() {
 			section("Exp#10 — accuracy under different window sizes (Figure 15)")
-			fmt.Print(experiments.RunExp10(sc).Table())
+			fmt.Fprint(stdout, experiments.RunExp10(sc).Table())
 		},
 		"zoo": func() {
 			section("Extension — heavy-hitter sketch zoo under OmniWindow")
-			fmt.Print(experiments.RunSketchZoo(sc).Table())
+			fmt.Fprint(stdout, experiments.RunSketchZoo(sc).Table())
 		},
 		"ablations": func() {
 			section("Ablation A1 — sub-window merge strategies (§4.1)")
-			fmt.Print(experiments.RunAblationMerge(sc).Table())
+			fmt.Fprint(stdout, experiments.RunAblationMerge(sc).Table())
 			section("Ablation A2 — SALU layout (§6)")
-			fmt.Print(experiments.RunAblationSALU(4, 65536, 2).Table())
+			fmt.Fprint(stdout, experiments.RunAblationSALU(4, 65536, 2).Table())
 			section("Ablation A3 — flowkey array size (Algorithm 1)")
-			fmt.Print(experiments.RunAblationFlowkey(sc, []int{1024, 4096, 16384}).Table())
+			fmt.Fprint(stdout, experiments.RunAblationFlowkey(sc, []int{1024, 4096, 16384}).Table())
 			section("Ablation A5 — sub-windows per window")
-			fmt.Print(experiments.RunAblationSubWindows(sc, []int{2, 5, 10}).Table())
+			fmt.Fprint(stdout, experiments.RunAblationSubWindows(sc, []int{2, 5, 10}).Table())
 		},
 	}
 
@@ -110,16 +124,13 @@ func main() {
 	}
 	start := time.Now()
 	for _, name := range selected {
-		run, ok := runners[name]
+		runner, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want 1-10, 'ablations' or 'all')\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q (want 1-10, 'ablations' or 'all')\n", name)
+			return 2
 		}
-		run()
+		runner()
 	}
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-func section(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Fprintf(stdout, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

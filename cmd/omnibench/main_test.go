@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleExperiment: one cheap experiment at tiny scale completes
+// and prints its section header plus the timing trailer.
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "5", "-scale", "tiny"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"=== Exp#5", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunExperimentList: a comma list runs each named experiment in order.
+func TestRunExperimentList(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "5,8", "-scale", "tiny"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	i5 := strings.Index(got, "=== Exp#5")
+	i8 := strings.Index(got, "=== Exp#8")
+	if i5 < 0 || i8 < 0 || i8 < i5 {
+		t.Errorf("experiments missing or out of order (Exp#5 at %d, Exp#8 at %d):\n%s", i5, i8, got)
+	}
+}
+
+// TestRunErrors: unknown scale, unknown experiment and bad flags all exit 2.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown scale", []string{"-exp", "5", "-scale", "huge"}, `unknown scale "huge"`},
+		{"unknown experiment", []string{"-exp", "99", "-scale", "tiny"}, `unknown experiment "99"`},
+		{"bad flag", []string{"-seed", "notanumber"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, errb.String())
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -25,25 +26,41 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "replay this .owtr trace (default: generate one)")
-	seed := flag.Int64("seed", 42, "seed for the generated trace")
-	flows := flag.Int("flows", 10000, "background flows of the generated trace")
-	duration := flag.Duration("duration", 2500*time.Millisecond, "generated trace length")
-	app := flag.String("app", "heavy", "telemetry app: heavy | bytes | spread")
-	windowLen := flag.Duration("window", 500*time.Millisecond, "window length")
-	slide := flag.Duration("slide", 100*time.Millisecond, "slide (equal to -window for tumbling)")
-	subWindow := flag.Duration("subwindow", 100*time.Millisecond, "sub-window length")
-	threshold := flag.Uint64("threshold", 300, "detection threshold")
-	memKB := flag.Int("mem", 256, "per-sub-window sketch memory (KB)")
-	top := flag.Int("top", 10, "print at most this many detections per window")
-	rdma := flag.Bool("rdma", false, "use the RDMA collection path")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, replays the trace,
+// prints results to stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("owreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "replay this .owtr trace (default: generate one)")
+	seed := fs.Int64("seed", 42, "seed for the generated trace")
+	flows := fs.Int("flows", 10000, "background flows of the generated trace")
+	duration := fs.Duration("duration", 2500*time.Millisecond, "generated trace length")
+	app := fs.String("app", "heavy", "telemetry app: heavy | bytes | spread")
+	windowLen := fs.Duration("window", 500*time.Millisecond, "window length")
+	slide := fs.Duration("slide", 100*time.Millisecond, "slide (equal to -window for tumbling)")
+	subWindow := fs.Duration("subwindow", 100*time.Millisecond, "sub-window length")
+	threshold := fs.Uint64("threshold", 300, "detection threshold")
+	memKB := fs.Int("mem", 256, "per-sub-window sketch memory (KB)")
+	top := fs.Int("top", 10, "print at most this many detections per window")
+	rdma := fs.Bool("rdma", false, "use the RDMA collection path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "owreplay: %v\n", err)
+		return 1
+	}
 
 	var pkts []packet.Packet
 	if *in != "" {
 		var err error
 		pkts, err = trace.ReadFile(*in)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		if n := len(pkts); n > 0 {
 			*duration = time.Duration(pkts[n-1].Time + 1)
 		}
@@ -55,12 +72,12 @@ func main() {
 	}
 
 	if *subWindow <= 0 {
-		fatal(fmt.Errorf("sub-window (%v) must be positive", *subWindow))
+		return fail(fmt.Errorf("sub-window (%v) must be positive", *subWindow))
 	}
 	size := int(*windowLen / *subWindow)
 	slideSub := int(*slide / *subWindow)
 	if size < 1 || slideSub < 1 || *windowLen%*subWindow != 0 || *slide%*subWindow != 0 {
-		fatal(fmt.Errorf("window (%v) and slide (%v) must be positive multiples of the sub-window (%v)",
+		return fail(fmt.Errorf("window (%v) and slide (%v) must be positive multiples of the sub-window (%v)",
 			*windowLen, *slide, *subWindow))
 	}
 
@@ -98,20 +115,22 @@ func main() {
 		}
 		cfg.KeyOf = func(p *packet.Packet) (packet.FlowKey, bool) { return p.Key.SrcHostKey(), true }
 	default:
-		fatal(fmt.Errorf("unknown app %q (want heavy | bytes | spread)", *app))
+		return fail(fmt.Errorf("unknown app %q (want heavy | bytes | spread)", *app))
 	}
 	cfg.CaptureValues = true
 	cfg.Tracker = afr.TrackerConfig{BufferKeys: 16384, BloomBits: 1 << 20, BloomHashes: 3}
 
 	d, err := omniwindow.New(cfg)
-	fatal(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	start := time.Now()
 	results := d.RunFor(pkts, int64(*duration))
 	elapsed := time.Since(start)
 
 	st := d.Stats()
-	fmt.Printf("replayed %d packets in %v (%.0f ns/pkt); %d sub-windows, %d AFRs, worst C&R %v\n\n",
+	fmt.Fprintf(stdout, "replayed %d packets in %v (%.0f ns/pkt); %d sub-windows, %d AFRs, worst C&R %v\n\n",
 		st.Packets, elapsed.Round(time.Millisecond),
 		float64(elapsed.Nanoseconds())/float64(maxInt(st.Packets, 1)),
 		st.SubWindows, st.AFRs, st.MaxCollectVirtual)
@@ -120,17 +139,18 @@ func main() {
 		if len(w.Detected) == 0 {
 			continue
 		}
-		fmt.Printf("window [sub %d..%d] — %d detections\n", w.Start, w.End, len(w.Detected))
+		fmt.Fprintf(stdout, "window [sub %d..%d] — %d detections\n", w.Start, w.End, len(w.Detected))
 		det := append([]packet.FlowKey(nil), w.Detected...)
 		sort.Slice(det, func(i, j int) bool { return w.Values[det[i]] > w.Values[det[j]] })
 		for i, k := range det {
 			if i >= *top {
-				fmt.Printf("  ... %d more\n", len(det)-*top)
+				fmt.Fprintf(stdout, "  ... %d more\n", len(det)-*top)
 				break
 			}
-			fmt.Printf("  %-45s %d\n", k, w.Values[k])
+			fmt.Fprintf(stdout, "  %-45s %d\n", k, w.Values[k])
 		}
 	}
+	return 0
 }
 
 func maxInt(a, b int) int {
@@ -138,11 +158,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "owreplay: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -21,22 +22,32 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "random seed")
-	flows := flag.Int("flows", 20000, "background flow count")
-	duration := flag.Duration("duration", 2500*time.Millisecond, "trace duration")
-	subWindow := flag.Duration("subwindow", 100*time.Millisecond, "sub-window for the summary")
-	anomalies := flag.Bool("anomalies", true, "inject the Exp#1 anomaly schedule")
-	out := flag.String("out", "", "save the trace to this .owtr file")
-	in := flag.String("in", "", "summarize an existing .owtr file instead of generating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, generates (or loads)
+// and summarizes the trace, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 42, "random seed")
+	flows := fs.Int("flows", 20000, "background flow count")
+	duration := fs.Duration("duration", 2500*time.Millisecond, "trace duration")
+	subWindow := fs.Duration("subwindow", 100*time.Millisecond, "sub-window for the summary")
+	anomalies := fs.Bool("anomalies", true, "inject the Exp#1 anomaly schedule")
+	out := fs.String("out", "", "save the trace to this .owtr file")
+	in := fs.String("in", "", "summarize an existing .owtr file instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var pkts []packet.Packet
 	if *in != "" {
 		var err error
 		pkts, err = trace.ReadFile(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
 		if n := len(pkts); n > 0 {
 			*duration = time.Duration(pkts[n-1].Time + 1)
@@ -53,14 +64,18 @@ func main() {
 		pkts = trace.New(cfg).Generate()
 		if *out != "" {
 			if err := trace.WriteFile(*out, pkts); err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "tracegen: %v\n", err)
+				return 1
 			}
-			fmt.Printf("wrote %s\n", *out)
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
 		}
 	}
 
-	fmt.Printf("trace: %d packets, %v\n", len(pkts), *duration)
+	fmt.Fprintf(stdout, "trace: %d packets, %v\n", len(pkts), *duration)
+	if len(pkts) == 0 {
+		fmt.Fprintln(stderr, "tracegen: empty trace, nothing to summarize")
+		return 1
+	}
 
 	// Per-sub-window summary.
 	subNs := int64(*subWindow)
@@ -82,9 +97,9 @@ func main() {
 		}
 		sizes[pkts[i].Key]++
 	}
-	fmt.Printf("\n%-10s %10s %10s\n", "sub-win", "packets", "flows")
+	fmt.Fprintf(stdout, "\n%-10s %10s %10s\n", "sub-win", "packets", "flows")
 	for i, s := range stats {
-		fmt.Printf("%-10d %10d %10d\n", i, s.pkts, len(s.flows))
+		fmt.Fprintf(stdout, "%-10d %10d %10d\n", i, s.pkts, len(s.flows))
 	}
 
 	// Flow-size tail.
@@ -93,11 +108,12 @@ func main() {
 		all = append(all, n)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(all)))
-	fmt.Printf("\nflows: %d total; top sizes:", len(all))
+	fmt.Fprintf(stdout, "\nflows: %d total; top sizes:", len(all))
 	for i := 0; i < 10 && i < len(all); i++ {
-		fmt.Printf(" %d", all[i])
+		fmt.Fprintf(stdout, " %d", all[i])
 	}
 	median := all[len(all)/2]
-	fmt.Printf("\nmedian flow size: %d packets (heavy-tailed: top/median = %.0fx)\n",
+	fmt.Fprintf(stdout, "\nmedian flow size: %d packets (heavy-tailed: top/median = %.0fx)\n",
 		median, float64(all[0])/float64(median))
+	return 0
 }

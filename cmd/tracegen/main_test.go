@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunGenerateSummarizes: a small generated trace prints the packet
+// count, the per-sub-window table and the flow-size tail.
+func TestRunGenerateSummarizes(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-flows", "100", "-duration", "300ms", "-anomalies=false"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"trace:", "sub-win", "packets", "flows", "median flow size:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunWriteThenRead: -out persists a trace that -in can summarize back.
+func TestRunWriteThenRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.owtr")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-flows", "100", "-duration", "300ms", "-anomalies=false", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing write confirmation:\n%s", out.String())
+	}
+	firstTrace := out.String()[strings.Index(out.String(), "trace:"):]
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-in", path}, &out, &errb); code != 0 {
+		t.Fatalf("readback exit %d, stderr: %s", code, errb.String())
+	}
+	readTrace := out.String()[strings.Index(out.String(), "trace:"):]
+	// Byte-identical summary: same packets, same windows, same tail.
+	if firstTrace != readTrace {
+		t.Errorf("readback summary differs:\n--- generated\n%s\n--- readback\n%s", firstTrace, readTrace)
+	}
+}
+
+// TestRunErrors: missing input file and bad flags map to exit codes 1 and 2.
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "nope.owtr")}, &out, &errb); code != 1 {
+		t.Errorf("missing -in file: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "tracegen:") {
+		t.Errorf("missing error prefix: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-flows", "lots"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag value: exit %d, want 2", code)
+	}
+}

@@ -569,12 +569,25 @@ func (d *Deployment) deliverAFRsOnce(c *packet.Packet) {
 	}
 }
 
-// ingestByApp routes records to their app's controller.
+// ingestByApp routes records to their app's controller, batched per app
+// so each controller sees one IngestAFRs call per delivered packet
+// instead of one per record. The staging slices are deployment-held
+// scratch, reused across packets.
 func (d *Deployment) ingestByApp(recs []packet.AFR) {
+	if d.appParts == nil {
+		d.appParts = make([][]packet.AFR, len(d.ctrls))
+	}
 	for _, r := range recs {
 		if int(r.App) < len(d.ctrls) {
-			d.ctrls[r.App].IngestAFRs([]packet.AFR{r})
+			d.appParts[r.App] = append(d.appParts[r.App], r)
 		}
+	}
+	for app, part := range d.appParts {
+		if len(part) == 0 {
+			continue
+		}
+		d.ctrls[app].IngestAFRs(part)
+		d.appParts[app] = part[:0]
 	}
 }
 

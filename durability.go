@@ -21,26 +21,38 @@ import (
 // logBatch appends one delivered AFR packet's records to the write-ahead
 // log, grouped per controller shard (matching the table partitioning) and
 // per sub-window (one WAL frame describes one sub-window's records).
+// Grouping runs over deployment-held scratch (walKeys/walParts) that is
+// reused across packets: the group count is tiny (shards × live
+// sub-windows), so a linear key scan beats a per-packet map allocation.
 func (d *Deployment) logBatch(c *packet.Packet) {
 	if d.store == nil || d.storeErr != nil || d.crashed || len(c.OW.AFRs) == 0 {
 		return
 	}
 	retrans := c.OW.Flag == packet.OWRetransmit
-	type gk struct {
-		shard int
-		sw    uint64
-	}
-	groups := make(map[gk][]packet.AFR)
-	var order []gk
+	keys, parts := d.walKeys[:0], d.walParts
 	for _, r := range c.OW.AFRs {
-		k := gk{hashing.Shard(r.Key, d.ckptShards), r.SubWindow}
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
+		k := walKey{hashing.Shard(r.Key, d.ckptShards), r.SubWindow}
+		gi := -1
+		for i := range keys {
+			if keys[i] == k {
+				gi = i
+				break
+			}
 		}
-		groups[k] = append(groups[k], r)
+		if gi < 0 {
+			gi = len(keys)
+			keys = append(keys, k)
+			if gi == len(parts) {
+				parts = append(parts, nil)
+			}
+		}
+		parts[gi] = append(parts[gi], r)
 	}
-	for _, k := range order {
-		if err := d.store.AppendBatch(k.shard, k.sw, retrans, groups[k]); err != nil {
+	d.walKeys, d.walParts = keys, parts
+	for i, k := range keys {
+		err := d.store.AppendBatch(k.shard, k.sw, retrans, parts[i])
+		parts[i] = parts[i][:0]
+		if err != nil {
 			d.storeErr = err
 			return
 		}

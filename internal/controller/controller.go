@@ -16,6 +16,7 @@ package controller
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"omniwindow/internal/metrics"
 	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
+	"omniwindow/internal/pool"
 	"omniwindow/internal/window"
 )
 
@@ -55,6 +57,11 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 preserves the exact sequential behaviour
 	// (no worker goroutines are spawned).
 	Shards int
+	// ExpectedFlows hints the per-sub-window flow population, pre-sizing
+	// each shard's key-value table and its first pending batch so the
+	// warm-up ramp does not rehash/regrow under load. 0 means unknown
+	// (tables start empty and size on demand); it never bounds anything.
+	ExpectedFlows int
 }
 
 // contrib is one sub-window's contribution to a flow.
@@ -80,6 +87,113 @@ type shard struct {
 	mu      sync.Mutex
 	table   map[packet.FlowKey]*entry
 	pending map[uint64][]packet.AFR
+	// prevCard is the record count the last finished sub-window drained
+	// from this shard. A new sub-window's pending slice is pre-sized from
+	// it (steady traffic repeats its cardinality), so appends stay within
+	// one pool-classed allocation instead of regrowing per batch.
+	prevCard int
+}
+
+// pendingFor returns sub-window sw's pending slice, creating it from the
+// pool pre-sized to max(hint, prevCard) on first use. Caller holds s.mu
+// and must store the appended-to result back into s.pending[sw].
+func (s *shard) pendingFor(sw uint64, hint int) []packet.AFR {
+	p, ok := s.pending[sw]
+	if !ok {
+		if hint < s.prevCard {
+			hint = s.prevCard
+		}
+		p = pool.GetAFRs(hint)
+	}
+	return p
+}
+
+// seqSet tracks the AFR sequence numbers seen in one sub-window. Switch
+// sequence spaces are dense (0..expected-1), so the set is a growable
+// bitset — one bit per record where the map it replaced paid tens of bytes
+// per entry — with a spill map for hostile/garbage sequence numbers above
+// the dense bound so a single corrupt frame cannot balloon the words
+// array. Iteration (export, gap scans) is naturally in ascending order.
+type seqSet struct {
+	words    []uint64
+	n        int
+	overflow map[uint32]struct{}
+}
+
+// maxDenseSeq bounds the bitset-backed range: 1<<22 sequences cost at most
+// 512 KiB of words. Anything above (no real sub-window announces that many
+// AFRs) lands in the overflow map.
+const maxDenseSeq = 1 << 22
+
+// add inserts seq, reporting whether it was absent.
+func (s *seqSet) add(seq uint32) bool {
+	if seq >= maxDenseSeq {
+		if _, dup := s.overflow[seq]; dup {
+			return false
+		}
+		if s.overflow == nil {
+			s.overflow = make(map[uint32]struct{})
+		}
+		s.overflow[seq] = struct{}{}
+		s.n++
+		return true
+	}
+	w := int(seq >> 6)
+	if w >= len(s.words) {
+		// The region [len, cap) is zero by construction: words only ever
+		// grows (freshly made backing arrays are zeroed, and bits are set
+		// only below len), so extending within capacity needs no clearing.
+		if need := w + 1; need <= cap(s.words) {
+			s.words = s.words[:need]
+		} else {
+			grown := make([]uint64, need, 2*need)
+			copy(grown, s.words)
+			s.words = grown
+		}
+	}
+	bit := uint64(1) << (seq & 63)
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	s.n++
+	return true
+}
+
+// has reports whether seq is in the set.
+func (s *seqSet) has(seq uint32) bool {
+	if seq >= maxDenseSeq {
+		_, ok := s.overflow[seq]
+		return ok
+	}
+	w := int(seq >> 6)
+	return w < len(s.words) && s.words[w]&(1<<(seq&63)) != 0
+}
+
+// size is the number of distinct sequences added.
+func (s *seqSet) size() int { return s.n }
+
+// appendSorted appends every sequence in ascending order — bitset words
+// iterate sorted by construction, and every overflow sequence is above the
+// dense bound, so the concatenation is fully sorted. Snapshot encoding
+// depends on this determinism.
+func (s *seqSet) appendSorted(dst []uint32) []uint32 {
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, uint32(w<<6+b))
+			word &^= 1 << b
+		}
+	}
+	if len(s.overflow) > 0 {
+		start := len(dst)
+		for seq := range s.overflow {
+			dst = append(dst, seq)
+		}
+		ovf := dst[start:]
+		sort.Slice(ovf, func(i, j int) bool { return ovf[i] < ovf[j] })
+	}
+	return dst
 }
 
 // dedup is the per-sub-window arrival state shared by every shard: the
@@ -89,7 +203,7 @@ type shard struct {
 // count of records admission control shed under overload.
 type dedup struct {
 	mu        sync.Mutex
-	seen      map[uint32]bool
+	seen      seqSet
 	expected  int
 	recovered int
 	shed      int
@@ -192,6 +306,12 @@ type Controller struct {
 	// merges every shard, so two assemblies must not interleave.
 	finishMu sync.Mutex
 
+	// scratch recycles ingestBatch's routing/partition workspace. An
+	// explicit free list rather than sync.Pool: GC must not drain it, or
+	// the zero-allocs/op steady-state gates would flake.
+	scratchMu   sync.Mutex
+	scratchFree []*ingestScratch
+
 	// obs is the runtime instrumentation handle set (internal/obs). The
 	// zero value is disabled: every handle is nil and every call a
 	// no-op, keeping the hot path untouched. Install with SetObs.
@@ -217,10 +337,15 @@ func NewWithError(cfg Config) (*Controller, error) {
 		spikes:    make(map[uint64]*spikeState),
 		spikeDone: make(map[uint64]int),
 	}
+	perShard := 0
+	if cfg.ExpectedFlows > 0 {
+		perShard = cfg.ExpectedFlows / cfg.Shards
+	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
-			table:   make(map[packet.FlowKey]*entry),
-			pending: make(map[uint64][]packet.AFR),
+			table:    make(map[packet.FlowKey]*entry, perShard),
+			pending:  make(map[uint64][]packet.AFR),
+			prevCard: perShard,
 		}
 	}
 	return c, nil
@@ -263,10 +388,39 @@ func (c *Controller) dedupFor(sw uint64) *dedup {
 	defer c.mu.Unlock()
 	d, ok := c.dedups[sw]
 	if !ok {
-		d = &dedup{seen: make(map[uint32]bool), expected: -1}
+		d = &dedup{expected: -1}
 		c.dedups[sw] = d
 	}
 	return d
+}
+
+// ingestScratch is ingestBatch's reusable workspace: the per-record shard
+// routing and the per-shard survivor partitions. Slices keep their
+// capacity across batches; parts are truncated, never freed.
+type ingestScratch struct {
+	sis   []int
+	parts [][]packet.AFR
+}
+
+func (c *Controller) getScratch() *ingestScratch {
+	c.scratchMu.Lock()
+	n := len(c.scratchFree)
+	if n == 0 {
+		c.scratchMu.Unlock()
+		return &ingestScratch{parts: make([][]packet.AFR, len(c.shards))}
+	}
+	sc := c.scratchFree[n-1]
+	c.scratchFree = c.scratchFree[:n-1]
+	c.scratchMu.Unlock()
+	return sc
+}
+
+func (c *Controller) putScratch(sc *ingestScratch) {
+	c.scratchMu.Lock()
+	if len(c.scratchFree) < 16 {
+		c.scratchFree = append(c.scratchFree, sc)
+	}
+	c.scratchMu.Unlock()
 }
 
 // addCollect charges O1 time to a sub-window (concurrent-safe).
@@ -298,12 +452,7 @@ func (c *Controller) Receive(p *packet.Packet) {
 	start := time.Now()
 	switch p.OW.Flag {
 	case packet.OWAFR, packet.OWRetransmit:
-		retrans := p.OW.Flag == packet.OWRetransmit
-		for _, r := range p.OW.AFRs {
-			c.ingestOne(r, retrans)
-			c.addCollect(r.SubWindow, time.Since(start))
-			start = time.Now()
-		}
+		c.ingestBatch(p.OW.AFRs, p.OW.Flag == packet.OWRetransmit, true)
 	case packet.OWTrigger:
 		d := c.dedupFor(p.OW.SubWindow)
 		d.mu.Lock()
@@ -314,86 +463,97 @@ func (c *Controller) Receive(p *packet.Packet) {
 	}
 }
 
-// ingestOne dedups one record and routes it to its shard. retrans marks
-// records arriving via the NACK/retransmit path, so recovery accounting
-// counts only sequences whose FIRST arrival was a retransmission (a
-// retransmit of a record that also arrived normally is a plain duplicate).
-func (c *Controller) ingestOne(r packet.AFR, retrans bool) {
-	si := c.shardIndex(r.Key)
-	d := c.dedupFor(r.SubWindow)
-	d.mu.Lock()
-	if d.seen[r.Seq] {
-		d.mu.Unlock()
-		c.obs.Duplicates.Inc()
-		return // duplicate delivery
-	}
-	d.seen[r.Seq] = true
-	if retrans {
-		d.recovered++
-	}
-	d.mu.Unlock()
-	c.obs.Ingested.Inc()
-	if retrans {
-		c.obs.Recovered.Inc()
-	}
-	s := c.shards[si]
-	s.mu.Lock()
-	s.pending[r.SubWindow] = append(s.pending[r.SubWindow], r)
-	s.mu.Unlock()
-}
-
 // IngestAFRs adds records directly (the RDMA path delivers memory writes,
 // not packets). Dedup by sequence still applies. Safe for concurrent
 // callers; the batch is hashed lock-free, deduplicated per sub-window,
-// then appended to each shard with one lock acquisition.
+// then appended to each shard with one lock acquisition per (shard,
+// batch).
 func (c *Controller) IngestAFRs(recs []packet.AFR) {
+	c.ingestBatch(recs, false, false)
+}
+
+// ingestBatch is the shared batched ingest under Receive and IngestAFRs:
+// route lock-free, dedup with one lock acquisition per run of equal
+// sub-windows, then append each shard's survivors under one shard lock
+// acquisition per (shard, batch) — where the per-record path took the
+// dedup and shard locks once per AFR. retrans marks records arriving via
+// the NACK/retransmit path, so recovery accounting counts only sequences
+// whose FIRST arrival was a retransmission (a retransmit of a record that
+// also arrived normally is a plain duplicate). charge attributes the
+// elapsed time to O1 Collect (the packet path; direct RDMA ingest is not
+// an O1 receive). recs is not retained: survivors are copied into the
+// shard's pending storage.
+func (c *Controller) ingestBatch(recs []packet.AFR, retrans, charge bool) {
 	if len(recs) == 0 {
 		return
 	}
-	// Route lock-free first so the hash work runs outside any lock.
-	sis := make([]int, len(recs))
-	for i, r := range recs {
-		sis[i] = c.shardIndex(r.Key)
+	start := time.Now()
+	sc := c.getScratch()
+	if cap(sc.sis) < len(recs) {
+		sc.sis = make([]int, len(recs))
 	}
-	// Dedup under the sub-window's lock, partitioning survivors by
-	// shard. Batches are usually single-sub-window, so the lock is
-	// taken once per run of equal sub-windows.
-	parts := make([][]packet.AFR, len(c.shards))
+	sis := sc.sis[:len(recs)]
+	for i := range recs {
+		sis[i] = c.shardIndex(recs[i].Key)
+	}
+	parts := sc.parts
 	var d *dedup
 	var dsw uint64
-	var admitted, dups int64
-	for i, r := range recs {
+	var admitted, dups, recovered int64
+	for i := range recs {
+		r := &recs[i]
 		if d == nil || r.SubWindow != dsw {
 			if d != nil {
 				d.mu.Unlock()
+				if charge {
+					c.addCollect(dsw, time.Since(start))
+					start = time.Now()
+				}
 			}
 			d, dsw = c.dedupFor(r.SubWindow), r.SubWindow
 			d.mu.Lock()
 		}
-		if d.seen[r.Seq] {
+		if !d.seen.add(r.Seq) {
 			dups++
-			continue
+			continue // duplicate delivery
 		}
-		d.seen[r.Seq] = true
+		if retrans {
+			d.recovered++
+			recovered++
+		}
 		admitted++
-		parts[sis[i]] = append(parts[sis[i]], r)
+		parts[sis[i]] = append(parts[sis[i]], *r)
 	}
 	if d != nil {
 		d.mu.Unlock()
+		if charge {
+			c.addCollect(dsw, time.Since(start))
+		}
 	}
 	c.obs.Ingested.Add(admitted)
 	c.obs.Duplicates.Add(dups)
+	if recovered > 0 {
+		c.obs.Recovered.Add(recovered)
+	}
 	for si, part := range parts {
 		if len(part) == 0 {
 			continue
 		}
 		s := c.shards[si]
 		s.mu.Lock()
-		for _, r := range part {
-			s.pending[r.SubWindow] = append(s.pending[r.SubWindow], r)
+		// Append runs of equal sub-windows so each run costs one map
+		// lookup; pendingFor pre-sizes a new sub-window's slice from the
+		// previous one's cardinality.
+		for j, k := 0, 0; j < len(part); j = k {
+			sw := part[j].SubWindow
+			for k = j + 1; k < len(part) && part[k].SubWindow == sw; k++ {
+			}
+			s.pending[sw] = append(s.pendingFor(sw, k-j), part[j:k]...)
 		}
 		s.mu.Unlock()
+		parts[si] = part[:0]
 	}
+	c.putScratch(sc)
 }
 
 // spikeID identifies one latency-spike packet copy within its stamped
@@ -464,7 +624,7 @@ func (c *Controller) IngestSpike(p *packet.Packet, attr uint64) bool {
 	// (or collide with) AFR sequence numbers in loss accounting.
 	s := c.shards[c.shardIndex(p.Key)]
 	s.mu.Lock()
-	s.pending[sw] = append(s.pending[sw], packet.AFR{Key: p.Key, Attr: attr, SubWindow: sw})
+	s.pending[sw] = append(s.pendingFor(sw, 1), packet.AFR{Key: p.Key, Attr: attr, SubWindow: sw})
 	s.mu.Unlock()
 	c.obs.Spikes.Inc()
 	return true
@@ -506,7 +666,7 @@ func (c *Controller) MissingSeqs(sw uint64) []uint32 {
 	}
 	var missing []uint32
 	for s := 0; s < d.expected; s++ {
-		if !d.seen[uint32(s)] {
+		if !d.seen.has(uint32(s)) {
 			missing = append(missing, uint32(s))
 		}
 	}
@@ -518,10 +678,10 @@ func (c *Controller) MissingSeqs(sw uint64) []uint32 {
 func snapshotReliability(d *dedup) metrics.Reliability {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	r := metrics.Reliability{Expected: d.expected, Received: len(d.seen), Recovered: d.recovered, Shed: d.shed}
+	r := metrics.Reliability{Expected: d.expected, Received: d.seen.size(), Recovered: d.recovered, Shed: d.shed}
 	if d.expected >= 0 {
 		for s := 0; s < d.expected; s++ {
-			if !d.seen[uint32(s)] {
+			if !d.seen.has(uint32(s)) {
 				r.Missing++
 			}
 		}
@@ -652,6 +812,12 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 			e.merged.Absorb(r.Attr, r.Distinct, r.HasDistinct)
 		}
 		o23s[i].merge = time.Since(start)
+
+		// The drained slice's job is done (contributions were copied into
+		// table entries): remember its cardinality to pre-size the next
+		// sub-window, then recycle it.
+		s.prevCard = len(recs)
+		pool.PutAFRs(recs)
 	})
 
 	c.mu.Lock()
@@ -857,6 +1023,7 @@ func (c *Controller) evictShard(s *shard, retire uint64) {
 	}
 	for sw := range s.pending {
 		if sw <= retire {
+			pool.PutAFRs(s.pending[sw])
 			delete(s.pending, sw)
 		}
 	}

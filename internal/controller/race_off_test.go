@@ -1,0 +1,5 @@
+//go:build !race
+
+package controller
+
+const raceEnabled = false

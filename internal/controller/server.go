@@ -10,6 +10,7 @@ import (
 	"omniwindow/internal/metrics"
 	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
+	"omniwindow/internal/pool"
 	"omniwindow/internal/wire"
 )
 
@@ -238,10 +239,17 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 // shed — losing a trigger blinds the gap detector for a whole
 // sub-window), data frames are queued for the workers or shed per the
 // admission policy.
+//
+// Datagram copies come from internal/pool and are owned by exactly one
+// stage at a time: the reader until the queue send, then the ingest worker
+// that decodes and releases them. Shed or inline-handled datagrams are
+// released here. The triage itself uses the allocation-free PeekFlag; the
+// full (map-building) PeekDatagram runs only on the shed path.
 func (c *Collector) readLoop() {
 	defer c.readWG.Done()
 	defer close(c.queue)
 	scratch := make([]byte, 64*1024)
+	var ctl packet.Packet // reused decode target for inline control frames
 	for {
 		n, _, err := c.conn.ReadFrom(scratch)
 		if err != nil {
@@ -250,38 +258,49 @@ func (c *Collector) readLoop() {
 			}
 			continue
 		}
-		d := make([]byte, n)
+		d := pool.GetBuf(n)
 		copy(d, scratch[:n])
 
-		pk, peeked := wire.PeekDatagram(d)
-		if peeked && pk.Flag != packet.OWAFR && pk.Flag != packet.OWRetransmit {
+		flag, peeked := wire.PeekFlag(d)
+		if peeked && flag != packet.OWAFR && flag != packet.OWRetransmit {
 			// Control frame: full CRC-checked decode, delivered inline.
-			if p, err := wire.Decode(d); err == nil {
-				c.sink.Receive(p)
+			// Receive copies what it keeps, so the reused packet and the
+			// pooled buffer are both free again afterwards.
+			if err := wire.DecodeInto(&ctl, d); err == nil {
+				c.sink.Receive(&ctl)
 				c.recvd.Add(1)
 			} else {
 				c.drops.Add(1)
 			}
+			pool.PutBuf(d)
 			continue
 		}
 
 		depth := len(c.queue)
 		if c.policy == ShedRecoverableFirst && depth >= c.watermark &&
-			(!peeked || pk.Flag == packet.OWAFR) {
+			(!peeked || flag == packet.OWAFR) {
 			// Above the watermark: shed recoverable first transmissions
 			// (and unpeekable garbage) to keep room for retransmissions.
-			c.shed(pk, peeked)
+			c.shedData(d)
 			continue
 		}
 		select {
-		case c.queue <- d:
+		case c.queue <- d: // ownership moves to an ingest worker
 		default:
 			// Hard-full: shed whatever this is, but attribute the loss.
 			// Blocking here would push the loss into the kernel buffer
 			// where it is invisible.
-			c.shed(pk, peeked)
+			c.shedData(d)
 		}
 	}
+}
+
+// shedData attributes and releases one data frame the admission policy
+// dropped.
+func (c *Collector) shedData(d []byte) {
+	pk, peeked := wire.PeekDatagram(d)
+	c.shed(pk, peeked)
+	pool.PutBuf(d)
 }
 
 // shed records one dropped data frame: the overrun counter always, and —
@@ -308,13 +327,18 @@ func (c *Collector) shed(pk wire.Peek, peeked bool) {
 // it is (the Drops-vs-Received accounting bug this split fixes).
 func (c *Collector) ingestLoop() {
 	defer c.workWG.Done()
+	// One long-lived packet per worker: DecodeInto reuses its AFR slice
+	// capacity, and Receive copies everything it keeps, so the worker's
+	// steady state allocates nothing.
+	var p packet.Packet
 	for d := range c.queue {
-		p, err := wire.Decode(d)
+		err := wire.DecodeInto(&p, d)
+		pool.PutBuf(d) // the frame is parsed (or rejected); release either way
 		if err != nil {
 			c.drops.Add(1)
 			continue
 		}
-		c.sink.Receive(p)
+		c.sink.Receive(&p)
 		if p.OW.Flag == packet.OWRetransmit {
 			c.recov.Add(1)
 		} else {
@@ -390,13 +414,18 @@ func (c *Collector) Instrument(reg *obs.Registry, labels string) {
 	reg.GaugeFunc(n("omniwindow_collector_table_size"), "flows resident in the controller key-value table", func() int64 { return int64(c.sink.TableSize()) })
 }
 
-// SendDatagram wire-encodes p and sends it to addr over conn — the
-// switch-side transmit helper.
+// SendDatagram wire-encodes p into a pooled buffer and sends it to addr
+// over conn — the switch-side transmit helper. WriteTo does not retain its
+// argument (the fault-injecting wrapper copies before parking datagrams
+// for reorder), so the buffer is released as soon as the send returns.
 func SendDatagram(conn net.PacketConn, addr net.Addr, p *packet.Packet) error {
-	buf, err := wire.Encode(nil, p)
+	buf := pool.GetBuf(wire.EncodedSize(p))
+	enc, err := wire.Encode(buf, p)
 	if err != nil {
+		pool.PutBuf(buf)
 		return err
 	}
-	_, err = conn.WriteTo(buf, addr)
+	_, err = conn.WriteTo(enc, addr)
+	pool.PutBuf(enc)
 	return err
 }

@@ -101,12 +101,10 @@ func (c *Controller) ExportState() *wire.Snapshot {
 			Recovered: uint32(d.recovered),
 			Shed:      uint32(d.shed),
 		}
-		if len(d.seen) > 0 {
-			sd.Seen = make([]uint32, 0, len(d.seen))
-			for seq := range d.seen {
-				sd.Seen = append(sd.Seen, seq)
-			}
-			sort.Slice(sd.Seen, func(i, j int) bool { return sd.Seen[i] < sd.Seen[j] })
+		if n := d.seen.size(); n > 0 {
+			// appendSorted iterates the bitset in ascending order, so the
+			// snapshot bytes stay identical to the sorted-map encoding.
+			sd.Seen = d.seen.appendSorted(make([]uint32, 0, n))
 		}
 		d.mu.Unlock()
 		s.Dedups = append(s.Dedups, sd)
@@ -171,13 +169,12 @@ func (c *Controller) RestoreState(s *wire.Snapshot) {
 	c.lastFin, c.hasFin = s.LastFinished, s.HasFinished
 	for _, sd := range s.Dedups {
 		d := &dedup{
-			seen:      make(map[uint32]bool, len(sd.Seen)),
 			expected:  int(sd.Expected),
 			recovered: int(sd.Recovered),
 			shed:      int(sd.Shed),
 		}
 		for _, seq := range sd.Seen {
-			d.seen[seq] = true
+			d.seen.add(seq)
 		}
 		c.dedups[sd.SW] = d
 	}

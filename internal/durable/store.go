@@ -61,6 +61,7 @@ type Store struct {
 	data []*os.File // per-shard AFR logs
 	ctl  *os.File   // control log
 	dead bool
+	enc  []byte // frame/snapshot encode scratch, reused under mu
 
 	// crash, when set, is consulted at named points inside mutating
 	// operations; returning true aborts the operation with ErrCrash,
@@ -201,7 +202,11 @@ func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
 	if s.dead {
 		return ErrCrash
 	}
-	frame := wire.AppendWALRecord(nil, rec)
+	// Encode into the store's scratch buffer: one steady-state allocation
+	// for the life of the store instead of one per append. Safe because
+	// the frame is fully written (or abandoned) before mu is released.
+	s.enc = wire.AppendWALRecord(s.enc[:0], rec)
+	frame := s.enc
 	if s.crash != nil && s.crash("wal-append") {
 		return s.die(f, frame)
 	}
@@ -263,7 +268,8 @@ func (s *Store) Checkpoint(snap *wire.Snapshot) error {
 		return ErrCrash
 	}
 	snap.ThroughLSN = s.lsn.Load()
-	buf := wire.EncodeSnapshot(nil, snap)
+	s.enc = wire.EncodeSnapshot(s.enc[:0], snap)
+	buf := s.enc
 
 	tmp := filepath.Join(s.dir, checkpointTemp)
 	if s.crash != nil && s.crash("checkpoint-temp") {

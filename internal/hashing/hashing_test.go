@@ -1,6 +1,7 @@
 package hashing
 
 import (
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"testing"
@@ -143,6 +144,32 @@ func TestCRC32CMatchesKnownProperties(t *testing.T) {
 	}
 	if CRC32C(k) == CRC32C(k.Reverse()) {
 		t.Fatal("CRC should differ for reversed key")
+	}
+}
+
+// TestCRC32CMatchesStdlib: the hand-rolled table loop must stay
+// bit-identical to hash/crc32's Castagnoli checksum — shard routing by
+// this value is baked into snapshots and WAL grouping, so a divergence
+// would silently corrupt recovery.
+func TestCRC32CMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		k := randKey(rng)
+		b := k.Bytes()
+		want := crc32.Checksum(b[:], castagnoli)
+		if got := CRC32C(k); got != want {
+			t.Fatalf("CRC32C(%+v) = %#x, stdlib %#x", k, got, want)
+		}
+	}
+}
+
+// TestShardZeroAlloc pins per-record shard routing at zero allocations —
+// it runs once per ingested AFR on the controller's pooled hot path.
+func TestShardZeroAlloc(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 0x0A0B0C0D, DstIP: 0x01020304, SrcPort: 5555, DstPort: 443, Proto: 6}
+	var sink int
+	if allocs := testing.AllocsPerRun(1000, func() { sink += Shard(k, 8) }); allocs != 0 {
+		t.Fatalf("Shard allocated %v per call, want 0 (sink %d)", allocs, sink)
 	}
 }
 

@@ -1,0 +1,298 @@
+// Package pool provides size-classed free lists for the hot-path buffers
+// the telemetry pipeline would otherwise allocate per frame: raw datagram
+// bytes between the collector's socket reader and its ingest workers, and
+// the per-sub-window AFR slices the controller shards accumulate routed
+// records in. Both churn at line rate, so per-record garbage — not the
+// window algorithms — would be the first throughput wall (DESIGN.md,
+// "Hot-path memory model").
+//
+// The free lists are explicit mutex-guarded stacks rather than sync.Pool:
+// a GC cycle must not empty them, because the allocs/op regression gates
+// pin the steady state at zero and a pool that refills after every GC
+// would make those gates flake. Capacity is bounded per class, so a burst
+// can never pin more than a fixed amount of memory.
+//
+// Ownership rules (enforced by the debug checks):
+//
+//   - A Get transfers ownership to the caller; the buffer is theirs until
+//     they Put it back or drop it (dropping leaks nothing — the GC takes
+//     over — but defeats reuse).
+//   - Put transfers ownership to the pool. The caller must not retain any
+//     reference: the next Get may hand the same memory to another
+//     goroutine. Putting the same buffer twice is therefore corruption;
+//     debug mode panics on it.
+//   - Putting a buffer that did not come from a Get is allowed (restored
+//     snapshots feed their slices in), as long as the caller owned it.
+//
+// SetEnabled(false) turns the package into a pass-through (Get allocates
+// fresh, Put discards), which is how the differential suite proves pooled
+// and unpooled runs produce byte-identical windows.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"omniwindow/internal/packet"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled size classes (powers of
+	// two). Requests above the largest class fall through to plain make:
+	// they are not hot-path sized.
+	minClassBits = 6  // 64 bytes / 64 records
+	maxClassBits = 17 // 128 KiB — covers the collector's 64 KiB reads
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxPerClass bounds each class's free list so a burst cannot pin
+	// unbounded memory in the pool.
+	maxPerClass = 256
+)
+
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns pooling on or off globally. Off, Get allocates fresh
+// and Put discards — the unpooled baseline of the differential tests.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether pooling is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counters is a snapshot of the pool's activity, for tests asserting that
+// the steady state actually reuses (News stops growing once warm).
+type Counters struct {
+	Gets  int64 // buffers handed out
+	Puts  int64 // buffers accepted back (retained or dropped)
+	News  int64 // Gets served by a fresh allocation (pool miss)
+	Drops int64 // Puts discarded (class full, oversized, or disabled)
+}
+
+var counters struct {
+	gets, puts, news, drops atomic.Int64
+}
+
+// Stats snapshots the activity counters.
+func Stats() Counters {
+	return Counters{
+		Gets:  counters.gets.Load(),
+		Puts:  counters.puts.Load(),
+		News:  counters.news.Load(),
+		Drops: counters.drops.Load(),
+	}
+}
+
+// classFor returns the smallest class whose capacity fits n, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	c := 0
+	for n > 1<<(minClassBits+c) {
+		c++
+		if c >= numClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// classOf returns the largest class whose capacity is <= c (where a
+// returned buffer still satisfies every Get of that class), or -1 when c
+// is below the smallest class or above the largest (oversized buffers are
+// dropped, not pinned).
+func classOf(c int) int {
+	if c < 1<<minClassBits || c > 1<<maxClassBits {
+		return -1
+	}
+	k := numClasses - 1
+	for c < 1<<(minClassBits+k) {
+		k--
+	}
+	return k
+}
+
+// freelist is one size class's stack. A plain mutex-guarded stack, not a
+// sync.Pool: GC must not drain it (see the package comment).
+type freelist[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+// get pops a buffer with cap >= 1<<(minClassBits+class), or nil.
+func (fl *freelist[T]) get() []T {
+	fl.mu.Lock()
+	n := len(fl.free)
+	if n == 0 {
+		fl.mu.Unlock()
+		return nil
+	}
+	b := fl.free[n-1]
+	fl.free[n-1] = nil
+	fl.free = fl.free[:n-1]
+	fl.mu.Unlock()
+	return b
+}
+
+// put pushes a buffer; reports whether it was retained.
+func (fl *freelist[T]) put(b []T) bool {
+	fl.mu.Lock()
+	if len(fl.free) >= maxPerClass {
+		fl.mu.Unlock()
+		return false
+	}
+	fl.free = append(fl.free, b)
+	fl.mu.Unlock()
+	return true
+}
+
+var (
+	bufClasses [numClasses]freelist[byte]
+	afrClasses [numClasses]freelist[packet.AFR]
+)
+
+// GetBuf returns a byte buffer of length n (capacity possibly larger).
+// Contents are unspecified: the caller overwrites before reading.
+func GetBuf(n int) []byte {
+	counters.gets.Add(1)
+	if c := classFor(n); enabled.Load() && c >= 0 {
+		if b := bufClasses[c].get(); b != nil {
+			debugGet(bufID(b))
+			return b[:n]
+		}
+		counters.news.Add(1)
+		b := make([]byte, n, 1<<(minClassBits+c))
+		debugNew(bufID(b))
+		return b
+	}
+	counters.news.Add(1)
+	return make([]byte, n)
+}
+
+// PutBuf returns a buffer to its size class. The caller must not retain
+// any reference to b afterwards.
+func PutBuf(b []byte) {
+	counters.puts.Add(1)
+	if cap(b) == 0 {
+		return
+	}
+	c := classOf(cap(b))
+	if !enabled.Load() || c < 0 {
+		counters.drops.Add(1)
+		return
+	}
+	retained := bufClasses[c].put(b[:cap(b)])
+	if !retained {
+		counters.drops.Add(1)
+	}
+	debugPut(bufID(b), retained)
+}
+
+// GetAFRs returns an empty AFR slice with capacity at least n, ready to
+// append into.
+func GetAFRs(n int) []packet.AFR {
+	counters.gets.Add(1)
+	if c := classFor(n); enabled.Load() && c >= 0 {
+		if s := afrClasses[c].get(); s != nil {
+			debugGet(afrID(s))
+			return s[:0]
+		}
+		counters.news.Add(1)
+		s := make([]packet.AFR, 0, 1<<(minClassBits+c))
+		debugNew(afrID(s))
+		return s
+	}
+	counters.news.Add(1)
+	return make([]packet.AFR, 0, n)
+}
+
+// PutAFRs returns an AFR slice to its size class (nil is a no-op). The
+// caller must not retain any reference to s afterwards.
+func PutAFRs(s []packet.AFR) {
+	counters.puts.Add(1)
+	if cap(s) == 0 {
+		return
+	}
+	c := classOf(cap(s))
+	if !enabled.Load() || c < 0 {
+		counters.drops.Add(1)
+		return
+	}
+	retained := afrClasses[c].put(s[:0])
+	if !retained {
+		counters.drops.Add(1)
+	}
+	debugPut(afrID(s), retained)
+}
+
+// bufID and afrID identify a buffer by its backing array, stable across
+// reslicing — what the debug double-put check keys on.
+func bufID(b []byte) unsafe.Pointer { return unsafe.Pointer(unsafe.SliceData(b[:cap(b)])) }
+func afrID(s []packet.AFR) unsafe.Pointer {
+	return unsafe.Pointer(unsafe.SliceData(s[:cap(s)]))
+}
+
+// Debug tracking: off by default (one atomic load on the hot path). On, a
+// double Put panics immediately — the failure mode where two owners share
+// one buffer is otherwise a heisenbug — and Outstanding counts buffers
+// handed out but never returned, for leak assertions in tests.
+var debugOn atomic.Bool
+
+var dbg struct {
+	mu    sync.Mutex
+	live  map[unsafe.Pointer]bool // gotten, not yet put
+	freed map[unsafe.Pointer]bool // resident in a free list
+}
+
+// SetDebug toggles leak/double-put tracking. Enabling resets the tracked
+// state; meant for tests, not production (every Get/Put takes a lock).
+func SetDebug(on bool) {
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	debugOn.Store(on)
+	dbg.live = map[unsafe.Pointer]bool{}
+	dbg.freed = map[unsafe.Pointer]bool{}
+}
+
+// Outstanding reports buffers handed out by Get and not yet Put while
+// debug tracking was on — the leak count a test asserts to be zero after
+// a balanced workload.
+func Outstanding() int {
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	return len(dbg.live)
+}
+
+func debugNew(id unsafe.Pointer) {
+	if !debugOn.Load() {
+		return
+	}
+	dbg.mu.Lock()
+	dbg.live[id] = true
+	dbg.mu.Unlock()
+}
+
+func debugGet(id unsafe.Pointer) {
+	if !debugOn.Load() {
+		return
+	}
+	dbg.mu.Lock()
+	delete(dbg.freed, id)
+	dbg.live[id] = true
+	dbg.mu.Unlock()
+}
+
+func debugPut(id unsafe.Pointer, retained bool) {
+	if !debugOn.Load() {
+		return
+	}
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	if dbg.freed[id] {
+		panic("pool: double put — buffer is already in the free list")
+	}
+	delete(dbg.live, id)
+	if retained {
+		dbg.freed[id] = true
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hash/crc32"
 
 	"omniwindow/internal/packet"
+	"omniwindow/internal/pool"
 )
 
 // Magic ("OW" in ASCII) and Version identify OmniWindow datagrams.
@@ -110,16 +111,39 @@ func Encode(buf []byte, p *packet.Packet) ([]byte, error) {
 // Decode parses a datagram produced by Encode into a fresh packet holding
 // only the OmniWindow header (the simulated payload does not travel).
 func Decode(data []byte) (*packet.Packet, error) {
+	p := &packet.Packet{}
+	if err := DecodeInto(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto parses a datagram produced by Encode into p, reusing p's
+// slice capacity instead of allocating per frame — the collector's ingest
+// workers decode every datagram into one long-lived packet, so the steady
+// state allocates nothing. AFR capacity grows through internal/pool (the
+// outgrown slice is returned there), so p's AFR backing may be pool-owned:
+// callers must treat p and its slices as reusable scratch, never retain
+// them past the next DecodeInto, and never PutAFRs them directly.
+//
+// On error p's contents are unspecified; it remains valid scratch for the
+// next call. data is not retained.
+func DecodeInto(p *packet.Packet, data []byte) error {
 	if len(data) < headerSize+sumSize {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if binary.BigEndian.Uint16(data) != magicValue {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if data[2] != Version {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
-	p := &packet.Packet{}
+	// Hold on to the slice capacity across the reset: every other field
+	// zeroes like a fresh packet, matching Decode exactly.
+	afrs := p.OW.AFRs[:0]
+	raws := p.OW.RawWords[:0]
+	seqs := p.OW.Seqs[:0]
+	*p = packet.Packet{}
 	p.OW.Flag = packet.OWFlag(data[3])
 	p.OW.SubWindow = binary.BigEndian.Uint64(data[4:])
 	p.OW.HasSubWindow = data[12] != 0
@@ -139,34 +163,47 @@ func Decode(data []byte) (*packet.Packet, error) {
 	off += 15
 
 	if len(data) != headerSize+nAFR*afrSize+nRaw*8+nSeq*4+sumSize {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	body := data[:len(data)-sumSize]
 	if binary.BigEndian.Uint32(data[len(body):]) != crc32.ChecksumIEEE(body) {
-		return nil, ErrChecksum
+		return ErrChecksum
 	}
 	if nAFR > 0 {
-		p.OW.AFRs = make([]packet.AFR, nAFR)
+		if cap(afrs) < nAFR {
+			pool.PutAFRs(afrs)
+			afrs = pool.GetAFRs(nAFR)
+		}
+		afrs = afrs[:nAFR]
 		for i := 0; i < nAFR; i++ {
-			decodeAFR(data[off:], &p.OW.AFRs[i])
+			decodeAFR(data[off:], &afrs[i])
 			off += afrSize
 		}
+		p.OW.AFRs = afrs
 	}
 	if nRaw > 0 {
-		p.OW.RawWords = make([]uint64, nRaw)
-		for i := range p.OW.RawWords {
-			p.OW.RawWords[i] = binary.BigEndian.Uint64(data[off:])
+		if cap(raws) < nRaw {
+			raws = make([]uint64, nRaw)
+		}
+		raws = raws[:nRaw]
+		for i := range raws {
+			raws[i] = binary.BigEndian.Uint64(data[off:])
 			off += 8
 		}
+		p.OW.RawWords = raws
 	}
 	if nSeq > 0 {
-		p.OW.Seqs = make([]uint32, nSeq)
-		for i := range p.OW.Seqs {
-			p.OW.Seqs[i] = binary.BigEndian.Uint32(data[off:])
+		if cap(seqs) < nSeq {
+			seqs = make([]uint32, nSeq)
+		}
+		seqs = seqs[:nSeq]
+		for i := range seqs {
+			seqs[i] = binary.BigEndian.Uint32(data[off:])
 			off += 4
 		}
+		p.OW.Seqs = seqs
 	}
-	return p, nil
+	return nil
 }
 
 // magicValue aliases Magic internally.
@@ -222,6 +259,17 @@ type Peek struct {
 	// AFRSubWindows maps sub-window -> record count for AFR-bearing
 	// frames (nil when the frame carries none).
 	AFRSubWindows map[uint64]int
+}
+
+// PeekFlag reads only a datagram's frame type, allocation-free — the
+// collector's reader triages every datagram (control vs data) and must not
+// pay PeekDatagram's per-sub-window map for frames it is going to keep.
+// ok is false when the frame is too short or not an OmniWindow datagram.
+func PeekFlag(data []byte) (packet.OWFlag, bool) {
+	if len(data) < headerSize || binary.BigEndian.Uint16(data) != magicValue || data[2] != Version {
+		return 0, false
+	}
+	return packet.OWFlag(data[3]), true
 }
 
 // PeekDatagram inspects data; ok is false when the frame is too short or

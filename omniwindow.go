@@ -65,6 +65,11 @@ type Config struct {
 	// <= 0 defaults to runtime.GOMAXPROCS(0); 1 forces the sequential
 	// controller. Results are identical for every shard count.
 	Shards int
+	// ExpectedFlows hints the number of distinct flows per sub-window, so
+	// controller shard tables and ingest staging are pre-sized instead of
+	// growing through rehashes on the hot path. 0 means no hint; the hint
+	// is advisory only and never changes results.
+	ExpectedFlows int
 	// Preserve is the consistency model's preservation depth (§5): how
 	// many terminated sub-windows stay monitorable so out-of-order packets
 	// can still land in their stamped sub-window. 0 uses the deepest
@@ -340,6 +345,21 @@ type Deployment struct {
 	// a fault-injection hook for exercising the reliability protocol.
 	testAFRLoss func(i int) bool
 	afrPktCount int
+
+	// Hot-path staging scratch, reused across deliveries so steady-state
+	// ingest and WAL grouping allocate nothing (see durability.go logBatch
+	// and deployment.go ingestByApp). Deliveries are single-threaded per
+	// deployment, so plain fields suffice.
+	walKeys  []walKey
+	walParts [][]packet.AFR
+	appParts [][]packet.AFR
+}
+
+// walKey identifies one WAL frame's grouping: (controller shard,
+// sub-window).
+type walKey struct {
+	shard int
+	sw    uint64
 }
 
 // pendingCR is a terminated sub-window awaiting its grace period.
@@ -491,6 +511,7 @@ func New(cfg Config) (*Deployment, error) {
 			DistinctCounter: spec.DistinctCounter,
 			CaptureValues:   spec.CaptureValues,
 			Shards:          cfg.Shards,
+			ExpectedFlows:   cfg.ExpectedFlows,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("omniwindow: app %d controller: %w", i, err)
@@ -560,6 +581,7 @@ func (d *Deployment) openDurability() error {
 		DistinctCounter: spec.DistinctCounter,
 		CaptureValues:   spec.CaptureValues,
 		Shards:          cfg.Shards,
+		ExpectedFlows:   cfg.ExpectedFlows,
 	})
 	if err != nil {
 		return fmt.Errorf("omniwindow: standby controller: %w", err)
