@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test race bench bench-json bench-diff fuzz examples \
 	reproduce fmt vet clean ci fmt-check fuzz-smoke bench-smoke chaos \
-	failover fabric-chaos staticcheck cover nightly microbench
+	failover fabric-chaos rdma-chaos staticcheck cover nightly microbench
 
 all: build vet test
 
@@ -28,6 +28,7 @@ race:
 #	chaos                ↔ job "chaos"
 #	failover             ↔ job "failover"
 #	fabric-chaos         ↔ job "fabric-chaos"
+#	rdma-chaos           ↔ job "rdma-chaos"
 #	staticcheck          ↔ job "staticcheck" (CI installs the binary)
 #	cover                ↔ job "coverage"
 #	fuzz-smoke bench-smoke ↔ job "smoke"
@@ -35,8 +36,8 @@ race:
 #	                       numbers on a loaded dev box false-positive;
 #	                       run it explicitly before perf-sensitive PRs)
 #	nightly              ↔ .github/workflows/nightly.yml (scheduled)
-ci: build vet fmt-check test race chaos failover fabric-chaos staticcheck \
-	cover fuzz-smoke bench-smoke
+ci: build vet fmt-check test race chaos failover fabric-chaos rdma-chaos \
+	staticcheck cover fuzz-smoke bench-smoke
 
 # Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
 # schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
@@ -58,6 +59,13 @@ failover:
 # failure sequence is a reproducible test case.
 fabric-chaos:
 	$(GO) test -race ./internal/fabric/ ./internal/faults/
+
+# RDMA chaos suite: the fault-tolerant transport (QP state machine, PSN
+# replay, mid-window fallback, failover re-registration) under seeded
+# RDMASchedule fault runs, with the race detector. Fixed seeds make every
+# schedule a reproducible test case.
+rdma-chaos:
+	$(GO) test -race -run 'RDMA|Transport' . ./internal/rdma/ ./internal/faults/
 
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
@@ -108,17 +116,17 @@ bench: bench-json
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
 
 # Machine-readable perf numbers for the controller-merge, batched-ingest,
-# collector-decode and fabric hot paths: ns/op, B/op and allocs/op, emitted
-# as BENCH_PR7.json for cross-PR diffing (BENCH_PR4.json and BENCH_PR6.json
-# are earlier snapshots, kept for comparison). The ingest benchmarks carry
-# 0 allocs/op baselines, so the compare gate pins them at zero: any new
-# steady-state allocation on the pooled hot path fails bench-diff.
-BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric
+# collector-decode, fabric and RDMA-collect hot paths: ns/op, B/op and
+# allocs/op, emitted as BENCH_PR8.json for cross-PR diffing (BENCH_PR4,
+# PR6 and PR7 snapshots are kept for comparison). The ingest benchmarks
+# carry 0 allocs/op baselines, so the compare gate pins them at zero: any
+# new steady-state allocation on the pooled hot path fails bench-diff.
+BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric|BenchmarkRDMACollect
 
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # Perf-regression gate: rerun the hot-path benchmarks and fail if any
 # shared benchmark's ns/op or allocs/op grew more than 15% over the
@@ -130,7 +138,7 @@ bench-diff:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json $(BENCH_CURRENT) \
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json $(BENCH_CURRENT) \
 		-tolerance 0.15
 
 # Micro-benchmarks across all packages.
@@ -144,15 +152,16 @@ fuzz:
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 30s ./internal/wire/
 
 # Nightly depth: long fuzz runs on every wire decoder plus the chaos,
-# failover and fabric-chaos suites widened with 10 extra derived seeds
-# per table (faults.ExtraSeeds). Mirrors .github/workflows/nightly.yml;
-# run locally to reproduce a nightly failure.
+# failover, fabric-chaos and rdma-chaos suites widened with 10 extra
+# derived seeds per table (faults.ExtraSeeds). Mirrors
+# .github/workflows/nightly.yml; run locally to reproduce a nightly
+# failure.
 nightly:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 300s ./internal/wire/
-	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos
+	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos rdma-chaos
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -14,14 +14,20 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
+
+	omniwindow "omniwindow"
 
 	"omniwindow/internal/afr"
 	"omniwindow/internal/controller"
 	"omniwindow/internal/dml"
 	"omniwindow/internal/experiments"
+	"omniwindow/internal/faults"
 	"omniwindow/internal/hashing"
 	"omniwindow/internal/packet"
+	"omniwindow/internal/sketch"
 	"omniwindow/internal/switchsim"
+	"omniwindow/internal/telemetry"
 	"omniwindow/internal/window"
 	"omniwindow/internal/wire"
 )
@@ -373,4 +379,70 @@ func BenchmarkSketchZoo(b *testing.B) {
 			b.Logf("Extension (sketch zoo)\n%s", res.Table())
 		}
 	}
+}
+
+// benchRDMATrace builds a deterministic 5-sub-window, 40-flow trace for
+// the RDMA collection benchmarks (sub-windows are 100 ms).
+func benchRDMATrace() []packet.Packet {
+	const ms = int64(time.Millisecond)
+	var pkts []packet.Packet
+	for swi := int64(0); swi < 5; swi++ {
+		at := swi*100*ms + 50*ms
+		for f := 1; f <= 40; f++ {
+			n := 3 + (f+int(swi)*5)%7
+			for i := 0; i < n; i++ {
+				pkts = append(pkts, packet.Packet{
+					Key:  packet.FlowKey{SrcIP: uint32(f), DstIP: 9, SrcPort: uint16(f), DstPort: 443, Proto: packet.ProtoTCP},
+					Size: 100, Seq: uint32(i), Time: at + int64(i)*ms,
+				})
+			}
+		}
+	}
+	return pkts
+}
+
+// benchRDMACollect runs the full RDMA deployment over the fixed trace
+// once per iteration under the given transport fault schedule.
+func benchRDMACollect(b *testing.B, sched *faults.RDMASchedule) {
+	pkts := benchRDMATrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := omniwindow.New(omniwindow.Config{
+			SubWindow: 100 * time.Millisecond,
+			Plan:      window.SlidingPlan(3, 1),
+			Kind:      afr.Frequency,
+			Threshold: 25,
+			AppFactory: func(region int) afr.StateApp {
+				return telemetry.NewFrequencyApp(sketch.NewCountMin(4, 4096, uint64(region+1)), 4096)
+			},
+			Slots:         4096,
+			Tracker:       afr.TrackerConfig{BufferKeys: 1024, BloomBits: 1 << 16, BloomHashes: 3},
+			CaptureValues: true,
+			RDMA:          true,
+			RDMAFaults:    sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := d.RunFor(pkts, 500*int64(time.Millisecond)); len(res) == 0 {
+			b.Fatal("no windows produced")
+		}
+	}
+}
+
+// BenchmarkRDMACollect measures the RDMA collection path end to end —
+// fault-free against a transport that is actively recovering (PSN drops
+// feeding the replay loop plus boundary QP errors forcing fallback). The
+// bench-regression gate tracks both: recovery machinery must not tax the
+// healthy path, and the recovering path must stay within its budget.
+func BenchmarkRDMACollect(b *testing.B) {
+	b.Run("fault-free", func(b *testing.B) {
+		benchRDMACollect(b, nil)
+	})
+	b.Run("recovering", func(b *testing.B) {
+		benchRDMACollect(b, &faults.RDMASchedule{Seed: 1,
+			VerbError: 0.15, PSNDrop: 0.20,
+			QPError: faults.CrashSchedule{Prob: 0.3}})
+	})
 }

@@ -167,6 +167,36 @@ func (s *snapshot) sumMatching(fam string) float64 {
 	return total
 }
 
+// hasFamily reports whether the scrape carries any sample of the family,
+// labeled or not — used to keep optional panels (RDMA) off the screen for
+// deployments that never registered them.
+func (s *snapshot) hasFamily(fam string) bool {
+	for name := range s.values {
+		f := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			f = name[:i]
+		}
+		if f == fam {
+			return true
+		}
+	}
+	return false
+}
+
+// qpStateName maps the omniwindow_rdma_qp_state gauge value onto the
+// transport's state-machine names (rdma.QPState).
+func qpStateName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "RTS"
+	case 1:
+		return "ERROR"
+	case 2:
+		return "RECOVERING"
+	}
+	return "UNKNOWN"
+}
+
 // rate is the per-second increase of a (possibly labeled) counter family
 // between two snapshots; 0 on the first scrape or counter reset.
 func rate(prev, cur *snapshot, fam string) float64 {
@@ -257,6 +287,14 @@ func render(w io.Writer, prev, cur *snapshot, events []traceEvent) {
 			depth,
 			cur.sumMatching("omniwindow_collector_table_size"),
 			cur.sumMatching("omniwindow_collector_decode_failures_total"))
+	}
+	if cur.hasFamily("omniwindow_rdma_qp_state") {
+		fmt.Fprintf(w, "  rdma      QP %-10s retries %.1f/s   fallback %.0f   replayed %.0f   lost %.0f\n",
+			qpStateName(cur.sumMatching("omniwindow_rdma_qp_state")),
+			rate(prev, cur, "omniwindow_rdma_verb_retries_total"),
+			cur.sumMatching("omniwindow_rdma_fallback_afrs_total"),
+			cur.sumMatching("omniwindow_rdma_replayed_total"),
+			cur.sumMatching("omniwindow_rdma_lost_afrs_total"))
 	}
 
 	fmt.Fprintf(w, "\n  latency          p50        p90        p99\n")

@@ -178,6 +178,74 @@ func TestMergedHist(t *testing.T) {
 	}
 }
 
+// TestQPStateName maps every gauge value the transport can report, plus
+// the out-of-range guard.
+func TestQPStateName(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "RTS"},
+		{1, "ERROR"},
+		{2, "RECOVERING"},
+		{7, "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if got := qpStateName(c.v); got != c.want {
+			t.Errorf("qpStateName(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// TestRenderRDMAPanel round-trips the RDMA families through a real obs
+// registry exposition: the panel shows the decoded QP state, the retry
+// rate derived across snapshots, and the fallback/replay totals — and
+// stays absent entirely when the deployment never registered the gauge.
+func TestRenderRDMAPanel(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("omniwindow_rdma_qp_state", "", func() int64 { return 2 })
+	reg.CounterFunc("omniwindow_rdma_verb_retries_total", "", func() int64 { return 40 })
+	reg.CounterFunc("omniwindow_rdma_fallback_afrs_total", "", func() int64 { return 17 })
+	reg.CounterFunc("omniwindow_rdma_replayed_total", "", func() int64 { return 9 })
+	reg.CounterFunc("omniwindow_rdma_lost_afrs_total", "", func() int64 { return 3 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(300, 0)
+	prev := &snapshot{at: t0, values: map[string]float64{
+		"omniwindow_rdma_verb_retries_total": 10,
+	}}
+	cur, err := parseMetrics(sb.String(), t0.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	render(&out, prev, cur, nil)
+	frame := out.String()
+	for _, want := range []string{
+		"rdma",
+		"QP RECOVERING",
+		"retries 15.0/s", // (40-10)/2s
+		"fallback 17",
+		"replayed 9",
+		"lost 3",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// A deployment without the RDMA transport never registers the gauge:
+	// the panel must not render.
+	bare := &snapshot{at: t0, values: map[string]float64{}}
+	out.Reset()
+	render(&out, nil, bare, nil)
+	if strings.Contains(out.String(), "rdma") {
+		t.Errorf("RDMA panel rendered without RDMA metrics:\n%s", out.String())
+	}
+}
+
 // TestRenderFrame smoke-tests one dashboard frame against a realistic
 // snapshot pair: the headline rates, totals and quantile rows all land in
 // the output.

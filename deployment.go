@@ -7,6 +7,7 @@ import (
 	"omniwindow/internal/controller"
 	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
+	"omniwindow/internal/rdma"
 	"omniwindow/internal/switchsim"
 )
 
@@ -326,6 +327,12 @@ func (d *Deployment) runDueCollections() {
 // reliability check, in-switch reset, and controller window assembly.
 func (d *Deployment) collect(sw uint64) {
 	costs := d.cfg.Costs
+	// An async QP error scheduled for this boundary strikes before the
+	// collection traffic: every send below then falls back to the packet
+	// path mid-sub-window, seamlessly.
+	if d.cfg.RDMA {
+		d.rdma.BeginBoundary(sw)
+	}
 	region := d.manager.Regions().Index(sw)
 	// A region only holds the state of the newest sub-window that used
 	// it. Stale terminations (idle gaps longer than the region count)
@@ -393,8 +400,9 @@ func (d *Deployment) collect(sw uint64) {
 		// (charged to the C&R virtual-time budget) keep an unrecoverable
 		// loss from stalling the reset forever — the sub-window then
 		// finalizes with its gaps recorded and its windows Incomplete.
-		// The RDMA path needs no recovery: RoCEv2 RC transport is
-		// reliable and hot records bypass the packet path entirely.
+		// The RDMA path runs its own recovery at drain time below: PSN
+		// gaps are NACKed into the transport's replay window instead of
+		// re-queried from the switch.
 		if !d.cfg.RDMA {
 			rec := controller.RecoverSubWindow(d.retryPolicy(),
 				func() []uint32 { return d.ctrl.MissingSeqs(sw) },
@@ -430,23 +438,51 @@ func (d *Deployment) collect(sw uint64) {
 		d.regionOwned[region] = false
 	}
 
-	// RDMA mode: drain the cold buffer and read back hot rows, zeroing
-	// each consumed lane for its next same-lane sub-window.
+	// RDMA mode: the boundary recovery step. Scheduled region
+	// invalidations strike, a faulted QP attempts recovery, the
+	// controller-side PSN-gap scan NACKs dropped verbs into the bounded
+	// replay loop (the same virtual-time retry/backoff machinery as the
+	// packet path's Phase 3), gaps the budget cannot close hand off to
+	// the packet path, and the drain delivers the cold buffer plus the
+	// hot-row readback — zeroing each consumed lane for its next
+	// same-lane sub-window.
 	if d.cfg.RDMA {
-		cold := d.nic.Drain()
-		d.ctrl.IngestAFRs(cold)
-		d.stats.ControllerCPUVirtual += time.Duration(len(cold)) * costs.DPDKRxPerPacket
-		lane := int(sw) % d.mr.Lanes()
-		var hotRecs []packet.AFR
-		for k, base := range d.hotRows {
-			row := d.mr.ReadRow(base)
-			if row[lane] == 0 {
-				continue
-			}
-			hotRecs = append(hotRecs, packet.AFR{Key: k, Attr: row[lane], SubWindow: sw, Seq: ^uint32(0) - uint32(len(hotRecs))})
-			d.mr.ResetLane(base, lane)
+		d.rdma.BeginCollect(sw)
+		if d.rdma.State() == rdma.QPRecovering {
+			d.obs.ring.Record(obs.StageQPRecovered, sw, -1, 0)
 		}
-		d.ctrl.IngestAFRs(hotRecs)
+		if d.rdma.State() != rdma.QPError {
+			rec := controller.RecoverSubWindow(d.retryPolicy(),
+				d.rdma.MissingPSNs,
+				func(psns []uint32) error {
+					d.stats.RDMAReplayed += d.rdma.Replay(psns)
+					return nil
+				},
+				func(wait time.Duration) { virtual += wait },
+			)
+			d.stats.RecoveryRounds += rec.Rounds
+			if rec.Rounds > 0 {
+				d.obs.ring.Record(obs.StageRecovered, sw, -1, int64(rec.Rounds))
+			}
+			if !rec.Complete && len(rec.Missing) > 0 {
+				d.stats.IncompleteSubWindows++
+			}
+		}
+		// Per-key handoff: whatever the replay budget could not land on
+		// the region rides the packet path instead, original sequence
+		// numbers intact — the controller's dedup makes the transport
+		// switch exact (nothing double-counted, nothing lost).
+		if fb := d.rdma.TakeUnapplied(); len(fb) > 0 {
+			d.stats.FallbackAFRs += len(fb)
+			d.obs.ring.Record(obs.StageRDMAFallback, sw, -1, int64(len(fb)))
+			d.rdmaIngest(fb)
+			d.stats.ControllerCPUVirtual += time.Duration(len(fb)) * costs.DPDKRxPerPacket
+		}
+		cold, hotRecs := d.rdma.Drain(sw)
+		d.rdmaIngest(cold)
+		d.rdmaIngest(hotRecs)
+		d.stats.ControllerCPUVirtual += time.Duration(len(cold)) * costs.DPDKRxPerPacket
+		virtual += d.rdma.TakeRetryWait()
 	} else {
 		d.stats.ControllerCPUVirtual += time.Duration(afrs) * costs.DPDKRxPerPacket
 	}
@@ -485,10 +521,23 @@ func (d *Deployment) collect(sw uint64) {
 	// that stopped recurring.
 	if d.cfg.RDMA && len(windows) > 0 {
 		for _, k := range d.hot.Decay() {
-			d.mat.Delete(k)
-			delete(d.hotRows, k)
+			d.rdma.Demote(k)
 		}
 	}
+}
+
+// rdmaIngest hands RDMA-delivered (or fallen-back) records to the
+// controller, logging them to the WAL first when durability is on — the
+// RDMA path's records become durable at controller-ingest time, exactly
+// when the controller's state starts reflecting them.
+func (d *Deployment) rdmaIngest(recs []packet.AFR) {
+	if len(recs) == 0 {
+		return
+	}
+	if d.store != nil {
+		d.logBatch(&packet.Packet{OW: packet.OWHeader{Flag: packet.OWAFR, AFRs: recs}})
+	}
+	d.ctrl.IngestAFRs(recs)
 }
 
 // retryPolicy resolves the configured reliability knobs against the
@@ -549,16 +598,17 @@ func (d *Deployment) deliverAFRsOnce(c *packet.Packet) {
 	}
 	for _, r := range c.OW.AFRs {
 		if d.hot.Observe(r.Key) {
-			if base, ok := d.mr.AllocRow(); ok {
-				d.mat.Insert(r.Key, base)
-				d.hotRows[r.Key] = base
-			}
+			d.rdma.Promote(r.Key)
 		}
-		hot, err := d.collector.SendGrouped(r)
-		if err != nil {
-			// Buffer overflow: fall back to the packet path for this
-			// record rather than dropping telemetry data.
-			d.ctrl.IngestAFRs([]packet.AFR{r})
+		hot, delivered := d.rdma.Send(r)
+		if !delivered {
+			// Seamless mid-sub-window fallback: the transport could not
+			// take the record (QP down, retries exhausted, or the cold
+			// buffer overflowed) — the packet path carries it from here,
+			// original sequence number intact, so the controller's dedup
+			// keeps the handoff exact.
+			d.stats.FallbackAFRs++
+			d.rdmaIngest([]packet.AFR{r})
 			continue
 		}
 		if hot {

@@ -175,8 +175,30 @@ func (d *Deployment) failover(sw uint64) time.Duration {
 	d.ctrls[0] = d.standby
 	d.ctrl = d.standby
 	d.standby = nil
+	// The promoted standby owns fresh memory: the RDMA transport must
+	// re-register its region and rebuild the switch-side AddressMAT so
+	// hot-key verbs resolve to the new controller's addresses. Verbs
+	// applied to the dead primary's region replay into the fresh one
+	// through the boundary recovery step that follows.
+	if d.rdma != nil {
+		d.rdma.Reregister()
+	}
 	d.sendTrigger(sw)
 	return wait
+}
+
+// noteRDMAShed charges records the RDMA transport dropped irrecoverably
+// (cold-buffer overflow, replay-window eviction, invalidation losses) to
+// the live controller's shed accounting and, when durability is on, the
+// WAL — so restored state reconciles the same degraded windows.
+func (d *Deployment) noteRDMAShed(sw uint64, n int) {
+	d.ctrl.NoteShed(sw, n)
+	if d.store == nil || d.storeErr != nil || d.crashed {
+		return
+	}
+	if err := d.store.AppendShed(sw, uint32(n)); err != nil {
+		d.storeErr = err
+	}
 }
 
 // renewLease extends the primary's liveness lease after a successful

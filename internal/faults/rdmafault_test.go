@@ -1,0 +1,106 @@
+package faults
+
+import "testing"
+
+// TestRDMAScheduleNilSafe: a nil schedule is a healthy transport.
+func TestRDMAScheduleNilSafe(t *testing.T) {
+	var s *RDMASchedule
+	if s.VerbErrorAt(0, 0) || s.PSNDropAt(0, 0) || s.QPErrorAt(0) ||
+		s.MRInvalidateAt(0) || s.OutageAt(0) {
+		t.Fatal("nil RDMASchedule injected a fault")
+	}
+}
+
+// TestRDMAScheduleDeterministic: the same (seed, input) pair always draws
+// the same fate — schedules are reproducible test cases.
+func TestRDMAScheduleDeterministic(t *testing.T) {
+	a := &RDMASchedule{Seed: 7, VerbError: 0.3, PSNDrop: 0.3,
+		QPError: CrashSchedule{Prob: 0.3}, MRInvalidate: CrashSchedule{Prob: 0.3}}
+	b := &RDMASchedule{Seed: 7, VerbError: 0.3, PSNDrop: 0.3,
+		QPError: CrashSchedule{Prob: 0.3}, MRInvalidate: CrashSchedule{Prob: 0.3}}
+	for idx := uint64(0); idx < 500; idx++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			if a.VerbErrorAt(idx, attempt) != b.VerbErrorAt(idx, attempt) {
+				t.Fatalf("VerbErrorAt(%d,%d) not deterministic", idx, attempt)
+			}
+			if a.PSNDropAt(idx, attempt) != b.PSNDropAt(idx, attempt) {
+				t.Fatalf("PSNDropAt(%d,%d) not deterministic", idx, attempt)
+			}
+		}
+		if a.QPErrorAt(idx) != b.QPErrorAt(idx) || a.MRInvalidateAt(idx) != b.MRInvalidateAt(idx) {
+			t.Fatalf("boundary fault at %d not deterministic", idx)
+		}
+	}
+}
+
+// TestRDMAScheduleKindsIndependent: enabling one fault kind must not
+// shift another's schedule — each kind hashes under its own salt.
+func TestRDMAScheduleKindsIndependent(t *testing.T) {
+	verbOnly := &RDMASchedule{Seed: 11, VerbError: 0.4}
+	both := &RDMASchedule{Seed: 11, VerbError: 0.4, PSNDrop: 0.4,
+		QPError: CrashSchedule{Prob: 0.4}}
+	for idx := uint64(0); idx < 500; idx++ {
+		if verbOnly.VerbErrorAt(idx, 0) != both.VerbErrorAt(idx, 0) {
+			t.Fatalf("enabling PSNDrop/QPError shifted VerbErrorAt(%d)", idx)
+		}
+	}
+	// And the boundary kinds must not mirror each other: with identical
+	// seeds and probabilities, QPError and MRInvalidate decisions differ
+	// somewhere (independent salts).
+	s := &RDMASchedule{Seed: 3, QPError: CrashSchedule{Prob: 0.5},
+		MRInvalidate: CrashSchedule{Prob: 0.5}}
+	same := true
+	for sw := uint64(0); sw < 200; sw++ {
+		if s.QPErrorAt(sw) != s.MRInvalidateAt(sw) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("QPError and MRInvalidate schedules are identical — salts not independent")
+	}
+}
+
+// TestRDMAScheduleAttemptsIndependent: a retried verb redraws its fate;
+// with a 50% error rate some verb must fail attempt 0 and pass attempt 1.
+func TestRDMAScheduleAttemptsIndependent(t *testing.T) {
+	s := &RDMASchedule{Seed: 5, VerbError: 0.5}
+	recovered := false
+	for idx := uint64(0); idx < 200; idx++ {
+		if s.VerbErrorAt(idx, 0) && !s.VerbErrorAt(idx, 1) {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("no verb ever succeeded on retry — attempts are not independent draws")
+	}
+}
+
+// TestRDMAScheduleOutageWindow: OutageAt covers exactly
+// [OutageStart, OutageStart+OutageLen).
+func TestRDMAScheduleOutageWindow(t *testing.T) {
+	s := &RDMASchedule{OutageStart: 3, OutageLen: 2}
+	want := map[uint64]bool{2: false, 3: true, 4: true, 5: false}
+	for sw, w := range want {
+		if s.OutageAt(sw) != w {
+			t.Fatalf("OutageAt(%d) = %v, want %v", sw, s.OutageAt(sw), w)
+		}
+	}
+	if (&RDMASchedule{OutageStart: 3}).OutageAt(3) {
+		t.Fatal("OutageLen 0 must mean no outage")
+	}
+}
+
+// TestRDMAScheduleFixedBoundaries: Fixed lists work through the salted
+// wrappers (the chaos suite pins QP errors to exact boundaries).
+func TestRDMAScheduleFixedBoundaries(t *testing.T) {
+	s := &RDMASchedule{QPError: CrashSchedule{Fixed: []uint64{2}},
+		MRInvalidate: CrashSchedule{Fixed: []uint64{4}}}
+	if !s.QPErrorAt(2) || s.QPErrorAt(3) {
+		t.Fatal("QPError Fixed boundary not honoured")
+	}
+	if !s.MRInvalidateAt(4) || s.MRInvalidateAt(2) {
+		t.Fatal("MRInvalidate Fixed boundary not honoured")
+	}
+}

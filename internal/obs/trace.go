@@ -48,6 +48,13 @@ const (
 	// StageReadmit: quarantine lifted; the switch was resynced and
 	// readmitted.
 	StageReadmit
+	// StageRDMAFallback: RDMA-path records rerouted to the packet C&R
+	// path mid-sub-window (QP down or replay budget exhausted).
+	// Value = records handed off.
+	StageRDMAFallback
+	// StageQPRecovered: the RDMA queue pair recovered from Error at this
+	// boundary (AddressMAT rebuilt, replay window re-armed).
+	StageQPRecovered
 )
 
 var stageNames = [...]string{
@@ -63,6 +70,8 @@ var stageNames = [...]string{
 	StageEpochResync:   "epoch_resync",
 	StageQuarantine:    "quarantine",
 	StageReadmit:       "readmit",
+	StageRDMAFallback:  "rdma_fallback",
+	StageQPRecovered:   "qp_recovered",
 }
 
 // String names the stage as it appears in JSON dumps and owtop.

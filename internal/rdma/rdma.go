@@ -82,6 +82,17 @@ func (mr *MemoryRegion) ResetLane(base, lane int) {
 	mr.slots[base+lane] = 0
 }
 
+// Invalidate models the registration being torn down: every hot-key slot
+// is zeroed, buffered cold records are destroyed, and the row allocator
+// rewinds so a re-registration starts from a clean region. Verbs applied
+// but not yet drained die with the registration — the transport's replay
+// window is what brings them back.
+func (mr *MemoryRegion) Invalidate() {
+	clear(mr.slots)
+	mr.buffer = mr.buffer[:0]
+	mr.used = 0
+}
+
 // NIC is the controller-side RNIC executing incoming verbs. It counts
 // operations so experiments can derive virtual time and verify that the
 // hot path needed no controller CPU.

@@ -62,6 +62,27 @@ func (d *Deployment) setupObs() error {
 		ring:       d.reg.Ring(0),
 	}
 
+	// RDMA transport: the QP state gauge and the fault/recovery counters
+	// are scrape-time functions over the transport's own (mutex-guarded)
+	// stats, so the hot send path carries no extra instrumentation.
+	if d.rdma != nil {
+		tr := d.rdma
+		d.reg.GaugeFunc(n("omniwindow_rdma_qp_state"), "RDMA queue pair state (0=RTS, 1=Error, 2=Recovering)",
+			func() int64 { return int64(tr.State()) })
+		d.reg.CounterFunc(n("omniwindow_rdma_verb_errors_total"), "RDMA verb completion errors (injected CQ errors)",
+			func() int64 { return int64(tr.Stats().VerbErrors) })
+		d.reg.CounterFunc(n("omniwindow_rdma_verb_retries_total"), "RNR-style verb retries after transient completion errors",
+			func() int64 { return int64(tr.Stats().VerbRetries) })
+		d.reg.CounterFunc(n("omniwindow_rdma_fallback_afrs_total"), "records rerouted from the RDMA transport to the packet C&R path",
+			func() int64 { return int64(tr.Stats().Fallbacks) })
+		d.reg.CounterFunc(n("omniwindow_rdma_replayed_total"), "verbs re-applied by the PSN-gap NACK/replay loop",
+			func() int64 { return int64(tr.Stats().Replayed) })
+		d.reg.CounterFunc(n("omniwindow_rdma_lost_afrs_total"), "records the RDMA transport dropped irrecoverably (charged to shed)",
+			func() int64 { return int64(tr.Stats().Lost) })
+		d.reg.CounterFunc(n("omniwindow_rdma_qp_recoveries_total"), "successful QP Error→Recovering boundary recoveries",
+			func() int64 { return int64(tr.Stats().QPRecoveries) })
+	}
+
 	// Per-app controllers: single-app deployments register unlabeled (or
 	// with the caller's labels); co-deployed apps add an app label so the
 	// families stay distinguishable.

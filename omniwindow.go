@@ -139,8 +139,10 @@ type Config struct {
 	// directory (atomic temp-file + rename), and between checkpoints
 	// every ingested AFR batch, trigger and finish is appended to a
 	// per-shard write-ahead log — a deployment restarted on the same
-	// directory replays back to the exact pre-crash state. Requires a
-	// single-app, non-RDMA deployment. Empty disables durability.
+	// directory replays back to the exact pre-crash state. In RDMA mode
+	// the WAL covers records at controller-ingest time (drain and
+	// fallback), and a failover re-registers the memory region. Requires
+	// a single-app deployment. Empty disables durability.
 	CheckpointDir string
 	// CheckpointEvery is the number of sub-window boundaries between
 	// checkpoints (<= 0 means 1, a checkpoint at every boundary); the WAL
@@ -187,6 +189,21 @@ type Config struct {
 	HotThreshold int
 	// AddressMATSize bounds the switch-side address MAT.
 	AddressMATSize int
+	// RDMAVerbRetries bounds the RNR-style retries after a verb's first
+	// failed attempt before the completion error becomes persistent and
+	// the queue pair faults to Error (every send then falls back to the
+	// packet path until boundary recovery). 0 uses the default (3); a
+	// negative value disables retries.
+	RDMAVerbRetries int
+	// RDMAReplayDepth bounds the transport's PSN replay window: how many
+	// unacked verbs can be replayed after in-flight loss or a region
+	// invalidation. 0 uses the default (8192). Records evicted from the
+	// window are charged to shed accounting if they are lost.
+	RDMAReplayDepth int
+	// RDMAFaults schedules deterministic RDMA transport failures (verb
+	// completion errors, in-flight PSN drops, async QP errors, region
+	// invalidations, sustained outages) — see faults.RDMASchedule.
+	RDMAFaults *faults.RDMASchedule
 
 	// Costs is the virtual-time cost model; zero value uses defaults.
 	Costs switchsim.CostModel
@@ -237,6 +254,13 @@ type Stats struct {
 	AFRs int
 	// HotAFRs and ColdAFRs split the RDMA path's records.
 	HotAFRs, ColdAFRs int
+	// FallbackAFRs counts records rerouted mid-sub-window from the RDMA
+	// transport to the packet C&R path (QP down, retries exhausted, cold
+	// buffer full, or replay budget spent).
+	FallbackAFRs int
+	// RDMAReplayed counts verbs re-applied by the PSN-gap NACK/replay
+	// loop.
+	RDMAReplayed int
 	// Retransmitted counts AFRs re-queried and re-sent by the
 	// reliability protocol (attempts; the fault layer may still drop
 	// some of them, triggering further rounds).
@@ -297,13 +321,11 @@ type Deployment struct {
 	ctrls []*controller.Controller
 	ctrl  *controller.Controller
 
-	// RDMA path.
-	mr        *rdma.MemoryRegion
-	nic       *rdma.NIC
-	mat       *rdma.AddressMAT
-	collector *rdma.Collector
-	hot       *controller.HotTracker
-	hotRows   map[packet.FlowKey]int
+	// RDMA path: the fault-tolerant transport (QP state machine, PSN
+	// replay window, AddressMAT) plus the key-hotness tracker that
+	// drives promotions.
+	rdma *rdma.Transport
+	hot  *controller.HotTracker
 
 	spilled map[uint64][]packet.FlowKey
 	pending []pendingCR
@@ -434,6 +456,12 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.RDMA && len(apps) > 1 {
 		return nil, fmt.Errorf("omniwindow: the RDMA path supports single-app deployments only")
 	}
+	if !cfg.RDMA && (cfg.RDMAFaults != nil || cfg.RDMAVerbRetries != 0 || cfg.RDMAReplayDepth != 0) {
+		return nil, fmt.Errorf("omniwindow: RDMAFaults/RDMAVerbRetries/RDMAReplayDepth require RDMA")
+	}
+	if cfg.RDMAReplayDepth < 0 {
+		return nil, fmt.Errorf("omniwindow: RDMAReplayDepth must be non-negative, got %d", cfg.RDMAReplayDepth)
+	}
 	if cfg.Slots <= 0 {
 		return nil, fmt.Errorf("omniwindow: Slots must be positive")
 	}
@@ -465,7 +493,6 @@ func New(cfg Config) (*Deployment, error) {
 		cfg:     cfg,
 		apps:    apps,
 		spilled: make(map[uint64][]packet.FlowKey),
-		hotRows: make(map[packet.FlowKey]int),
 	}
 	d.sw = switchsim.NewWithCapacity(0, switchsim.DefaultCapacity(), cfg.Costs)
 
@@ -521,21 +548,26 @@ func New(cfg Config) (*Deployment, error) {
 	d.ctrl = d.ctrls[0]
 
 	if cfg.RDMA {
-		lanes := cfg.Plan.Size
-		d.mr = rdma.NewMemoryRegion(cfg.AddressMATSize, lanes, 1<<18)
-		d.nic = rdma.NewNIC(d.mr)
-		d.mat = rdma.NewAddressMAT(cfg.AddressMATSize)
-		d.collector = rdma.NewCollector(d.mat, d.nic)
-		d.hot = controller.NewHotTracker(cfg.AddressMATSize, cfg.HotThreshold)
+		var injector func(op string, addr int) error
 		if cfg.AFRFaults != nil {
-			d.nic.SetFaults(cfg.AFRFaults.Verb)
+			injector = cfg.AFRFaults.Verb
 		}
+		d.rdma = rdma.NewTransport(rdma.TransportConfig{
+			Rows:        cfg.AddressMATSize,
+			Lanes:       cfg.Plan.Size,
+			BufCap:      1 << 18,
+			VerbRetries: cfg.RDMAVerbRetries,
+			ReplayDepth: cfg.RDMAReplayDepth,
+			Faults:      cfg.RDMAFaults,
+			Injector:    injector,
+			// The closure reads d.ctrl at charge time, so shed notes
+			// follow a failover to the promoted standby.
+			OnShed: func(sw uint64, n int) { d.noteRDMAShed(sw, n) },
+		})
+		d.hot = controller.NewHotTracker(cfg.AddressMATSize, cfg.HotThreshold)
 	}
 
 	if cfg.CheckpointDir != "" {
-		if cfg.RDMA {
-			return nil, fmt.Errorf("omniwindow: durability covers the packet collection path; it cannot be combined with RDMA")
-		}
 		if len(apps) > 1 {
 			return nil, fmt.Errorf("omniwindow: durability supports single-app deployments only, got %d apps", len(apps))
 		}

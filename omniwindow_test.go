@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"omniwindow/internal/afr"
+	"omniwindow/internal/faults"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/sketch"
 	"omniwindow/internal/telemetry"
@@ -91,9 +92,14 @@ func TestConfigValidation(t *testing.T) {
 			c.Shards = 4
 			c.CheckpointEvery = 5
 		}},
-		{"durability with RDMA", func(c *Config) {
+		{"RDMA fault schedule without RDMA", func(c *Config) {
+			c.RDMAFaults = &faults.RDMASchedule{VerbError: 0.1}
+		}},
+		{"RDMA verb retries without RDMA", func(c *Config) { c.RDMAVerbRetries = 2 }},
+		{"RDMA replay depth without RDMA", func(c *Config) { c.RDMAReplayDepth = 64 }},
+		{"negative RDMA replay depth", func(c *Config) {
 			c.RDMA = true
-			c.CheckpointDir = "x"
+			c.RDMAReplayDepth = -1
 		}},
 		{"negative preserve", func(c *Config) { c.Preserve = -1 }},
 		{"preserve equal to region count", func(c *Config) { c.Preserve = 2 }}, // 2 regions: only 1 previous sub-window has live state

@@ -1,0 +1,314 @@
+package omniwindow
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"omniwindow/internal/faults"
+	"omniwindow/internal/rdma"
+	"omniwindow/internal/window"
+)
+
+// This file is the RDMA chaos suite (make rdma-chaos): it proves the
+// transport's contract under deterministic fault schedules. Within the
+// retry/replay budget every window is byte-identical to the fault-free
+// run — RNR retries absorb transient verb errors, the PSN NACK/replay
+// loop closes in-flight gaps, and whatever neither can land rides the
+// packet path with its original sequence numbers, so the controller's
+// dedup makes the transport switch exact. Beyond the budget, windows are
+// explicitly Degraded with MissingAFRs/ShedAFRs that reconcile against
+// the transport's own loss count — never silently short.
+
+// runRDMAChaos runs the standard chaos deployment in RDMA mode.
+func runRDMAChaos(t *testing.T, mutate func(*Config)) *Deployment {
+	t.Helper()
+	cfg := freqConfig(window.SlidingPlan(3, 1), 25, true)
+	cfg.RetryBackoff = time.Millisecond
+	cfg.RetryMaxBackoff = 2 * time.Millisecond
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RunFor(chaosTrace(), 500*ms)
+	return d
+}
+
+// TestRDMAChaosByteIdentical is the tentpole assertion: under every
+// schedule the retry/replay/fallback machinery can absorb — transient
+// verb errors, in-flight PSN drops, async QP errors, sustained outages,
+// region invalidations, and all of them at once — the merged windows are
+// byte-identical to the fault-free RDMA run, with nothing shed and
+// nothing missing.
+func TestRDMAChaosByteIdentical(t *testing.T) {
+	baseline := runRDMAChaos(t, nil)
+	if len(baseline.Results()) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+
+	cases := []struct {
+		name  string
+		sched *faults.RDMASchedule
+		// exercised asserts the schedule actually hit the fault path it
+		// is named for.
+		exercised func(st rdma.TransportStats) string
+	}{
+		{"psn-drop/seed1", &faults.RDMASchedule{Seed: 1, PSNDrop: 0.25},
+			func(st rdma.TransportStats) string {
+				if st.PSNDrops == 0 || st.Replayed == 0 {
+					return "no PSN drops replayed"
+				}
+				return ""
+			}},
+		{"psn-drop/seed2", &faults.RDMASchedule{Seed: 2, PSNDrop: 0.25},
+			func(st rdma.TransportStats) string {
+				if st.PSNDrops == 0 {
+					return "no PSN drops"
+				}
+				return ""
+			}},
+		{"psn-drop/seed3", &faults.RDMASchedule{Seed: 3, PSNDrop: 0.25},
+			func(st rdma.TransportStats) string {
+				if st.PSNDrops == 0 {
+					return "no PSN drops"
+				}
+				return ""
+			}},
+		{"verb-errors/seed1", &faults.RDMASchedule{Seed: 1, VerbError: 0.30},
+			func(st rdma.TransportStats) string {
+				if st.VerbErrors == 0 || st.VerbRetries == 0 {
+					return "no verb errors retried"
+				}
+				return ""
+			}},
+		{"qp-error-boundaries", &faults.RDMASchedule{
+			QPError: faults.CrashSchedule{Fixed: []uint64{1, 3}}},
+			func(st rdma.TransportStats) string {
+				if st.QPErrors != 2 || st.QPRecoveries != 2 {
+					return fmt.Sprintf("QP errors/recoveries = %d/%d, want 2/2", st.QPErrors, st.QPRecoveries)
+				}
+				if st.Fallbacks == 0 {
+					return "Error-state sends never fell back"
+				}
+				return ""
+			}},
+		{"sustained-outage", &faults.RDMASchedule{
+			QPError:     faults.CrashSchedule{Fixed: []uint64{1}},
+			OutageStart: 1, OutageLen: 2},
+			func(st rdma.TransportStats) string {
+				if st.QPErrors != 1 || st.QPRecoveries != 1 {
+					return fmt.Sprintf("QP errors/recoveries = %d/%d, want recovery only after the outage", st.QPErrors, st.QPRecoveries)
+				}
+				return ""
+			}},
+		{"mr-invalidate", &faults.RDMASchedule{
+			MRInvalidate: faults.CrashSchedule{Fixed: []uint64{2}}},
+			func(st rdma.TransportStats) string {
+				if st.MRInvalidations != 1 || st.Reregistrations != 1 {
+					return "region never invalidated"
+				}
+				if st.Replayed == 0 {
+					return "invalidated verbs never replayed"
+				}
+				return ""
+			}},
+		{"combined/seed1", &faults.RDMASchedule{Seed: 1,
+			VerbError: 0.15, PSNDrop: 0.15,
+			QPError:      faults.CrashSchedule{Prob: 0.3},
+			MRInvalidate: faults.CrashSchedule{Prob: 0.3}},
+			func(st rdma.TransportStats) string { return "" }},
+	}
+	// Nightly sweep: OMNIWINDOW_EXTRA_SEEDS widens the fixed table with
+	// derived seeds on the combined schedule (table base 4; packet chaos,
+	// controller chaos and fabric chaos hold bases 1-3).
+	for _, s := range faults.ExtraSeeds(4) {
+		cases = append(cases, struct {
+			name      string
+			sched     *faults.RDMASchedule
+			exercised func(st rdma.TransportStats) string
+		}{fmt.Sprintf("combined/seed%d", s),
+			&faults.RDMASchedule{Seed: s,
+				VerbError: 0.15, PSNDrop: 0.15,
+				QPError:      faults.CrashSchedule{Seed: s, Prob: 0.3},
+				MRInvalidate: faults.CrashSchedule{Seed: s, Prob: 0.3}},
+			func(st rdma.TransportStats) string { return "" }})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := runRDMAChaos(t, func(c *Config) { c.RDMAFaults = tc.sched })
+			st := d.rdma.Stats()
+			if msg := tc.exercised(st); msg != "" {
+				t.Fatalf("%s: %+v", msg, st)
+			}
+			if st.Lost != 0 {
+				t.Fatalf("within-budget schedule lost %d records: %+v", st.Lost, st)
+			}
+			for _, w := range d.Results() {
+				if w.Degraded || w.Incomplete || w.MissingAFRs != 0 || w.ShedAFRs != 0 {
+					t.Fatalf("within-budget window [%d,%d] not clean: %+v", w.Start, w.End, w)
+				}
+			}
+			if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+				t.Fatalf("chaos results differ from fault-free run:\nfault-free: %+v\nchaos:      %+v",
+					baseline.Results(), d.Results())
+			}
+		})
+	}
+}
+
+// TestRDMAChaosBeyondBudgetDegrades drives the transport past its replay
+// budget: every verb's request is lost in flight and the replay window is
+// far smaller than a sub-window's traffic, so evicted verbs are gone for
+// good. The windows must come out explicitly Degraded, and the
+// MissingAFRs/ShedAFRs accounting must reconcile exactly against the
+// transport's own loss count — while the records still inside the window
+// are repaired through mid-window fallback, proving loss and handoff
+// coexist without double-counting.
+func TestRDMAChaosBeyondBudgetDegrades(t *testing.T) {
+	d := runRDMAChaos(t, func(c *Config) {
+		c.Plan = window.Tumbling(1) // one sub-window per window: exact reconciliation
+		c.RDMAFaults = &faults.RDMASchedule{Seed: 1, PSNDrop: 1.0}
+		c.RDMAReplayDepth = 8
+		c.RetryLimit = 2
+	})
+	st := d.rdma.Stats()
+	if st.Lost == 0 {
+		t.Fatalf("beyond-budget schedule lost nothing: %+v", st)
+	}
+	if d.Stats().FallbackAFRs == 0 {
+		t.Fatal("records still in the replay window must fall back, not vanish")
+	}
+	totalMissing, totalShed, degraded := 0, 0, 0
+	for _, w := range d.Results() {
+		if w.MissingAFRs != w.ShedAFRs {
+			t.Fatalf("window [%d,%d]: Missing %d != Shed %d — RDMA losses must charge both",
+				w.Start, w.End, w.MissingAFRs, w.ShedAFRs)
+		}
+		if w.MissingAFRs > 0 {
+			if !w.Degraded || !w.Incomplete {
+				t.Fatalf("lossy window [%d,%d] not marked Degraded+Incomplete: %+v", w.Start, w.End, w)
+			}
+			degraded++
+		}
+		totalMissing += w.MissingAFRs
+		totalShed += w.ShedAFRs
+	}
+	if degraded == 0 {
+		t.Fatal("no window marked Degraded despite transport losses")
+	}
+	// Tumbling(1): every sub-window appears in exactly one window, so the
+	// window-level accounting must reconcile 1:1 with the transport's
+	// loss count.
+	if totalMissing != st.Lost {
+		t.Fatalf("windows report %d missing AFRs, transport lost %d — accounting does not reconcile",
+			totalMissing, st.Lost)
+	}
+}
+
+// TestRDMAChaosFallbackNeverDoubleCounts is the handoff property test:
+// over randomized schedules (including ones that force mid-window
+// transport switches and genuine loss), no flow's value ever exceeds the
+// fault-free run's — a double-counted record would inflate it — and any
+// run the transport reports lossless is byte-identical.
+func TestRDMAChaosFallbackNeverDoubleCounts(t *testing.T) {
+	baseline := runRDMAChaos(t, nil)
+	meta := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 12; trial++ {
+		sched := &faults.RDMASchedule{
+			Seed:      meta.Uint64(),
+			VerbError: meta.Float64() * 0.4,
+			PSNDrop:   meta.Float64() * 0.6,
+			QPError:   faults.CrashSchedule{Seed: meta.Uint64(), Prob: meta.Float64() * 0.4},
+		}
+		depth := 0 // default (deep) window
+		if meta.Intn(2) == 1 {
+			depth = 4 + meta.Intn(12) // shallow: forces evictions
+		}
+		d := runRDMAChaos(t, func(c *Config) {
+			c.RDMAFaults = sched
+			c.RDMAReplayDepth = depth
+			c.RetryLimit = 2
+		})
+		st := d.rdma.Stats()
+		if st.Lost == 0 {
+			if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+				t.Fatalf("trial %d (depth %d): lossless run not byte-identical", trial, depth)
+			}
+			continue
+		}
+		base, got := baseline.Results(), d.Results()
+		if len(base) != len(got) {
+			t.Fatalf("trial %d: %d windows vs baseline %d", trial, len(got), len(base))
+		}
+		for i, w := range got {
+			for k, v := range w.Values {
+				if bv := base[i].Values[k]; v > bv {
+					t.Fatalf("trial %d window [%d,%d]: flow %v counted %d > fault-free %d — double-counted across the handoff",
+						trial, w.Start, w.End, k, v, bv)
+				}
+			}
+			if w.MissingAFRs > 0 && !w.Degraded {
+				t.Fatalf("trial %d: lossy window [%d,%d] not flagged: %+v", trial, w.Start, w.End, w)
+			}
+		}
+	}
+}
+
+// TestRDMAChaosFailoverReregisters integrates the transport with the hot
+// standby: a scheduled primary crash mid-collection promotes the standby,
+// which owns fresh memory — the transport must re-register its region,
+// rebuild the AddressMAT, and replay the in-flight sub-window's verbs
+// into the new registration, keeping the run byte-identical to a
+// crash-free one.
+func TestRDMAChaosFailoverReregisters(t *testing.T) {
+	baseline := runRDMAChaos(t, nil)
+	d := runRDMAChaos(t, func(c *Config) {
+		c.CheckpointDir = t.TempDir()
+		c.CheckpointEvery = 1
+		c.Shards = 4
+		c.Standby = true
+		c.Crash = &faults.CrashSchedule{Fixed: []uint64{2}}
+	})
+	if d.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", d.Stats().Failovers)
+	}
+	st := d.rdma.Stats()
+	if st.Reregistrations == 0 {
+		t.Fatal("promoted standby never re-registered the memory region")
+	}
+	if st.Lost != 0 {
+		t.Fatalf("failover lost %d records despite the replay window", st.Lost)
+	}
+	if !reflect.DeepEqual(baseline.Results(), d.Results()) {
+		t.Fatalf("failover run differs from crash-free run:\ncrash-free: %+v\nfailover:   %+v",
+			baseline.Results(), d.Results())
+	}
+}
+
+// TestRDMAChaosDeterministic: the same schedule must produce the same
+// run — RDMA fault schedules are reproducible test cases, not flakes.
+func TestRDMAChaosDeterministic(t *testing.T) {
+	run := func() *Deployment {
+		return runRDMAChaos(t, func(c *Config) {
+			c.RDMAFaults = &faults.RDMASchedule{Seed: 5,
+				VerbError: 0.2, PSNDrop: 0.2,
+				QPError: faults.CrashSchedule{Prob: 0.3}}
+		})
+	}
+	d1, d2 := run(), run()
+	if d1.rdma.Stats() != d2.rdma.Stats() {
+		t.Fatalf("same schedule, different transport stats:\n%+v\n%+v", d1.rdma.Stats(), d2.rdma.Stats())
+	}
+	if d1.Stats() != d2.Stats() {
+		t.Fatalf("same schedule, different run stats:\n%+v\n%+v", d1.Stats(), d2.Stats())
+	}
+	if !reflect.DeepEqual(d1.Results(), d2.Results()) {
+		t.Fatal("same schedule, different window results")
+	}
+}

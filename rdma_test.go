@@ -18,10 +18,12 @@ func TestRDMAColdBufferOverflowFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewire the RDMA plumbing onto an 8-record cold buffer (white-box).
-	d.mr = rdma.NewMemoryRegion(cfg.AddressMATSize, cfg.Plan.Size, 8)
-	d.nic = rdma.NewNIC(d.mr)
-	d.collector = rdma.NewCollector(d.mat, d.nic)
+	// Rewire the transport onto an 8-record cold buffer (white-box),
+	// keeping the deployment's shed hook so overflow is charged.
+	d.rdma = rdma.NewTransport(rdma.TransportConfig{
+		Rows: cfg.AddressMATSize, Lanes: cfg.Plan.Size, BufCap: 8,
+		OnShed: func(sw uint64, n int) { d.noteRDMAShed(sw, n) },
+	})
 
 	flows := make([]int, 40)
 	for i := range flows {
@@ -47,6 +49,21 @@ func TestRDMAColdBufferOverflowFallsBack(t *testing.T) {
 	// prove anything: 40 AFRs >> 8 slots.
 	if d.stats.ColdAFRs >= 40 {
 		t.Fatalf("cold buffer never overflowed (cold=%d)", d.stats.ColdAFRs)
+	}
+	if st := d.rdma.Stats(); st.Overflows == 0 || d.stats.FallbackAFRs != st.Overflows {
+		t.Fatalf("overflow fallback not accounted: transport %+v, deployment fallbacks %d",
+			st, d.stats.FallbackAFRs)
+	}
+	// Overflow charges shed accounting (pressure), but the fallback
+	// repaired every record, so the windows are exact — Shed > 0 with
+	// nothing Missing, not Degraded.
+	for _, w := range results {
+		if w.ShedAFRs == 0 {
+			t.Fatalf("window [%d,%d] overflow not charged to ShedAFRs", w.Start, w.End)
+		}
+		if w.Degraded || w.MissingAFRs != 0 {
+			t.Fatalf("repaired overflow marked window degraded: %+v", w)
+		}
 	}
 }
 
@@ -80,8 +97,8 @@ func TestRDMAHotPromotionLifecycle(t *testing.T) {
 	}
 	// Flow 2 appeared once: never hot. Flow 1 may or may not have been
 	// demoted by the trailing decay, but the MAT must hold at most it.
-	if d.mat.Len() > 1 {
-		t.Fatalf("address MAT holds %d entries, want <= 1", d.mat.Len())
+	if d.rdma.MATLen() > 1 {
+		t.Fatalf("address MAT holds %d entries, want <= 1", d.rdma.MATLen())
 	}
 	// Totals survive both paths.
 	total := uint64(0)
