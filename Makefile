@@ -5,7 +5,8 @@ GO ?= go
 
 .PHONY: all build test race bench bench-json bench-diff fuzz examples \
 	reproduce fmt vet clean ci fmt-check fuzz-smoke bench-smoke chaos \
-	failover fabric-chaos rdma-chaos staticcheck cover nightly microbench
+	failover fabric-chaos rdma-chaos disk-chaos staticcheck cover nightly \
+	microbench
 
 all: build vet test
 
@@ -29,6 +30,7 @@ race:
 #	failover             ↔ job "failover"
 #	fabric-chaos         ↔ job "fabric-chaos"
 #	rdma-chaos           ↔ job "rdma-chaos"
+#	disk-chaos           ↔ job "disk-chaos"
 #	staticcheck          ↔ job "staticcheck" (CI installs the binary)
 #	cover                ↔ job "coverage"
 #	fuzz-smoke bench-smoke ↔ job "smoke"
@@ -37,7 +39,7 @@ race:
 #	                       run it explicitly before perf-sensitive PRs)
 #	nightly              ↔ .github/workflows/nightly.yml (scheduled)
 ci: build vet fmt-check test race chaos failover fabric-chaos rdma-chaos \
-	staticcheck cover fuzz-smoke bench-smoke
+	disk-chaos staticcheck cover fuzz-smoke bench-smoke
 
 # Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
 # schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
@@ -66,6 +68,15 @@ fabric-chaos:
 # schedule a reproducible test case.
 rdma-chaos:
 	$(GO) test -race -run 'RDMA|Transport' . ./internal/rdma/ ./internal/faults/
+
+# Disk chaos suite: seeded I/O fault schedules (EIO, ENOSPC, short/torn
+# writes, bit rot, slow IO) against the durable store — segment rotation,
+# quarantine, scrubbing, degraded-durability mode and crash-restart
+# recovery — under the race detector. Fixed seeds (the schedule tables in
+# disk_chaos_test.go) make every fault sequence a reproducible test case.
+disk-chaos:
+	$(GO) test -race -run 'Disk|Scrub|Quarantine|Segment|Heal|Degrad' \
+		. ./internal/durable/ ./internal/faults/
 
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
@@ -116,17 +127,18 @@ bench: bench-json
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
 
 # Machine-readable perf numbers for the controller-merge, batched-ingest,
-# collector-decode, fabric and RDMA-collect hot paths: ns/op, B/op and
-# allocs/op, emitted as BENCH_PR8.json for cross-PR diffing (BENCH_PR4,
-# PR6 and PR7 snapshots are kept for comparison). The ingest benchmarks
-# carry 0 allocs/op baselines, so the compare gate pins them at zero: any
-# new steady-state allocation on the pooled hot path fails bench-diff.
-BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric|BenchmarkRDMACollect
+# collector-decode, fabric, RDMA-collect and WAL-append hot paths: ns/op,
+# B/op and allocs/op, emitted as BENCH_PR9.json for cross-PR diffing
+# (BENCH_PR4, PR6, PR7 and PR8 snapshots are kept for comparison). The
+# ingest and WAL-append benchmarks carry 0 allocs/op baselines, so the
+# compare gate pins them at zero: any new steady-state allocation on a
+# pooled hot path fails bench-diff.
+BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric|BenchmarkRDMACollect|BenchmarkWALAppendRotating
 
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Perf-regression gate: rerun the hot-path benchmarks and fail if any
 # shared benchmark's ns/op or allocs/op grew more than 15% over the
@@ -138,7 +150,7 @@ bench-diff:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
-	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json $(BENCH_CURRENT) \
+	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json $(BENCH_CURRENT) \
 		-tolerance 0.15
 
 # Micro-benchmarks across all packages.
@@ -152,8 +164,8 @@ fuzz:
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 30s ./internal/wire/
 
 # Nightly depth: long fuzz runs on every wire decoder plus the chaos,
-# failover, fabric-chaos and rdma-chaos suites widened with 10 extra
-# derived seeds per table (faults.ExtraSeeds). Mirrors
+# failover, fabric-chaos, rdma-chaos and disk-chaos suites widened with
+# 10 extra derived seeds per table (faults.ExtraSeeds). Mirrors
 # .github/workflows/nightly.yml; run locally to reproduce a nightly
 # failure.
 nightly:
@@ -161,7 +173,7 @@ nightly:
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 300s ./internal/wire/
-	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos rdma-chaos
+	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos rdma-chaos disk-chaos
 
 examples:
 	$(GO) run ./examples/quickstart

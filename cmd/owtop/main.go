@@ -296,6 +296,18 @@ func render(w io.Writer, prev, cur *snapshot, events []traceEvent) {
 			cur.sumMatching("omniwindow_rdma_replayed_total"),
 			cur.sumMatching("omniwindow_rdma_lost_afrs_total"))
 	}
+	if cur.hasFamily("omniwindow_durable_degraded") {
+		state := "OK"
+		if cur.sumMatching("omniwindow_durable_degraded") > 0 {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(w, "  disk      %-10s wal errors %.1f/s   gaps %.0f   quarantined %.0f   scrub errors %.0f\n",
+			state,
+			rate(prev, cur, "omniwindow_durable_wal_errors_total"),
+			cur.sumMatching("omniwindow_durable_gaps_total"),
+			cur.sumMatching("omniwindow_durable_quarantined_segments_total"),
+			cur.sumMatching("omniwindow_durable_scrub_errors_total"))
+	}
 
 	fmt.Fprintf(w, "\n  latency          p50        p90        p99\n")
 	for _, row := range []struct{ label, fam string }{

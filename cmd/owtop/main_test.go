@@ -246,6 +246,66 @@ func TestRenderRDMAPanel(t *testing.T) {
 	}
 }
 
+// TestRenderDurabilityPanel round-trips the durability families through a
+// real obs registry exposition: the panel decodes the degraded gauge into
+// OK/DEGRADED, derives the WAL-error rate across snapshots, and shows the
+// gap/quarantine/scrub totals — and stays absent entirely when the
+// deployment never registered the gauge (no CheckpointDir).
+func TestRenderDurabilityPanel(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("omniwindow_durable_degraded", "").Set(1)
+	reg.Counter("omniwindow_durable_gaps_total", "").Add(12)
+	reg.CounterFunc("omniwindow_durable_wal_errors_total", "", func() int64 { return 26 })
+	reg.CounterFunc("omniwindow_durable_quarantined_segments_total", "", func() int64 { return 2 })
+	reg.CounterFunc("omniwindow_durable_scrub_errors_total", "", func() int64 { return 1 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(400, 0)
+	prev := &snapshot{at: t0, values: map[string]float64{
+		"omniwindow_durable_wal_errors_total": 6,
+	}}
+	cur, err := parseMetrics(sb.String(), t0.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	render(&out, prev, cur, nil)
+	frame := out.String()
+	for _, want := range []string{
+		"disk",
+		"DEGRADED",
+		"wal errors 10.0/s", // (26-6)/2s
+		"gaps 12",
+		"quarantined 2",
+		"scrub errors 1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// Healed: the gauge reads 0 — the panel stays but flips to OK.
+	healed := &snapshot{at: t0, values: map[string]float64{
+		"omniwindow_durable_degraded": 0,
+	}}
+	out.Reset()
+	render(&out, nil, healed, nil)
+	if !strings.Contains(out.String(), "OK") || strings.Contains(out.String(), "DEGRADED") {
+		t.Errorf("healed panel should read OK:\n%s", out.String())
+	}
+
+	// A deployment without CheckpointDir never registers the gauge: the
+	// panel must not render.
+	bare := &snapshot{at: t0, values: map[string]float64{}}
+	out.Reset()
+	render(&out, nil, bare, nil)
+	if strings.Contains(out.String(), "disk") {
+		t.Errorf("durability panel rendered without durable metrics:\n%s", out.String())
+	}
+}
+
 // TestRenderFrame smoke-tests one dashboard frame against a realistic
 // snapshot pair: the headline rates, totals and quantile rows all land in
 // the output.

@@ -340,6 +340,20 @@ func (d *Deployment) collect(sw uint64) {
 	// a newer sub-window.
 	owned := d.regionOwned[region] && d.regionOwner[region] == sw
 
+	// Crash-restart gap: when recovery's durable record ended before this
+	// sub-window and no traffic for it ever reached this incarnation, it
+	// cannot be proven empty — charge it Missing so its windows assemble
+	// Incomplete (damage, never silently partial). The first owned
+	// sub-window closes the gap: from there on, idle sub-windows really
+	// are empty, witnessed live.
+	if d.unattested {
+		if owned {
+			d.unattested = false
+		} else if sw >= d.unattestedFrom {
+			d.ctrl.NoteLost(sw, 1)
+		}
+	}
+
 	var afrs int
 	virtual := d.cfg.Grace
 
@@ -514,6 +528,15 @@ func (d *Deployment) collect(sw uint64) {
 	// schedule says so, leaving exactly the on-disk state a real
 	// mid-operation power cut would.
 	d.logFinish(sw)
+	if d.store != nil {
+		// Disk retry backoffs and injected slow-IO latency accrued since
+		// the last boundary, charged as virtual time to the run's C&R
+		// total. Deliberately NOT folded into MaxCollectVirtual: the §6
+		// two-region feasibility bound is about switch-side region reuse,
+		// and controller-side disk stalls overlap the next sub-window's
+		// traffic instead of holding a region hostage.
+		d.stats.CollectVirtual += time.Duration(d.store.TakeIOWait())
+	}
 	d.renewLease()
 	d.crashIfScheduled(sw)
 

@@ -1,9 +1,11 @@
 package omniwindow
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"omniwindow/internal/durable"
 	"omniwindow/internal/hashing"
 	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
@@ -14,9 +16,17 @@ import (
 // every controller-bound delivery, checkpoints at sub-window boundaries,
 // crash-restart recovery, and the hot-standby promotion path.
 //
-// A durable-store write failure is recorded once (DurabilityErr) and
-// disables further logging; the deployment keeps running — durability
-// degrades, telemetry does not stop.
+// Disk faults never stop telemetry. When the store's own retry budget
+// cannot land a write (persistent EIO, a full disk), the deployment flips
+// to DEGRADED durability: windows keep flowing byte-identical to the
+// healthy run, while skipped checkpoint/WAL writes are counted as
+// DurabilityGaps — pressure, not damage, because the live state is still
+// whole. Every boundary while degraded probes the disk with a fresh
+// checkpoint + new WAL generation (durable.Heal); the first success
+// re-enters durable mode. Damage only appears if a crash or failover
+// lands inside a degraded stretch: the un-replayable sub-windows are then
+// charged as Missing (NoteLost), so their windows assemble Incomplete —
+// explicitly, never silently wrong.
 
 // logBatch appends one delivered AFR packet's records to the write-ahead
 // log, grouped per controller shard (matching the table partitioning) and
@@ -25,7 +35,11 @@ import (
 // reused across packets: the group count is tiny (shards × live
 // sub-windows), so a linear key scan beats a per-packet map allocation.
 func (d *Deployment) logBatch(c *packet.Packet) {
-	if d.store == nil || d.storeErr != nil || d.crashed || len(c.OW.AFRs) == 0 {
+	if d.store == nil || d.storeDead || d.crashed || len(c.OW.AFRs) == 0 {
+		return
+	}
+	if d.degraded {
+		d.noteDurabilityGap()
 		return
 	}
 	retrans := c.OW.Flag == packet.OWRetransmit
@@ -50,11 +64,20 @@ func (d *Deployment) logBatch(c *packet.Packet) {
 	}
 	d.walKeys, d.walParts = keys, parts
 	for i, k := range keys {
-		err := d.store.AppendBatch(k.shard, k.sw, retrans, parts[i])
+		var err error
+		if d.degraded {
+			// A mid-packet fault degrades the rest of the packet's
+			// groups too — each skipped frame is one more gap.
+			d.noteDurabilityGap()
+		} else {
+			err = d.store.AppendBatch(k.shard, k.sw, retrans, parts[i])
+		}
 		parts[i] = parts[i][:0]
 		if err != nil {
-			d.storeErr = err
-			return
+			d.durabilityFault(k.sw, err)
+			if d.storeDead {
+				return
+			}
 		}
 	}
 }
@@ -62,11 +85,15 @@ func (d *Deployment) logBatch(c *packet.Packet) {
 // logTrigger appends a sub-window's trigger announcement to the control
 // log.
 func (d *Deployment) logTrigger(sw uint64, keyCount uint32) {
-	if d.store == nil || d.storeErr != nil || d.crashed {
+	if d.store == nil || d.storeDead || d.crashed {
+		return
+	}
+	if d.degraded {
+		d.noteDurabilityGap()
 		return
 	}
 	if err := d.store.AppendTrigger(sw, keyCount); err != nil {
-		d.storeErr = err
+		d.durabilityFault(sw, err)
 	}
 }
 
@@ -74,25 +101,43 @@ func (d *Deployment) logTrigger(sw uint64, keyCount uint32) {
 // boundary is a checkpoint boundary. The checkpoint is exported AFTER the
 // finish is logged, so ThroughLSN covers it and replay never re-runs an
 // assembly the snapshot already reflects.
+//
+// Boundaries also run the storage hygiene that must not sit on the append
+// hot path: cadence-based segment sealing, the bit-rot scrubber (a
+// corrupt frame quarantines its segment and forces an off-cadence
+// checkpoint, re-covering the quarantined records from live state at zero
+// loss), and — while degraded — the heal probe.
 func (d *Deployment) logFinish(sw uint64) {
-	if d.store == nil || d.storeErr != nil || d.crashed {
+	if d.store == nil || d.storeDead || d.crashed {
+		return
+	}
+	if d.degraded {
+		d.noteDurabilityGap()
+		d.healDurability(sw)
 		return
 	}
 	if err := d.store.AppendFinish(sw); err != nil {
-		d.storeErr = err
+		d.durabilityFault(sw, err)
 		return
+	}
+	d.store.SealBoundary()
+	forceCkpt := false
+	if corrupt, err := d.store.Scrub(); err == nil && corrupt > 0 {
+		// Bit rot caught while the live state still covers the damaged
+		// records: checkpoint now and the quarantined frames cost nothing.
+		forceCkpt = true
 	}
 	every := uint64(d.cfg.CheckpointEvery)
 	if every == 0 {
 		every = 1
 	}
-	if (sw+1)%every != 0 {
+	if (sw+1)%every != 0 && !forceCkpt {
 		return
 	}
 	snap := d.ctrl.ExportState()
 	ckptStart := time.Now()
 	if err := d.store.Checkpoint(snap); err != nil {
-		d.storeErr = err
+		d.durabilityFault(sw, err)
 		return
 	}
 	d.obs.ring.Record(obs.StageCheckpoint, sw, -1, int64(time.Since(ckptStart)))
@@ -103,6 +148,64 @@ func (d *Deployment) logFinish(sw uint64) {
 	}
 }
 
+// durabilityFault classifies a store write failure. A dead store (crash
+// hook fired, or the store was closed under us) ends durable logging for
+// good — that is the pre-existing crash semantics. Anything else is a
+// disk fault that survived the store's own retry budget: enter degraded
+// mode and keep the telemetry flowing.
+func (d *Deployment) durabilityFault(sw uint64, err error) {
+	if d.storeErr == nil {
+		d.storeErr = err
+	}
+	if errors.Is(err, durable.ErrCrash) || errors.Is(err, durable.ErrClosed) {
+		d.storeDead = true
+		return
+	}
+	if !d.degraded {
+		d.degraded = true
+		d.obs.durDegraded.Set(1)
+		d.obs.ring.Record(obs.StageDurabilityDegraded, sw, -1, 1)
+	}
+	d.noteDurabilityGap()
+}
+
+// noteDurabilityGap counts one durable write skipped (or failed) while
+// degraded. Gaps are pressure, not damage: the live state is whole, so
+// windows stay byte-identical — only a crash inside the degraded stretch
+// turns the gap into Missing records.
+func (d *Deployment) noteDurabilityGap() {
+	d.stats.DurabilityGaps++
+	d.obs.durGaps.Inc()
+}
+
+// healDurability probes the disk from a degraded boundary: durable.Heal
+// seals every segment and cuts a fresh checkpoint on new WAL generations.
+// Success re-enters durable mode with the on-disk state fully caught up —
+// the degraded stretch needs no replay, the new checkpoint covers it.
+func (d *Deployment) healDurability(sw uint64) {
+	snap := d.ctrl.ExportState()
+	if err := d.store.Heal(snap); err != nil {
+		if errors.Is(err, durable.ErrCrash) || errors.Is(err, durable.ErrClosed) {
+			d.storeDead = true
+		}
+		return // still degraded; probe again next boundary
+	}
+	d.degraded = false
+	d.stats.DurabilityHeals++
+	d.obs.durDegraded.Set(0)
+	d.obs.ring.Record(obs.StageDurabilityDegraded, sw, -1, 0)
+	// Re-sync the standby: it missed every checkpoint the degraded
+	// stretch skipped.
+	if d.standby != nil && !d.failedOver {
+		d.standby.RestoreState(snap)
+	}
+}
+
+// DurabilityDegraded reports whether the deployment is currently running
+// with durable writes suspended (disk faults exhausted the store's retry
+// budget; the heal probe re-enters durable mode at a later boundary).
+func (d *Deployment) DurabilityDegraded() bool { return d.degraded }
+
 // recover replays the durable state into a freshly built deployment: the
 // checkpoint restores the controller wholesale, then the WAL frames it
 // does not cover re-run in their original (LSN) order — re-ingested
@@ -110,16 +213,30 @@ func (d *Deployment) logFinish(sw uint64) {
 // Results exactly where the pre-crash run emitted them) and re-applied
 // shed notes. Finally the window manager fast-forwards past every
 // finished sub-window so replayed boundaries are not terminated twice.
+//
+// Damage is charged before replay: every sub-window a quarantined
+// segment's LSN gap may span is marked Missing (NoteLost), so the windows
+// it feeds assemble Incomplete instead of silently wrong. When recovery
+// found damage, a fresh checkpoint is cut immediately — the next
+// incarnation must not re-derive the same loss from the same broken
+// files.
 func (d *Deployment) recover() error {
 	snap, recs, err := d.store.Recover()
 	if err != nil {
 		return fmt.Errorf("omniwindow: %w", err)
 	}
-	if snap == nil && len(recs) == 0 {
+	lost := d.store.Lost()
+	damaged := len(lost) > 0 || d.store.Quarantined() > 0
+	if snap == nil && len(recs) == 0 && !damaged {
 		return nil
 	}
 	if snap != nil {
 		d.ctrl.RestoreState(snap)
+	}
+	for _, lr := range lost {
+		for sw := lr.SWLow; sw <= lr.SWHigh; sw++ {
+			d.ctrl.NoteLost(sw, 1)
+		}
 	}
 	for _, r := range recs {
 		switch r.Type {
@@ -147,8 +264,23 @@ func (d *Deployment) recover() error {
 		}
 	}
 	d.results = d.appResults[0]
+	// The durable record attests sub-windows only up to the last replayed
+	// finish. Anything between that and the first live traffic this
+	// incarnation sees is un-attestable — a crash inside a degraded
+	// stretch leaves exactly such a hole — and is charged Missing at
+	// termination (see collect) rather than assembled as provably empty.
+	d.unattested = true
 	if lf, ok := d.ctrl.LastFinished(); ok {
 		d.manager.FastForward(lf + 1)
+		d.unattestedFrom = lf + 1
+	}
+	if damaged {
+		// Quarantined files are renamed aside, not replayed again — cut a
+		// checkpoint over the recovered (and damage-charged) state so the
+		// next incarnation starts from coverage, not from the same holes.
+		if err := d.store.Checkpoint(d.ctrl.ExportState()); err != nil {
+			d.durabilityFault(0, err)
+		}
 	}
 	// Warm the standby to the recovered state, as if it had tailed a
 	// checkpoint taken right now.
@@ -166,7 +298,23 @@ func (d *Deployment) recover() error {
 // recovers the whole gap before the region resets. The returned duration
 // is the remaining lease time the standby had to wait out before
 // promoting (charged to the C&R virtual-time budget).
+//
+// A failover inside a degraded-durability stretch is the one live path
+// where gaps become damage: the standby's last tailed checkpoint predates
+// the stretch, and nothing durable covers the boundaries since — those
+// sub-windows are charged Missing on the promoted controller, so their
+// windows assemble Incomplete. The in-flight sub-window is excluded: its
+// switch state is recovered live by the re-sent trigger.
 func (d *Deployment) failover(sw uint64) time.Duration {
+	if d.degraded && d.standby != nil {
+		from := uint64(0)
+		if lf, ok := d.standby.LastFinished(); ok {
+			from = lf + 1
+		}
+		for s := from; s < sw; s++ {
+			d.standby.NoteLost(s, 1)
+		}
+	}
 	d.failedOver = true
 	d.stats.Failovers++
 	d.obs.ring.Record(obs.StageFailover, sw, -1, 0)
@@ -193,11 +341,15 @@ func (d *Deployment) failover(sw uint64) time.Duration {
 // WAL — so restored state reconciles the same degraded windows.
 func (d *Deployment) noteRDMAShed(sw uint64, n int) {
 	d.ctrl.NoteShed(sw, n)
-	if d.store == nil || d.storeErr != nil || d.crashed {
+	if d.store == nil || d.storeDead || d.crashed {
+		return
+	}
+	if d.degraded {
+		d.noteDurabilityGap()
 		return
 	}
 	if err := d.store.AppendShed(sw, uint32(n)); err != nil {
-		d.storeErr = err
+		d.durabilityFault(sw, err)
 	}
 }
 

@@ -456,7 +456,15 @@ func (c *Controller) Receive(p *packet.Packet) {
 	case packet.OWTrigger:
 		d := c.dedupFor(p.OW.SubWindow)
 		d.mu.Lock()
-		d.expected = int(p.OW.KeyCount)
+		// Announcements are cumulative knowledge: a retransmitted or
+		// post-recovery trigger (e.g. a switch re-terminating against an
+		// already-drained data structure announces KeyCount 0) must never
+		// lower an expectation a replayed trigger already established —
+		// that would erase Missing entries for keys the controller knows
+		// it has not received. Keep the max; -1 means "not yet announced".
+		if n := int(p.OW.KeyCount); n > d.expected {
+			d.expected = n
+		}
 		d.mu.Unlock()
 		c.obs.Ring.Record(obs.StageAnnounced, p.OW.SubWindow, -1, int64(p.OW.KeyCount))
 		c.addCollect(p.OW.SubWindow, time.Since(start))
@@ -839,6 +847,12 @@ func (c *Controller) finishOne(sw uint64) []WindowResult {
 		c.mu.Unlock()
 		rel := snapshotReliability(d)
 		c.mu.Lock()
+		// NoteLost may have pre-charged damage (quarantined WAL frames)
+		// against a still-open sub-window; fold it into the dedup's final
+		// snapshot instead of overwriting it.
+		if prior, ok := c.rel[sw]; ok {
+			rel.Missing += prior.Missing
+		}
 		c.rel[sw] = rel
 	}
 	delete(c.dedups, sw)

@@ -44,6 +44,27 @@ func (c *Controller) NoteShed(sw uint64, n int) {
 	c.mu.Unlock()
 }
 
+// NoteLost records that n units of a sub-window's durable record are
+// unrecoverable (quarantined WAL segments, a degraded-durability gap the
+// standby cannot replay). Unlike shed — which is pressure the live path
+// already accounted — lost is damage: it always lands in the sub-window's
+// Missing tally, creating the reliability entry if the sub-window was
+// never announced, so every window spanning it assembles as Incomplete
+// instead of silently wrong.
+func (c *Controller) NoteLost(sw uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	// Works for open and finished sub-windows alike: finishOne merges a
+	// pre-charged entry into the dedup's final snapshot, and the fill
+	// loop treats the entry as already-accounted.
+	rel := c.rel[sw]
+	rel.Missing += n
+	c.rel[sw] = rel
+	c.mu.Unlock()
+}
+
 // LastFinished reports the highest sub-window FinishSubWindow has
 // completed; ok is false before the first finish.
 func (c *Controller) LastFinished() (sw uint64, ok bool) {

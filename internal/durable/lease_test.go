@@ -1,0 +1,74 @@
+package durable
+
+import "testing"
+
+// Expiry is inclusive: a lease renewed at t is expired at exactly t+TTL.
+// The standby promotes at that instant, so a primary that renews only at
+// the boundary has already lost — there is never a moment where both
+// sides can believe they hold the lease.
+func TestLeaseRenewExactlyAtTTL(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+	if l.Expired(99) {
+		t.Fatal("expired before TTL")
+	}
+	if !l.Expired(100) {
+		t.Fatal("renew+TTL must read as expired (inclusive boundary)")
+	}
+	// Renewing at the expiry instant starts a fresh term from that
+	// instant, not from the stale one.
+	l.Renew(100)
+	if l.Expired(199) {
+		t.Fatal("boundary renewal did not extend the term")
+	}
+	if !l.Expired(200) {
+		t.Fatal("extended term must still expire inclusively")
+	}
+}
+
+// Promotion race with a revived primary: once the standby observes expiry
+// and the old holder releases, a stale renewal from the revived primary
+// is a NEW acquisition — it cannot retroactively un-expire the term the
+// standby promoted on.
+func TestLeasePromotionRaceWithRevivedPrimary(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+
+	// Standby's view at t=150: expired. It promotes and takes over.
+	if !l.Expired(150) {
+		t.Fatal("standby should observe expiry")
+	}
+	l.Release()
+
+	// A released lease reads expired at every instant, even ones inside
+	// the old term — the primary's revival cannot resurrect it.
+	for _, now := range []int64{0, 50, 99, 150} {
+		if !l.Expired(now) {
+			t.Fatalf("released lease read as held at %d", now)
+		}
+	}
+	if got := l.Remaining(50); got != 0 {
+		t.Fatalf("Remaining after release = %d, want 0", got)
+	}
+
+	// The revived primary renewing afterward is a fresh acquisition with
+	// a full term — the normal re-admission path, not a conflict.
+	l.Renew(200)
+	if l.Expired(299) {
+		t.Fatal("fresh acquisition not honored")
+	}
+	if got := l.Remaining(250); got != 50 {
+		t.Fatalf("Remaining = %d, want 50", got)
+	}
+}
+
+func TestLeaseRemainingNeverNegative(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+	if got := l.Remaining(500); got != 0 {
+		t.Fatalf("Remaining long after expiry = %d, want 0", got)
+	}
+	if got := l.TTL(); got != 100 {
+		t.Fatalf("TTL = %d, want 100", got)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package durable
+
+// raceEnabled mirrors the -race build tag so allocation-count tests can
+// skip themselves under the race detector, whose instrumentation
+// allocates.
+const raceEnabled = false

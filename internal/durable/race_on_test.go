@@ -1,0 +1,5 @@
+//go:build race
+
+package durable
+
+const raceEnabled = true

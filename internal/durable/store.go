@@ -6,33 +6,53 @@
 //
 // Layout inside the directory:
 //
-//	checkpoint.snap   latest snapshot (wire.EncodeSnapshot; temp+rename)
-//	wal-NNN.log       per-shard AFR-batch log (wire.AppendWALRecord frames)
-//	wal.ctl           control log: triggers, finishes, shed notes
+//	checkpoint.snap       latest snapshot (wire.EncodeSnapshot; temp+rename)
+//	wal-NNN-GGGGGG.log    per-shard AFR-batch segments (chain NNN, generation G)
+//	wal-ctl-GGGGGG.log    control-chain segments: triggers, finishes, sheds
+//	*.quarantined         segments (or a checkpoint) set aside as damaged
+//
+// Each chain's log is a sequence of generation-numbered segments, every
+// segment opening with a wire.SegmentHeader naming its chain and
+// generation. Segments rotate on a size cap and on a sub-window cadence,
+// which bounds the blast radius of any single damaged file. A checkpoint
+// supersedes and deletes every live segment; post-checkpoint appends open
+// fresh generations.
 //
 // Every appended frame carries a global log sequence number (LSN) from one
-// atomic counter, so replay merges the per-shard logs and the control log
-// back into one total order. A checkpoint records the LSN high-water mark
-// it covers (ThroughLSN); replay skips frames at or below it, which makes
-// a crash between the checkpoint rename and the log truncation harmless —
-// the stale frames are recognized and ignored, never double-applied.
+// atomic counter, so replay merges the per-chain segments back into one
+// total order. A checkpoint records the LSN high-water mark it covers
+// (ThroughLSN); replay skips frames at or below it, which makes a crash
+// between the checkpoint rename and the segment deletion harmless — the
+// stale frames are recognized and ignored, never double-applied.
 //
-// A torn tail (the partial frame a crash mid-append leaves behind) decodes
-// as wire.ErrTruncated and cleanly ends that log's replay; a frame that
-// fails its CRC does the same, because nothing after an undecodable length
-// prefix can be trusted.
+// The storage failure doctrine: a torn tail (the partial frame a crash or
+// a survived short write leaves at the end of a segment) ends that
+// segment's replay at the last good frame and is not damage; a frame that
+// fails its CRC, an unreadable file, or a damaged segment header is
+// damage — the file is quarantined (renamed aside) rather than aborting
+// recovery, and the LSNs that disappear with it surface as LostLSNRange
+// gaps the caller must account as missing data. Transient write faults
+// are retried with backoff behind a rotation (so the tear a failed
+// attempt leaves behind is always a benign torn tail); persistent faults
+// (ENOSPC, exhausted retries) surface to the caller, which drops to
+// degraded durability rather than halting the window pipeline.
 package durable
 
 import (
 	"errors"
 	"fmt"
-	"os"
+	"io"
+	iofs "io/fs"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"omniwindow/internal/faults"
 	"omniwindow/internal/obs"
 	"omniwindow/internal/packet"
 	"omniwindow/internal/wire"
@@ -43,32 +63,117 @@ import (
 // further writes, exactly as a dead process would.
 var ErrCrash = errors.New("durable: simulated crash")
 
+// ErrClosed is returned by operations on a store after Close.
+var ErrClosed = errors.New("durable: store closed")
+
 const (
-	checkpointName = "checkpoint.snap"
-	checkpointTemp = "checkpoint.snap.tmp"
-	ctlName        = "wal.ctl"
+	checkpointName   = "checkpoint.snap"
+	checkpointTemp   = "checkpoint.snap.tmp"
+	quarantineSuffix = ".quarantined"
+
+	// segBoundaryCadence seals a non-empty active segment after this many
+	// sub-window boundaries even if the size cap hasn't been reached, so
+	// slow shards still rotate and a damaged file stays small in time as
+	// well as in bytes.
+	segBoundaryCadence = 8
+
+	defaultSegmentBytes    = 256 << 10
+	defaultRetryLimit      = 3
+	defaultRetryBackoff    = time.Millisecond
+	defaultRetryMaxBackoff = 50 * time.Millisecond
+	defaultScrubDepth      = 64
 )
 
-func walName(shard int) string { return fmt.Sprintf("wal-%03d.log", shard) }
+// Options tunes OpenStore. The zero value gives the production defaults.
+type Options struct {
+	// FS is the filesystem seam; nil means the real filesystem (OSFS).
+	FS FS
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// <= 0 means the 256 KiB default.
+	SegmentBytes int
+	// RetryLimit is how many times a transiently failed file operation is
+	// retried; 0 means the default (3), negative disables retries.
+	RetryLimit int
+	// RetryBackoff is the first retry's backoff, doubling per attempt up
+	// to RetryMaxBackoff. Backoff is charged to the store's virtual
+	// IO-wait accumulator (TakeIOWait), never slept.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// ScrubDepth is how many recent frames per chain Scrub re-reads and
+	// CRC-verifies; 0 means the default (64), negative disables scrubbing.
+	ScrubDepth int
+}
 
-// Store manages one controller's checkpoint and write-ahead logs.
+// LostLSNRange is a gap in the recovered LSN sequence: frames the store
+// issued but could not replay, because the segment holding them was
+// quarantined (or a checkpoint vanished). SWLow/SWHigh bound the
+// sub-windows whose data may be damaged, taken from the nearest
+// recovered neighbors; the caller must account every sub-window in the
+// range as missing data so the windows spanning them surface as
+// Incomplete instead of silently wrong.
+type LostLSNRange struct {
+	From, To      uint64 // inclusive LSN bounds of the gap
+	SWLow, SWHigh uint64 // inclusive sub-window bounds possibly damaged
+}
+
+// frameLoc locates one frame inside the active segment, for the scrubber.
+type frameLoc struct {
+	off int64
+	n   int32
+}
+
+// chain is one append stream (a shard's AFR log, or the control log) and
+// its active segment.
+type chain struct {
+	id   uint32 // wire chain id: shard index, or wire.CtlChain
+	name string // filename component: "000", "001", ..., or "ctl"
+
+	gen    uint64 // highest generation ever seen or opened
+	f      File   // active segment handle; nil when none is open
+	path   string
+	size   int64
+	frames int      // frames written to the active segment
+	opened uint64   // boundary counter value when the active segment opened
+	segs   []string // live (non-quarantined, non-deleted) segment paths
+	ring   []frameLoc
+}
+
+// Store manages one controller's checkpoint and write-ahead log segments.
 type Store struct {
 	dir    string
 	shards int
-	lsn    atomic.Uint64 // last issued LSN
+	fsys   FS
 
-	mu   sync.Mutex
-	data []*os.File // per-shard AFR logs
-	ctl  *os.File   // control log
-	dead bool
-	enc  []byte // frame/snapshot encode scratch, reused under mu
+	segBytes        int64
+	retryLimit      int
+	retryBackoff    time.Duration
+	retryMaxBackoff time.Duration
+	scrubDepth      int
+
+	lsn atomic.Uint64 // last issued LSN
+
+	mu       sync.Mutex
+	chains   []*chain // shards AFR chains, then the control chain
+	boundary uint64   // SealBoundary call counter
+	dead     bool
+	deadErr  error
+	enc      []byte // frame/snapshot encode scratch, reused under mu
+	hdr      []byte // segment-header encode scratch (enc may hold a frame)
+	lost     []LostLSNRange
+
+	ioWait      atomic.Int64 // virtual ns: retry backoff (plus FS slow IO, drained in TakeIOWait)
+	walErrs     atomic.Int64
+	rotations   atomic.Int64
+	quarantines atomic.Int64
+	scrubErrs   atomic.Int64
 
 	// crash, when set, is consulted at named points inside mutating
 	// operations; returning true aborts the operation with ErrCrash,
 	// leaving behind whatever partial bytes a real crash would. Points:
 	// "wal-append" (a torn half-frame is written first), "checkpoint-temp"
 	// (partial temp file), "checkpoint-rename" (temp complete, rename not
-	// done), "wal-truncate" (checkpoint renamed, logs not yet truncated).
+	// done), "wal-truncate" (checkpoint renamed, old segments not yet
+	// deleted).
 	crash func(point string) bool
 
 	// Nil-safe instrumentation handles (see Instrument).
@@ -80,64 +185,161 @@ type Store struct {
 	ckptBytes   *obs.Counter
 }
 
-// Open creates (or reopens) a store with the given shard count. Reopening
-// an existing directory resumes the LSN counter past every frame already
-// on disk.
+// Open creates (or reopens) a store with the given shard count and
+// default options. Reopening an existing directory resumes the LSN
+// counter past every frame already on disk.
 func Open(dir string, shards int) (*Store, error) {
+	return OpenStore(dir, shards, Options{})
+}
+
+// OpenStore is Open with explicit Options.
+func OpenStore(dir string, shards int, opt Options) (*Store, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("durable: shard count must be positive, got %d", shards)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("durable: %w", err)
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = OSFS{}
 	}
-	s := &Store{dir: dir, shards: shards}
-	for i := 0; i < shards; i++ {
-		f, err := os.OpenFile(filepath.Join(dir, walName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			s.closeFiles()
-			return nil, fmt.Errorf("durable: %w", err)
+	s := &Store{
+		dir:             dir,
+		shards:          shards,
+		fsys:            fsys,
+		segBytes:        int64(opt.SegmentBytes),
+		retryLimit:      opt.RetryLimit,
+		retryBackoff:    opt.RetryBackoff,
+		retryMaxBackoff: opt.RetryMaxBackoff,
+		scrubDepth:      opt.ScrubDepth,
+	}
+	if s.segBytes <= 0 {
+		s.segBytes = defaultSegmentBytes
+	}
+	switch {
+	case s.retryLimit == 0:
+		s.retryLimit = defaultRetryLimit
+	case s.retryLimit < 0:
+		s.retryLimit = 0
+	}
+	if s.retryBackoff <= 0 {
+		s.retryBackoff = defaultRetryBackoff
+	}
+	if s.retryMaxBackoff < s.retryBackoff {
+		s.retryMaxBackoff = defaultRetryMaxBackoff
+		if s.retryMaxBackoff < s.retryBackoff {
+			s.retryMaxBackoff = s.retryBackoff
 		}
-		s.data = append(s.data, f)
 	}
-	ctl, err := os.OpenFile(filepath.Join(dir, ctlName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		s.closeFiles()
-		return nil, fmt.Errorf("durable: %w", err)
+	switch {
+	case s.scrubDepth == 0:
+		s.scrubDepth = defaultScrubDepth
+	case s.scrubDepth < 0:
+		s.scrubDepth = 0
 	}
-	s.ctl = ctl
 
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	for i := 0; i < shards; i++ {
+		s.chains = append(s.chains, s.newChain(uint32(i), fmt.Sprintf("%03d", i)))
+	}
+	s.chains = append(s.chains, s.newChain(wire.CtlChain, "ctl"))
+
+	if err := s.scanDir(); err != nil {
+		return nil, err
+	}
 	// Resume the LSN counter past everything already durable, so new
-	// frames never collide with replayed ones.
-	max := uint64(0)
-	snap, err := s.LoadCheckpoint()
+	// frames never collide with replayed ones. Segments are opened
+	// lazily on first append; nothing is written here.
+	s.mu.Lock()
+	s.recoverLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+func (s *Store) newChain(id uint32, name string) *chain {
+	c := &chain{id: id, name: name}
+	if s.scrubDepth > 0 {
+		c.ring = make([]frameLoc, s.scrubDepth)
+	}
+	return c
+}
+
+func (s *Store) segPath(c *chain, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%s-%06d.log", c.name, gen))
+}
+
+// parseSegName maps a segment filename (without any quarantine suffix) to
+// its chain index and generation. The legacy single-file names
+// ("wal-000.log", "wal.ctl") don't parse and are simply ignored.
+func (s *Store) parseSegName(name string) (ci int, gen uint64, ok bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	i := strings.LastIndexByte(mid, '-')
+	if i < 0 {
+		return 0, 0, false
+	}
+	gen, err := strconv.ParseUint(mid[i+1:], 10, 64)
 	if err != nil {
-		s.closeFiles()
-		return nil, err
+		return 0, 0, false
 	}
-	if snap != nil && snap.ThroughLSN > max {
-		max = snap.ThroughLSN
+	if mid[:i] == "ctl" {
+		return s.shards, gen, true
 	}
-	recs, err := s.replayAll()
+	n, err := strconv.Atoi(mid[:i])
+	if err != nil || n < 0 || n >= s.shards {
+		return 0, 0, false
+	}
+	return n, gen, true
+}
+
+// scanDir enumerates existing segments into each chain (sorted by
+// generation) and advances the generation counters past every file seen,
+// quarantined ones included, so new segments never collide with old names.
+func (s *Store) scanDir() error {
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
-		s.closeFiles()
-		return nil, err
+		return fmt.Errorf("durable: %w", err)
 	}
-	for _, r := range recs {
-		if r.LSN > max {
-			max = r.LSN
+	type seg struct {
+		gen  uint64
+		path string
+	}
+	found := make([][]seg, len(s.chains))
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, quarantineSuffix) {
+			if ci, gen, ok := s.parseSegName(strings.TrimSuffix(name, quarantineSuffix)); ok && gen > s.chains[ci].gen {
+				s.chains[ci].gen = gen
+			}
+			continue
+		}
+		ci, gen, ok := s.parseSegName(name)
+		if !ok {
+			continue
+		}
+		found[ci] = append(found[ci], seg{gen, filepath.Join(s.dir, name)})
+		if gen > s.chains[ci].gen {
+			s.chains[ci].gen = gen
 		}
 	}
-	s.lsn.Store(max)
-	return s, nil
+	for ci, segs := range found {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+		for _, sg := range segs {
+			s.chains[ci].segs = append(s.chains[ci].segs, sg.path)
+		}
+	}
+	return nil
 }
 
 // SetCrash installs the simulated-crash hook (tests only; see Store.crash).
 func (s *Store) SetCrash(fn func(point string) bool) { s.crash = fn }
 
 // Instrument registers the durability metric family on reg: WAL append
-// and checkpoint latency distributions plus operation/byte counters. The
-// handles are nil-safe, so an uninstrumented store (the default) pays
-// nothing. Call before the store carries traffic.
+// and checkpoint latency distributions plus operation/byte/fault
+// counters. The handles are nil-safe, so an uninstrumented store (the
+// default) pays nothing. Call before the store carries traffic.
 func (s *Store) Instrument(reg *obs.Registry, labels string) {
 	n := func(name string) string {
 		if labels == "" {
@@ -146,11 +348,15 @@ func (s *Store) Instrument(reg *obs.Registry, labels string) {
 		return name + "{" + labels + "}"
 	}
 	s.walLat = reg.Histogram(n("omniwindow_durable_wal_append_seconds"), "write-ahead log append latency (frame encode + write)", nil)
-	s.ckptLat = reg.Histogram(n("omniwindow_durable_checkpoint_seconds"), "checkpoint latency (encode + temp write + rename + truncate)", nil)
+	s.ckptLat = reg.Histogram(n("omniwindow_durable_checkpoint_seconds"), "checkpoint latency (encode + temp write + rename + segment deletion)", nil)
 	s.appends = reg.Counter(n("omniwindow_durable_wal_appends_total"), "write-ahead log frames appended")
 	s.checkpoints = reg.Counter(n("omniwindow_durable_checkpoints_total"), "checkpoints completed")
 	s.walBytes = reg.Counter(n("omniwindow_durable_wal_bytes_total"), "bytes appended to the write-ahead logs")
 	s.ckptBytes = reg.Counter(n("omniwindow_durable_checkpoint_bytes_total"), "bytes written per completed checkpoint snapshot")
+	reg.CounterFunc(n("omniwindow_durable_wal_errors_total"), "write-ahead log append attempts that failed (before any retry succeeded)", s.walErrs.Load)
+	reg.CounterFunc(n("omniwindow_durable_rotations_total"), "WAL segments sealed (size cap, cadence, retry rotation, or checkpoint)", s.rotations.Load)
+	reg.CounterFunc(n("omniwindow_durable_quarantined_segments_total"), "damaged segments or checkpoints set aside during recovery or scrubbing", s.quarantines.Load)
+	reg.CounterFunc(n("omniwindow_durable_scrub_errors_total"), "scrub passes that could not verify a chain (read failures)", s.scrubErrs.Load)
 }
 
 // Dir returns the store's directory.
@@ -159,59 +365,217 @@ func (s *Store) Dir() string { return s.dir }
 // LSN returns the last issued log sequence number.
 func (s *Store) LSN() uint64 { return s.lsn.Load() }
 
-func (s *Store) closeFiles() {
-	for _, f := range s.data {
-		if f != nil {
-			f.Close()
-		}
+// Quarantined returns how many damaged files this store instance has set
+// aside (segments and checkpoints).
+func (s *Store) Quarantined() int64 { return s.quarantines.Load() }
+
+// WALErrors returns how many append attempts failed.
+func (s *Store) WALErrors() int64 { return s.walErrs.Load() }
+
+// ScrubErrors returns how many scrub passes hit unreadable chains.
+func (s *Store) ScrubErrors() int64 { return s.scrubErrs.Load() }
+
+// Rotations returns how many segments have been sealed.
+func (s *Store) Rotations() int64 { return s.rotations.Load() }
+
+// Lost returns the LSN gaps found by the most recent recovery pass (Open
+// or Recover): frames that were issued but could not be replayed.
+func (s *Store) Lost() []LostLSNRange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LostLSNRange(nil), s.lost...)
+}
+
+// FSOps reports how many fault-drawable filesystem operations the store
+// has issued, when the seam tracks them (FaultFS); 0 otherwise. Chaos
+// tests use it to place ENOSPC windows at run-relative positions.
+func (s *Store) FSOps() uint64 {
+	if f, ok := s.fsys.(interface{ Ops() uint64 }); ok {
+		return f.Ops()
 	}
-	if s.ctl != nil {
-		s.ctl.Close()
+	return 0
+}
+
+// TakeIOWait returns and resets the store's accumulated virtual IO wait
+// in nanoseconds: retry backoff, plus any injected slow-IO latency when
+// the filesystem seam reports it. The deployment charges this against
+// its collection budget, keeping slow disks visible in virtual time
+// without ever sleeping.
+func (s *Store) TakeIOWait() int64 {
+	w := s.ioWait.Swap(0)
+	if f, ok := s.fsys.(interface{ TakeSlowWait() int64 }); ok {
+		w += f.TakeSlowWait()
+	}
+	return w
+}
+
+// markDeadLocked transitions the store to its terminal state exactly
+// once: the first cause wins, every open handle is closed, and all later
+// operations return the same stable wrapped error.
+func (s *Store) markDeadLocked(err error) {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.deadErr = err
+	for _, c := range s.chains {
+		if c.f != nil {
+			c.f.Close()
+			c.f = nil
+		}
 	}
 }
 
-// Close flushes and closes every log file.
+// Close flushes and closes every open segment. Idempotent; operations
+// after Close return an error wrapping ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.dead {
-		return nil
-	}
-	s.dead = true
-	s.closeFiles()
+	s.markDeadLocked(fmt.Errorf("durable: %w", ErrClosed))
 	return nil
 }
 
 // die marks the store dead at a crash point, simulating the partial write
 // a real crash leaves: if frame is non-empty, its first half is written to
-// f before the process "dies".
-func (s *Store) die(f *os.File, frame []byte) error {
+// f before the process "dies". Idempotent — a second crash point (or a
+// concurrent appender) observes the first death's stable error.
+func (s *Store) die(f File, frame []byte, point string) error {
+	if s.dead {
+		return s.deadErr
+	}
 	if f != nil && len(frame) > 0 {
 		f.Write(frame[:len(frame)/2])
 	}
-	s.dead = true
-	s.closeFiles()
-	return ErrCrash
+	s.markDeadLocked(fmt.Errorf("durable: store dead (crashed at %q): %w", point, ErrCrash))
+	return s.deadErr
 }
 
-// append writes one framed record to f.
-func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
+// isFull reports a full-disk error — the one fault class retries can't
+// help with.
+func isFull(err error) bool {
+	return errors.Is(err, faults.ErrDiskENOSPC) || errors.Is(err, syscall.ENOSPC)
+}
+
+func (s *Store) nextBackoff(backoff time.Duration) time.Duration {
+	backoff *= 2
+	if backoff > s.retryMaxBackoff {
+		backoff = s.retryMaxBackoff
+	}
+	return backoff
+}
+
+// sealLocked closes the active segment; the next append opens a fresh
+// generation. The sealed file is final: replay reads it until its last
+// good frame.
+func (s *Store) sealLocked(c *chain) {
+	if c.f == nil {
+		return
+	}
+	c.f.Close()
+	c.f = nil
+	c.frames = 0
+	s.rotations.Add(1)
+}
+
+// openSegmentLocked opens the chain's next-generation segment and writes
+// its header. On failure the chain stays closed (c.f nil) and the caller
+// decides whether to retry.
+func (s *Store) openSegmentLocked(c *chain) error {
+	gen := c.gen + 1
+	path := s.segPath(c, gen)
+	f, err := s.fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	s.hdr = wire.AppendSegmentHeader(s.hdr[:0], &wire.SegmentHeader{Chain: c.id, Gen: gen})
+	if n, werr := f.Write(s.hdr); werr != nil || n != len(s.hdr) {
+		f.Close()
+		s.fsys.Remove(path)
+		c.gen = gen // never reuse the name, even on failure
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		return werr
+	}
+	c.gen, c.f, c.path = gen, f, path
+	c.size = int64(len(s.hdr))
+	c.frames = 0
+	c.opened = s.boundary
+	c.segs = append(c.segs, path)
+	return nil
+}
+
+// writeFrameLocked lands one frame on the chain's active segment, opening
+// one lazily and retrying transient faults with backoff. Every failed
+// attempt seals the segment first, so the torn bytes a short write may
+// have left become a benign torn tail and the retried frame starts a
+// fresh file. ENOSPC is persistent by definition and short-circuits the
+// retries.
+func (s *Store) writeFrameLocked(c *chain, frame []byte) error {
+	var lastErr error
+	backoff := s.retryBackoff
+	for attempt := 0; attempt <= s.retryLimit; attempt++ {
+		if attempt > 0 {
+			s.ioWait.Add(int64(backoff))
+			backoff = s.nextBackoff(backoff)
+		}
+		if c.f == nil {
+			if err := s.openSegmentLocked(c); err != nil {
+				lastErr = err
+				s.walErrs.Add(1)
+				if isFull(err) {
+					break
+				}
+				continue
+			}
+		}
+		n, err := c.f.Write(frame)
+		if err == nil && n == len(frame) {
+			if len(c.ring) > 0 {
+				c.ring[c.frames%len(c.ring)] = frameLoc{off: c.size, n: int32(n)}
+			}
+			c.size += int64(n)
+			c.frames++
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		lastErr = err
+		s.walErrs.Add(1)
+		s.sealLocked(c)
+		if isFull(err) {
+			break
+		}
+	}
+	return fmt.Errorf("durable: wal append: %w", lastErr)
+}
+
+// append writes one framed record to the chain at index ci.
+func (s *Store) append(ci int, rec *wire.WALRecord) error {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
-		return ErrCrash
+		return s.deadErr
 	}
+	c := s.chains[ci]
 	// Encode into the store's scratch buffer: one steady-state allocation
 	// for the life of the store instead of one per append. Safe because
 	// the frame is fully written (or abandoned) before mu is released.
 	s.enc = wire.AppendWALRecord(s.enc[:0], rec)
 	frame := s.enc
 	if s.crash != nil && s.crash("wal-append") {
-		return s.die(f, frame)
+		if c.f == nil {
+			s.openSegmentLocked(c) // best effort, so the tear lands somewhere
+		}
+		return s.die(c.f, frame, "wal-append")
 	}
-	if _, err := f.Write(frame); err != nil {
-		return fmt.Errorf("durable: %w", err)
+	if err := s.writeFrameLocked(c, frame); err != nil {
+		return err
+	}
+	if c.size >= s.segBytes {
+		s.sealLocked(c)
 	}
 	s.appends.Inc()
 	s.walBytes.Add(int64(len(frame)))
@@ -219,21 +583,38 @@ func (s *Store) append(f *os.File, rec *wire.WALRecord) error {
 	return nil
 }
 
-// AppendBatch logs one ingested AFR batch to a shard's log. retrans marks
-// batches that arrived via the NACK/retransmit path, so replayed delivery
-// accounting matches the original run's.
+// SealBoundary notes a sub-window boundary: active segments that have
+// carried frames for segBoundaryCadence boundaries are sealed, so
+// rotation happens on a time cadence even when the size cap is far away.
+func (s *Store) SealBoundary() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return
+	}
+	s.boundary++
+	for _, c := range s.chains {
+		if c.f != nil && c.frames > 0 && s.boundary-c.opened >= segBoundaryCadence {
+			s.sealLocked(c)
+		}
+	}
+}
+
+// AppendBatch logs one ingested AFR batch to a shard's chain. retrans
+// marks batches that arrived via the NACK/retransmit path, so replayed
+// delivery accounting matches the original run's.
 func (s *Store) AppendBatch(shard int, sw uint64, retrans bool, afrs []packet.AFR) error {
 	if shard < 0 || shard >= s.shards {
 		return fmt.Errorf("durable: shard %d out of range [0,%d)", shard, s.shards)
 	}
-	return s.append(s.data[shard], &wire.WALRecord{
+	return s.append(shard, &wire.WALRecord{
 		Type: wire.WALAFRBatch, LSN: s.lsn.Add(1), SubWindow: sw, Retrans: retrans, AFRs: afrs,
 	})
 }
 
 // AppendTrigger logs a sub-window's trigger announcement.
 func (s *Store) AppendTrigger(sw uint64, keyCount uint32) error {
-	return s.append(s.ctl, &wire.WALRecord{
+	return s.append(s.shards, &wire.WALRecord{
 		Type: wire.WALTrigger, LSN: s.lsn.Add(1), SubWindow: sw, KeyCount: keyCount,
 	})
 }
@@ -242,7 +623,7 @@ func (s *Store) AppendTrigger(sw uint64, keyCount uint32) error {
 // assembly (and its evictions) at exactly the same point in the ingest
 // order.
 func (s *Store) AppendFinish(sw uint64) error {
-	return s.append(s.ctl, &wire.WALRecord{
+	return s.append(s.shards, &wire.WALRecord{
 		Type: wire.WALFinish, LSN: s.lsn.Add(1), SubWindow: sw,
 	})
 }
@@ -250,22 +631,86 @@ func (s *Store) AppendFinish(sw uint64) error {
 // AppendShed logs records dropped by admission control, so restored
 // ShedAFRs/Degraded accounting matches the pre-crash state.
 func (s *Store) AppendShed(sw uint64, n uint32) error {
-	return s.append(s.ctl, &wire.WALRecord{
+	return s.append(s.shards, &wire.WALRecord{
 		Type: wire.WALShed, LSN: s.lsn.Add(1), SubWindow: sw, Count: n,
 	})
 }
 
+// writeFileRetry writes a whole file with transient-fault retries. Each
+// attempt rewrites from scratch, so a torn attempt can't survive into the
+// final content.
+func (s *Store) writeFileRetry(path string, data []byte) error {
+	var lastErr error
+	backoff := s.retryBackoff
+	for attempt := 0; attempt <= s.retryLimit; attempt++ {
+		if attempt > 0 {
+			s.ioWait.Add(int64(backoff))
+			backoff = s.nextBackoff(backoff)
+		}
+		err := s.fsys.WriteFile(path, data, 0o644)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if isFull(err) {
+			break
+		}
+	}
+	return lastErr
+}
+
+func (s *Store) renameRetry(oldpath, newpath string) error {
+	var lastErr error
+	backoff := s.retryBackoff
+	for attempt := 0; attempt <= s.retryLimit; attempt++ {
+		if attempt > 0 {
+			s.ioWait.Add(int64(backoff))
+			backoff = s.nextBackoff(backoff)
+		}
+		err := s.fsys.Rename(oldpath, newpath)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (s *Store) readFileRetry(path string) ([]byte, error) {
+	var lastErr error
+	backoff := s.retryBackoff
+	for attempt := 0; attempt <= s.retryLimit; attempt++ {
+		if attempt > 0 {
+			s.ioWait.Add(int64(backoff))
+			backoff = s.nextBackoff(backoff)
+		}
+		buf, err := s.fsys.ReadFile(path)
+		if err == nil {
+			return buf, nil
+		}
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // Checkpoint atomically replaces the checkpoint file with snap and
-// truncates the logs it supersedes. snap.ThroughLSN is stamped with the
+// deletes the segments it supersedes. snap.ThroughLSN is stamped with the
 // current LSN high-water mark: every frame logged so far is folded into
 // the snapshot by construction (the caller exports controller state after
 // logging everything it ingested).
 func (s *Store) Checkpoint(snap *wire.Snapshot) error {
-	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkpointLocked(snap)
+}
+
+func (s *Store) checkpointLocked(snap *wire.Snapshot) error {
+	start := time.Now()
 	if s.dead {
-		return ErrCrash
+		return s.deadErr
 	}
 	snap.ThroughLSN = s.lsn.Load()
 	s.enc = wire.EncodeSnapshot(s.enc[:0], snap)
@@ -273,37 +718,34 @@ func (s *Store) Checkpoint(snap *wire.Snapshot) error {
 
 	tmp := filepath.Join(s.dir, checkpointTemp)
 	if s.crash != nil && s.crash("checkpoint-temp") {
-		f, _ := os.Create(tmp)
-		return s.die(f, buf)
+		f, _ := s.fsys.Create(tmp)
+		return s.die(f, buf, "checkpoint-temp")
 	}
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("durable: %w", err)
+	if err := s.writeFileRetry(tmp, buf); err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
 	}
 	if s.crash != nil && s.crash("checkpoint-rename") {
-		return s.die(nil, nil)
+		return s.die(nil, nil, "checkpoint-rename")
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
-		return fmt.Errorf("durable: %w", err)
+	if err := s.renameRetry(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
 	}
 	if s.crash != nil && s.crash("wal-truncate") {
-		return s.die(nil, nil)
+		return s.die(nil, nil, "wal-truncate")
 	}
-	// The snapshot covers every logged frame; drop them. A crash before
-	// this point leaves stale frames behind, which replay recognizes by
-	// LSN and skips.
-	for _, f := range s.data {
-		if err := f.Truncate(0); err != nil {
-			return fmt.Errorf("durable: %w", err)
+	// The snapshot covers every logged frame; drop the segments. A crash
+	// (or a remove failure) before this completes leaves stale segments
+	// behind, which replay recognizes by LSN and skips — so deletion
+	// failures are tolerable, not fatal.
+	for _, c := range s.chains {
+		s.sealLocked(c)
+		kept := c.segs[:0]
+		for _, path := range c.segs {
+			if err := s.fsys.Remove(path); err != nil {
+				kept = append(kept, path)
+			}
 		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return fmt.Errorf("durable: %w", err)
-		}
-	}
-	if err := s.ctl.Truncate(0); err != nil {
-		return fmt.Errorf("durable: %w", err)
-	}
-	if _, err := s.ctl.Seek(0, 0); err != nil {
-		return fmt.Errorf("durable: %w", err)
+		c.segs = kept
 	}
 	s.checkpoints.Inc()
 	s.ckptBytes.Add(int64(len(buf)))
@@ -311,13 +753,31 @@ func (s *Store) Checkpoint(snap *wire.Snapshot) error {
 	return nil
 }
 
+// Heal re-enters durable mode after a degraded spell: every chain rotates
+// to a fresh generation and a new checkpoint of snap is cut, so the
+// post-heal log starts from a clean, fully covered state. On failure the
+// store is unchanged (still usable, still best tried again later).
+func (s *Store) Heal(snap *wire.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return s.deadErr
+	}
+	for _, c := range s.chains {
+		s.sealLocked(c)
+	}
+	return s.checkpointLocked(snap)
+}
+
 // LoadCheckpoint reads and verifies the checkpoint file. It returns
-// (nil, nil) when no checkpoint exists yet. A checkpoint that fails its
-// CRC or version check is an error: refusing to load beats silently
-// merging a torn snapshot.
+// (nil, nil) when no checkpoint exists yet, and an error when the file is
+// unreadable or fails its CRC/version check — the strict form, for
+// callers that want to distinguish damage themselves. Recovery instead
+// uses the quarantining loader, which sets a damaged checkpoint aside and
+// proceeds from the WAL alone.
 func (s *Store) LoadCheckpoint() (*wire.Snapshot, error) {
-	buf, err := os.ReadFile(filepath.Join(s.dir, checkpointName))
-	if errors.Is(err, os.ErrNotExist) {
+	buf, err := s.fsys.ReadFile(filepath.Join(s.dir, checkpointName))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -330,69 +790,228 @@ func (s *Store) LoadCheckpoint() (*wire.Snapshot, error) {
 	return snap, nil
 }
 
-// replayFile decodes every complete frame of one log file. A torn tail
-// (ErrTruncated) or a corrupt frame (ErrChecksum) ends that file's replay
-// at the last good frame — everything after an unreliable length prefix is
-// unreachable anyway.
-func replayFile(path string) ([]*wire.WALRecord, error) {
-	buf, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+// quarantineLocked sets a damaged file aside. If it is a chain's active
+// segment, the handle closes first. A failed rename leaves the file in
+// place — it will be re-detected (and re-quarantined) by the next pass.
+func (s *Store) quarantineLocked(c *chain, path string) {
+	if c != nil && c.f != nil && path == c.path {
+		c.f.Close()
+		c.f = nil
+		c.frames = 0
+	}
+	s.quarantines.Add(1)
+	s.fsys.Rename(path, path+quarantineSuffix)
+}
+
+// loadCheckpointQuarantiningLocked is the recovery-time loader: a corrupt
+// checkpoint is quarantined (recovery proceeds from the WAL, with the
+// missing coverage surfacing as a leading LostLSNRange); an unreadable
+// one is treated as absent but left in place, since its bytes may be
+// intact.
+func (s *Store) loadCheckpointQuarantiningLocked() *wire.Snapshot {
+	path := filepath.Join(s.dir, checkpointName)
+	buf, err := s.readFileRetry(path)
+	if errors.Is(err, iofs.ErrNotExist) {
+		return nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("durable: %w", err)
+		s.scrubErrs.Add(1)
+		return nil
 	}
-	var recs []*wire.WALRecord
-	for off := 0; off < len(buf); {
+	snap, derr := wire.DecodeSnapshot(buf)
+	if derr != nil {
+		s.quarantineLocked(nil, path)
+		return nil
+	}
+	return snap
+}
+
+// replaySegmentLocked decodes every trustworthy frame of one segment.
+// keep=false means the file was discarded (quarantined, or an empty
+// creation artifact) and must leave the chain's live list. A torn tail —
+// in any segment, since retry rotation seals tears mid-chain — ends the
+// replay at the last good frame and is not damage; an undecodable header,
+// a CRC-failed frame, or an unreadable file is.
+func (s *Store) replaySegmentLocked(c *chain, path string) (recs []*wire.WALRecord, keep bool) {
+	buf, err := s.readFileRetry(path)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, false
+		}
+		s.quarantineLocked(c, path)
+		return nil, false
+	}
+	hdr, err := wire.DecodeSegmentHeader(buf)
+	if err != nil {
+		if errors.Is(err, wire.ErrTruncated) {
+			// Crash during segment creation: the header never completed,
+			// so the file cannot contain frames. Discard it.
+			s.fsys.Remove(path)
+			return nil, false
+		}
+		s.quarantineLocked(c, path)
+		return nil, false
+	}
+	if hdr.Chain != c.id {
+		s.quarantineLocked(c, path)
+		return nil, false
+	}
+	for off := wire.SegmentHeaderSize; off < len(buf); {
 		rec, n, err := wire.DecodeWALRecord(buf[off:])
 		if err != nil {
-			break
+			if errors.Is(err, wire.ErrChecksum) {
+				// Definite corruption. Nothing in this file can be
+				// trusted (the rot may not be where the CRC caught it),
+				// so its frames are dropped wholesale; the LSNs that
+				// vanish with it surface as LostLSNRange gaps.
+				s.quarantineLocked(c, path)
+				return nil, false
+			}
+			break // torn tail: keep the prefix
 		}
 		recs = append(recs, rec)
 		off += n
 	}
-	return recs, nil
+	return recs, true
 }
 
-// replayAll merges every log file's frames into LSN order.
-func (s *Store) replayAll() ([]*wire.WALRecord, error) {
+// recoverLocked replays every live segment, quarantining damage, and
+// rebuilds the store's view: LSN high-water mark, live segment lists, and
+// the LostLSNRange gaps. Returns the checkpoint (nil if none survives)
+// and the LSN-ordered frames it does not cover.
+func (s *Store) recoverLocked() (*wire.Snapshot, []*wire.WALRecord) {
+	snap := s.loadCheckpointQuarantiningLocked()
 	var all []*wire.WALRecord
-	for i := 0; i < s.shards; i++ {
-		recs, err := replayFile(filepath.Join(s.dir, walName(i)))
-		if err != nil {
-			return nil, err
+	for _, c := range s.chains {
+		live := append([]string(nil), c.segs...)
+		c.segs = c.segs[:0]
+		for _, path := range live {
+			recs, keep := s.replaySegmentLocked(c, path)
+			if keep {
+				c.segs = append(c.segs, path)
+			}
+			all = append(all, recs...)
 		}
-		all = append(all, recs...)
 	}
-	recs, err := replayFile(filepath.Join(s.dir, ctlName))
-	if err != nil {
-		return nil, err
-	}
-	all = append(all, recs...)
 	sort.Slice(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
-	return all, nil
-}
 
-// Recover loads the latest checkpoint (nil when none exists) plus the WAL
-// frames it does not cover, merged into one LSN-ordered replay sequence.
-func (s *Store) Recover() (*wire.Snapshot, []*wire.WALRecord, error) {
-	snap, err := s.LoadCheckpoint()
-	if err != nil {
-		return nil, nil, err
-	}
-	all, err := s.replayAll()
-	if err != nil {
-		return nil, nil, err
-	}
 	through := uint64(0)
 	if snap != nil {
 		through = snap.ThroughLSN
 	}
+	max := through
 	recs := all[:0]
 	for _, r := range all {
+		if r.LSN > max {
+			max = r.LSN
+		}
 		if r.LSN > through {
 			recs = append(recs, r)
 		}
 	}
+	if max > s.lsn.Load() {
+		s.lsn.Store(max)
+	}
+
+	// LSN holes in the surviving sequence are the quarantined frames; the
+	// sub-window bounds come from the nearest recovered neighbors (or the
+	// checkpoint's finish horizon for a leading gap).
+	s.lost = s.lost[:0]
+	expect := through + 1
+	prevSW := uint64(0)
+	if snap != nil && snap.HasFinished {
+		prevSW = snap.LastFinished
+	}
+	for _, r := range recs {
+		if r.LSN > expect {
+			lo, hi := prevSW, r.SubWindow
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			s.lost = append(s.lost, LostLSNRange{From: expect, To: r.LSN - 1, SWLow: lo, SWHigh: hi})
+		}
+		expect = r.LSN + 1
+		prevSW = r.SubWindow
+	}
+	return snap, recs
+}
+
+// Recover loads the latest checkpoint (nil when none survives) plus the
+// WAL frames it does not cover, merged into one LSN-ordered replay
+// sequence. Damaged files are quarantined rather than failing the
+// recovery; the LSNs they took with them are reported by Lost.
+func (s *Store) Recover() (*wire.Snapshot, []*wire.WALRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return nil, nil, s.deadErr
+	}
+	snap, recs := s.recoverLocked()
 	return snap, recs, nil
+}
+
+// Scrub re-reads each chain's active segment and CRC-verifies its most
+// recent scrubDepth frames, catching bit rot while the data is still
+// redundant in memory (the caller cuts a fresh checkpoint on damage). A
+// corrupt chain is quarantined and reported in the first return; chains
+// that could not be read at all are counted as scrub errors and reported
+// in the second without being quarantined, since their bytes may be
+// intact.
+func (s *Store) Scrub() (corrupt int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead || s.scrubDepth == 0 {
+		return 0, nil
+	}
+	for _, c := range s.chains {
+		if c.f == nil || c.frames == 0 {
+			continue
+		}
+		buf, rerr := s.readFileRetry(c.path)
+		if rerr != nil {
+			s.scrubErrs.Add(1)
+			err = rerr
+			continue
+		}
+		depth := c.frames
+		if depth > len(c.ring) {
+			depth = len(c.ring)
+		}
+		bad := false
+		for i := c.frames - depth; i < c.frames && !bad; i++ {
+			loc := c.ring[i%len(c.ring)]
+			end := loc.off + int64(loc.n)
+			if end > int64(len(buf)) {
+				bad = true
+				break
+			}
+			if n, verr := wire.VerifyWALFrame(buf[loc.off:end]); verr != nil || n != int(loc.n) {
+				bad = true
+			}
+		}
+		if bad {
+			corrupt++
+			kept := c.segs[:0]
+			for _, p := range c.segs {
+				if p != c.path {
+					kept = append(kept, p)
+				}
+			}
+			c.segs = kept
+			s.quarantineLocked(c, c.path)
+		}
+	}
+	// The checkpoint is scrubbed too: silent rot there is worse than in
+	// any segment, because it is the base everything replays on.
+	path := filepath.Join(s.dir, checkpointName)
+	if buf, rerr := s.fsys.ReadFile(path); rerr == nil {
+		if _, derr := wire.DecodeSnapshot(buf); derr != nil {
+			corrupt++
+			s.quarantineLocked(nil, path)
+		}
+	} else if !errors.Is(rerr, iofs.ErrNotExist) {
+		s.scrubErrs.Add(1)
+		err = rerr
+	}
+	return corrupt, err
 }

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -140,12 +141,13 @@ func TestStoreCrashPoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.SetCrash(func(p string) bool { return p == "wal-append" })
-		if err := s.AppendFinish(0); err != ErrCrash {
-			t.Fatalf("err = %v, want ErrCrash", err)
+		first := s.AppendFinish(0)
+		if !errors.Is(first, ErrCrash) {
+			t.Fatalf("err = %v, want ErrCrash", first)
 		}
-		// The dead store refuses further writes.
-		if err := s.AppendFinish(0); err != ErrCrash {
-			t.Fatalf("post-crash append: %v", err)
+		// The dead store refuses further writes with the same stable error.
+		if second := s.AppendFinish(0); !errors.Is(second, ErrCrash) || second.Error() != first.Error() {
+			t.Fatalf("post-crash append: %v, want stable %v", second, first)
 		}
 		s2, err := Open(dir, 1)
 		if err != nil {
@@ -171,7 +173,7 @@ func TestStoreCrashPoints(t *testing.T) {
 		s, _ := Open(dir, 1)
 		s.AppendTrigger(0, 2)
 		s.SetCrash(func(p string) bool { return p == "checkpoint-temp" })
-		if err := s.Checkpoint(&wire.Snapshot{}); err != ErrCrash {
+		if err := s.Checkpoint(&wire.Snapshot{}); !errors.Is(err, ErrCrash) {
 			t.Fatalf("err = %v, want ErrCrash", err)
 		}
 		s2, err := Open(dir, 1)
@@ -196,7 +198,7 @@ func TestStoreCrashPoints(t *testing.T) {
 		s, _ := Open(dir, 1)
 		s.AppendTrigger(0, 2)
 		s.SetCrash(func(p string) bool { return p == "checkpoint-rename" })
-		if err := s.Checkpoint(&wire.Snapshot{}); err != ErrCrash {
+		if err := s.Checkpoint(&wire.Snapshot{}); !errors.Is(err, ErrCrash) {
 			t.Fatalf("err = %v, want ErrCrash", err)
 		}
 		s2, err := Open(dir, 1)
@@ -215,7 +217,7 @@ func TestStoreCrashPoints(t *testing.T) {
 		s, _ := Open(dir, 1)
 		s.AppendTrigger(0, 2)
 		s.SetCrash(func(p string) bool { return p == "wal-truncate" })
-		if err := s.Checkpoint(&wire.Snapshot{}); err != ErrCrash {
+		if err := s.Checkpoint(&wire.Snapshot{}); !errors.Is(err, ErrCrash) {
 			t.Fatalf("err = %v, want ErrCrash", err)
 		}
 		s2, err := Open(dir, 1)
@@ -252,13 +254,15 @@ func TestStoreRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestStoreRefusesCorruptCheckpoint(t *testing.T) {
+// A corrupt checkpoint is quarantined (renamed aside) and recovery
+// proceeds from the WAL alone, never half-loading or silently merging the
+// torn snapshot. The strict loader still refuses it for callers that ask.
+func TestStoreQuarantinesCorruptCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir, 1)
 	if err := s.Checkpoint(&wire.Snapshot{HasFinished: true, LastFinished: 7}); err != nil {
 		t.Fatal(err)
 	}
-	s.Close()
 	path := filepath.Join(dir, checkpointName)
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -268,8 +272,34 @@ func TestStoreRefusesCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, 1); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	if _, err := s.LoadCheckpoint(); err == nil {
+		t.Fatal("strict loader accepted a corrupt checkpoint")
+	}
+	s.Close()
+
+	s2, err := Open(dir, 1)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint aborted recovery: %v", err)
+	}
+	defer s2.Close()
+	snap, recs, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("corrupt checkpoint loaded: %+v", snap)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unexpected replay records: %+v", recs)
+	}
+	if got := s2.Quarantined(); got == 0 {
+		t.Fatal("quarantine not recorded")
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("checkpoint not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt checkpoint still in place: %v", err)
 	}
 }
 

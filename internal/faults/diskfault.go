@@ -1,0 +1,154 @@
+package faults
+
+import "errors"
+
+// Injected disk-fault sentinels. The durable layer classifies against
+// these (alongside the real syscall equivalents) to decide between
+// bounded retry and immediate degraded-durability: an EIO is transient —
+// the next attempt redraws its fate — while ENOSPC is a state, not an
+// event, and retrying into a full disk is wasted work.
+var (
+	// ErrDiskEIO is a transient per-operation I/O failure (the injected
+	// analogue of a device-level EIO).
+	ErrDiskEIO = errors.New("faults: injected disk EIO")
+	// ErrDiskENOSPC is a full-disk failure; it persists for as long as
+	// the schedule's ENOSPC window does.
+	ErrDiskENOSPC = errors.New("faults: injected ENOSPC")
+)
+
+// DiskSchedule describes the failure behaviour of the durable layer's
+// storage path (internal/durable). Like CrashSchedule and RDMASchedule it
+// is stateless and deterministic: every fault hashes (Seed, operation
+// index) under its own salt, so enabling one fault kind never shifts
+// another's schedule — and never shifts the crash/RDMA/switch schedules
+// either. Operation indices are issued by the durable FaultFS wrapper,
+// one per file-data operation, so a retried write redraws its fate at a
+// fresh index. The zero value (and a nil schedule) is a healthy disk.
+type DiskSchedule struct {
+	// Seed parameterizes every hash below.
+	Seed uint64
+
+	// WriteEIO is the probability a write operation fails with a
+	// transient I/O error (no bytes reach the medium).
+	WriteEIO float64
+	// ReadEIO is the probability a read operation fails transiently.
+	ReadEIO float64
+	// ShortWrite is the probability a write tears: only a prefix of the
+	// buffer reaches the medium before the failure is reported.
+	ShortWrite float64
+	// BitRot is the probability a write completes "successfully" but the
+	// medium stores one flipped byte — silent corruption that only a
+	// CRC re-read (the scrubber, or recovery) can detect.
+	BitRot float64
+	// SlowIO is the probability an operation completes correctly but
+	// slowly; the latency is charged to the deployment's virtual-time
+	// budget, never to wall clock.
+	SlowIO float64
+	// SlowIOLatency is the virtual latency of a slow operation in
+	// nanoseconds; 0 defaults to 1ms.
+	SlowIOLatency int64
+
+	// ENOSPC is the probability an individual write fails with a
+	// full-disk error (on top of the sustained window below).
+	ENOSPC float64
+	// ENOSPCStart/ENOSPCLen define a sustained full-disk window: every
+	// write with operation index in [ENOSPCStart, ENOSPCStart+ENOSPCLen)
+	// fails with ENOSPC, modelling a disk that fills up and is later
+	// cleaned. ENOSPCLen 0 means no window.
+	ENOSPCStart uint64
+	ENOSPCLen   uint64
+}
+
+// Distinct salts keep the per-kind hash streams independent.
+const (
+	saltWriteEIO   = 0x4449534B5745_01 // "DISKWE"
+	saltReadEIO    = 0x4449534B5245_02 // "DISKRE"
+	saltShortWrite = 0x4449534B5357_03 // "DISKSW"
+	saltBitRot     = 0x4449534B4252_04 // "DISKBR"
+	saltSlowIO     = 0x4449534B534C_05 // "DISKSL"
+	saltENOSPC     = 0x4449534B4E53_06 // "DISKNS"
+	saltRotSpot    = 0x4449534B5253_07 // "DISKRS"
+)
+
+// prob maps a hash to [0, 1) exactly as CrashSchedule.At does.
+func (s *DiskSchedule) prob(salt, op uint64) float64 {
+	h := splitmix64(s.Seed ^ salt ^ splitmix64(op))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// WriteEIOAt reports whether write operation op fails transiently.
+// Nil-safe.
+func (s *DiskSchedule) WriteEIOAt(op uint64) bool {
+	if s == nil || s.WriteEIO <= 0 {
+		return false
+	}
+	return s.prob(saltWriteEIO, op) < s.WriteEIO
+}
+
+// ReadEIOAt reports whether read operation op fails transiently.
+// Nil-safe.
+func (s *DiskSchedule) ReadEIOAt(op uint64) bool {
+	if s == nil || s.ReadEIO <= 0 {
+		return false
+	}
+	return s.prob(saltReadEIO, op) < s.ReadEIO
+}
+
+// ShortWriteAt reports whether write operation op tears. Nil-safe.
+func (s *DiskSchedule) ShortWriteAt(op uint64) bool {
+	if s == nil || s.ShortWrite <= 0 {
+		return false
+	}
+	return s.prob(saltShortWrite, op) < s.ShortWrite
+}
+
+// BitRotAt reports whether write operation op silently corrupts one
+// stored byte. Nil-safe.
+func (s *DiskSchedule) BitRotAt(op uint64) bool {
+	if s == nil || s.BitRot <= 0 {
+		return false
+	}
+	return s.prob(saltBitRot, op) < s.BitRot
+}
+
+// BitRotSpot returns the deterministic corruption for operation op over
+// an n-byte write: the byte index to damage and the non-zero XOR mask to
+// damage it with.
+func (s *DiskSchedule) BitRotSpot(op uint64, n int) (idx int, mask byte) {
+	if n <= 0 {
+		return 0, 1
+	}
+	h := splitmix64(s.Seed ^ saltRotSpot ^ splitmix64(op))
+	return int(h % uint64(n)), byte(1 << ((h >> 32) % 8))
+}
+
+// SlowIOAt reports whether operation op is slow; the second return is the
+// virtual latency to charge. Nil-safe.
+func (s *DiskSchedule) SlowIOAt(op uint64) (bool, int64) {
+	if s == nil || s.SlowIO <= 0 {
+		return false, 0
+	}
+	if s.prob(saltSlowIO, op) >= s.SlowIO {
+		return false, 0
+	}
+	lat := s.SlowIOLatency
+	if lat <= 0 {
+		lat = 1_000_000 // 1ms
+	}
+	return true, lat
+}
+
+// ENOSPCAt reports whether write operation op fails with a full disk —
+// inside the sustained window, or by the per-operation draw. Nil-safe.
+func (s *DiskSchedule) ENOSPCAt(op uint64) bool {
+	if s == nil {
+		return false
+	}
+	if s.ENOSPCLen > 0 && op >= s.ENOSPCStart && op < s.ENOSPCStart+s.ENOSPCLen {
+		return true
+	}
+	if s.ENOSPC <= 0 {
+		return false
+	}
+	return s.prob(saltENOSPC, op) < s.ENOSPC
+}

@@ -1,0 +1,110 @@
+package faults
+
+import "testing"
+
+func TestDiskScheduleNilSafe(t *testing.T) {
+	var s *DiskSchedule
+	if s.WriteEIOAt(1) || s.ReadEIOAt(1) || s.ShortWriteAt(1) || s.BitRotAt(1) || s.ENOSPCAt(1) {
+		t.Fatal("nil schedule injected a fault")
+	}
+	if slow, lat := s.SlowIOAt(1); slow || lat != 0 {
+		t.Fatal("nil schedule injected slow IO")
+	}
+}
+
+func TestDiskScheduleZeroValueHealthy(t *testing.T) {
+	s := &DiskSchedule{Seed: 7}
+	for op := uint64(0); op < 1000; op++ {
+		if s.WriteEIOAt(op) || s.ReadEIOAt(op) || s.ShortWriteAt(op) || s.BitRotAt(op) || s.ENOSPCAt(op) {
+			t.Fatalf("zero-prob schedule faulted at op %d", op)
+		}
+	}
+}
+
+func TestDiskScheduleDeterministic(t *testing.T) {
+	a := &DiskSchedule{Seed: 42, WriteEIO: 0.3, ReadEIO: 0.2, ShortWrite: 0.1, BitRot: 0.1, SlowIO: 0.2, ENOSPC: 0.05}
+	b := &DiskSchedule{Seed: 42, WriteEIO: 0.3, ReadEIO: 0.2, ShortWrite: 0.1, BitRot: 0.1, SlowIO: 0.2, ENOSPC: 0.05}
+	for op := uint64(0); op < 500; op++ {
+		if a.WriteEIOAt(op) != b.WriteEIOAt(op) ||
+			a.ReadEIOAt(op) != b.ReadEIOAt(op) ||
+			a.ShortWriteAt(op) != b.ShortWriteAt(op) ||
+			a.BitRotAt(op) != b.BitRotAt(op) ||
+			a.ENOSPCAt(op) != b.ENOSPCAt(op) {
+			t.Fatalf("same seed diverged at op %d", op)
+		}
+		as, al := a.SlowIOAt(op)
+		bs, bl := b.SlowIOAt(op)
+		if as != bs || al != bl {
+			t.Fatalf("slow-IO draw diverged at op %d", op)
+		}
+	}
+}
+
+// Fault kinds hash under distinct salts: enabling one must not shift
+// another's schedule — the property the whole injector family relies on.
+func TestDiskScheduleKindsIndependent(t *testing.T) {
+	lone := &DiskSchedule{Seed: 9, WriteEIO: 0.25}
+	both := &DiskSchedule{Seed: 9, WriteEIO: 0.25, BitRot: 0.5, ShortWrite: 0.5, ReadEIO: 0.5}
+	for op := uint64(0); op < 1000; op++ {
+		if lone.WriteEIOAt(op) != both.WriteEIOAt(op) {
+			t.Fatalf("enabling other kinds shifted WriteEIO at op %d", op)
+		}
+	}
+}
+
+func TestDiskScheduleRatesRoughlyMatch(t *testing.T) {
+	s := &DiskSchedule{Seed: 3, WriteEIO: 0.2}
+	hits := 0
+	const n = 20000
+	for op := uint64(0); op < n; op++ {
+		if s.WriteEIOAt(op) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("WriteEIO rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestDiskScheduleENOSPCWindow(t *testing.T) {
+	s := &DiskSchedule{Seed: 1, ENOSPCStart: 10, ENOSPCLen: 5}
+	for op := uint64(0); op < 30; op++ {
+		want := op >= 10 && op < 15
+		if s.ENOSPCAt(op) != want {
+			t.Fatalf("ENOSPC window wrong at op %d: got %v want %v", op, s.ENOSPCAt(op), want)
+		}
+	}
+}
+
+func TestDiskScheduleBitRotSpot(t *testing.T) {
+	s := &DiskSchedule{Seed: 11, BitRot: 1}
+	for op := uint64(0); op < 200; op++ {
+		idx, mask := s.BitRotSpot(op, 64)
+		if idx < 0 || idx >= 64 {
+			t.Fatalf("bit-rot index %d out of range", idx)
+		}
+		if mask == 0 {
+			t.Fatal("bit-rot mask is zero: the flip would be a no-op")
+		}
+		i2, m2 := s.BitRotSpot(op, 64)
+		if i2 != idx || m2 != mask {
+			t.Fatal("BitRotSpot not deterministic")
+		}
+	}
+	if idx, mask := s.BitRotSpot(5, 0); idx != 0 || mask == 0 {
+		t.Fatal("BitRotSpot must stay in range for empty writes")
+	}
+}
+
+func TestDiskScheduleSlowIODefaultLatency(t *testing.T) {
+	s := &DiskSchedule{Seed: 2, SlowIO: 1}
+	slow, lat := s.SlowIOAt(0)
+	if !slow || lat != 1_000_000 {
+		t.Fatalf("default slow-IO latency: got (%v, %d), want (true, 1ms)", slow, lat)
+	}
+	s.SlowIOLatency = 250
+	if _, lat := s.SlowIOAt(0); lat != 250 {
+		t.Fatalf("explicit slow-IO latency ignored: got %d", lat)
+	}
+}

@@ -55,23 +55,29 @@ const (
 	// StageQPRecovered: the RDMA queue pair recovered from Error at this
 	// boundary (AddressMAT rebuilt, replay window re-armed).
 	StageQPRecovered
+	// StageDurabilityDegraded: the deployment's durability mode flipped
+	// at this boundary. Value = 1 entering degraded (WAL/checkpoint
+	// writes suspended and counted as gaps), 0 on heal (fresh checkpoint
+	// + new WAL generation).
+	StageDurabilityDegraded
 )
 
 var stageNames = [...]string{
-	StageAnnounced:     "announced",
-	StageCollected:     "collected",
-	StageRecovered:     "recovered",
-	StageShed:          "shed",
-	StageFinished:      "finished",
-	StageWindowEmitted: "window_emitted",
-	StageCheckpoint:    "checkpoint",
-	StageFailover:      "failover",
-	StageReboot:        "reboot",
-	StageEpochResync:   "epoch_resync",
-	StageQuarantine:    "quarantine",
-	StageReadmit:       "readmit",
-	StageRDMAFallback:  "rdma_fallback",
-	StageQPRecovered:   "qp_recovered",
+	StageAnnounced:          "announced",
+	StageCollected:          "collected",
+	StageRecovered:          "recovered",
+	StageShed:               "shed",
+	StageFinished:           "finished",
+	StageWindowEmitted:      "window_emitted",
+	StageCheckpoint:         "checkpoint",
+	StageFailover:           "failover",
+	StageReboot:             "reboot",
+	StageEpochResync:        "epoch_resync",
+	StageQuarantine:         "quarantine",
+	StageReadmit:            "readmit",
+	StageRDMAFallback:       "rdma_fallback",
+	StageQPRecovered:        "qp_recovered",
+	StageDurabilityDegraded: "durability_degraded",
 }
 
 // String names the stage as it appears in JSON dumps and owtop.

@@ -28,6 +28,10 @@ type deployObs struct {
 	retrans    *obs.Counter
 	collect    *obs.Histogram // modeled C&R virtual time per sub-window
 	ring       *obs.Ring
+	// Degraded-durability mode (deployment-level: the store cannot see
+	// the skip decisions it never receives).
+	durDegraded *obs.Gauge   // 1 while durable writes are suspended
+	durGaps     *obs.Counter // durable writes skipped while degraded
 }
 
 // setupObs builds the registry (or adopts the caller-supplied one),
@@ -100,6 +104,8 @@ func (d *Deployment) setupObs() error {
 	}
 	if d.store != nil {
 		d.store.Instrument(d.reg, labels)
+		d.obs.durDegraded = d.reg.Gauge(n("omniwindow_durable_degraded"), "1 while durable writes are suspended after persistent disk faults (0 = durable)")
+		d.obs.durGaps = d.reg.Counter(n("omniwindow_durable_gaps_total"), "durable writes skipped or failed while in degraded-durability mode")
 	}
 	// The hot standby shares the primary's handles: it only processes
 	// traffic after promotion, so the combined counts read as one

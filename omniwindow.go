@@ -172,6 +172,39 @@ type Config struct {
 	// Without Standby the deployment halts at the crash (restart it on
 	// the same CheckpointDir to recover); with Standby it fails over.
 	Crash *faults.CrashSchedule
+	// DiskFaults pushes every checkpoint/WAL disk operation through a
+	// seeded per-operation fault schedule (EIO, ENOSPC, short writes,
+	// bit rot, slow IO — see faults.DiskSchedule). Writes that survive
+	// the store's retry budget land normally; persistent faults flip the
+	// deployment to degraded durability instead of stopping telemetry.
+	// Requires CheckpointDir.
+	DiskFaults *faults.DiskSchedule
+	// WALSegmentBytes caps one WAL segment file's size: an append that
+	// would exceed it seals the segment and rotates to a fresh
+	// generation, so checkpoint truncation is whole-file deletion and a
+	// corrupt frame quarantines one bounded file. 0 uses the durable
+	// default (256 KiB); negative values are rejected. Requires
+	// CheckpointDir.
+	WALSegmentBytes int
+	// DurabilityRetryLimit bounds the store's per-operation retries
+	// after a transient disk fault (each retry rotates to a fresh
+	// segment, sealing any torn tail behind it). 0 uses the default (3);
+	// negative disables retries — the first fault degrades immediately.
+	// Requires CheckpointDir.
+	DurabilityRetryLimit int
+	// DurabilityRetryBackoff is the initial wait between disk retries,
+	// doubling up to DurabilityRetryMaxBackoff; the waits are virtual
+	// time charged to the C&R budget, never slept. Zero values use the
+	// durable defaults (1 ms / 50 ms). Require CheckpointDir.
+	DurabilityRetryBackoff    time.Duration
+	DurabilityRetryMaxBackoff time.Duration
+	// ScrubDepth is how many recent WAL frames per chain the boundary
+	// scrubber re-reads and CRC-verifies, catching bit rot while the
+	// live state still covers the damaged records (a corrupt frame
+	// quarantines its segment and forces a checkpoint at zero loss).
+	// 0 uses the default (64); negative disables scrubbing. Requires
+	// CheckpointDir.
+	ScrubDepth int
 
 	// MaxQueueDepth bounds the network collector's ingest queue when this
 	// config is served over UDP (see CollectorConfig); <= 0 uses the
@@ -289,6 +322,18 @@ type Stats struct {
 	// ReplayedWindows counts windows re-emitted by WAL replay during
 	// recovery, included in Results in their original positions.
 	ReplayedWindows int
+	// DurabilityGaps counts durable writes skipped (or failed) while the
+	// deployment ran in degraded durability — pressure, not damage: the
+	// live windows stayed byte-identical; only a crash or failover inside
+	// the degraded stretch turns gaps into Missing records.
+	DurabilityGaps int
+	// DurabilityHeals counts successful degraded→durable re-entries (a
+	// boundary heal probe cut a fresh checkpoint on new WAL generations).
+	DurabilityHeals int
+	// QuarantinedSegments counts WAL segment files (and checkpoints)
+	// renamed aside as damaged — by recovery or the boundary scrubber —
+	// instead of aborting. Their unreplayable records surface as Missing.
+	QuarantinedSegments int
 }
 
 // AppSpec describes one co-deployed telemetry application.
@@ -350,6 +395,20 @@ type Deployment struct {
 	crashed    bool
 	crashedAt  uint64
 	storeErr   error
+	// storeDead: the store itself died (crash hook or closed) — durable
+	// logging is over for this incarnation. degraded: disk faults
+	// exhausted the store's retry budget — writes are skipped and counted
+	// as gaps until the boundary heal probe succeeds.
+	storeDead bool
+	degraded  bool
+	// unattested/unattestedFrom: open after crash-restart recovery when
+	// the durable record ends before the crash point (a degraded stretch,
+	// a quarantined tail). Sub-windows from unattestedFrom up to the
+	// first one this incarnation observes traffic for cannot be proven
+	// empty — they are charged Missing so their windows assemble
+	// Incomplete instead of silently partial.
+	unattested     bool
+	unattestedFrom uint64
 
 	// Observability (zero unless Config.Obs or Config.DebugAddr is set).
 	reg      *obs.Registry
@@ -420,6 +479,21 @@ func New(cfg Config) (*Deployment, error) {
 		if cfg.CheckpointEvery%cfg.Plan.Slide != 0 && cfg.Plan.Slide%cfg.CheckpointEvery != 0 {
 			return nil, fmt.Errorf("omniwindow: CheckpointEvery %d does not align with the plan's slide %d (it must be a multiple or a divisor, so checkpoints land at window-emission cadence)", cfg.CheckpointEvery, cfg.Plan.Slide)
 		}
+	}
+	if cfg.CheckpointDir == "" {
+		if cfg.DiskFaults != nil || cfg.WALSegmentBytes != 0 || cfg.DurabilityRetryLimit != 0 ||
+			cfg.DurabilityRetryBackoff != 0 || cfg.DurabilityRetryMaxBackoff != 0 || cfg.ScrubDepth != 0 {
+			return nil, fmt.Errorf("omniwindow: DiskFaults/WALSegmentBytes/DurabilityRetry*/ScrubDepth require CheckpointDir — there is no durable store to apply them to")
+		}
+	}
+	if cfg.WALSegmentBytes < 0 {
+		return nil, fmt.Errorf("omniwindow: WALSegmentBytes must be non-negative, got %d (0 means the durable default)", cfg.WALSegmentBytes)
+	}
+	if cfg.DurabilityRetryBackoff < 0 {
+		return nil, fmt.Errorf("omniwindow: DurabilityRetryBackoff must be non-negative, got %v (use DurabilityRetryLimit < 0 to disable retries)", cfg.DurabilityRetryBackoff)
+	}
+	if cfg.DurabilityRetryMaxBackoff < 0 {
+		return nil, fmt.Errorf("omniwindow: DurabilityRetryMaxBackoff must be non-negative, got %v", cfg.DurabilityRetryMaxBackoff)
 	}
 	if cfg.Standby {
 		if cfg.CheckpointDir == "" {
@@ -596,7 +670,17 @@ func New(cfg Config) (*Deployment, error) {
 func (d *Deployment) openDurability() error {
 	cfg := &d.cfg
 	d.ckptShards = d.ctrl.Shards()
-	store, err := durable.Open(cfg.CheckpointDir, d.ckptShards)
+	opts := durable.Options{
+		SegmentBytes:    cfg.WALSegmentBytes,
+		RetryLimit:      cfg.DurabilityRetryLimit,
+		RetryBackoff:    cfg.DurabilityRetryBackoff,
+		RetryMaxBackoff: cfg.DurabilityRetryMaxBackoff,
+		ScrubDepth:      cfg.ScrubDepth,
+	}
+	if cfg.DiskFaults != nil {
+		opts.FS = durable.NewFaultFS(durable.OSFS{}, cfg.DiskFaults)
+	}
+	store, err := durable.OpenStore(cfg.CheckpointDir, d.ckptShards, opts)
 	if err != nil {
 		return fmt.Errorf("omniwindow: %w", err)
 	}
@@ -647,9 +731,12 @@ func (c Config) CollectorConfig() controller.CollectorConfig {
 // recover.
 func (d *Deployment) Crashed() (sw uint64, ok bool) { return d.crashedAt, d.crashed }
 
-// DurabilityErr reports the first checkpoint/WAL write failure, if any —
-// after one, the deployment stops logging (its durable state is frozen at
-// the last good frame) but keeps processing traffic.
+// DurabilityErr reports the first checkpoint/WAL write failure, if any.
+// A fault that survived the store's retry budget flips the deployment to
+// degraded durability (writes skipped and counted as DurabilityGaps, a
+// boundary heal probe re-enters durable mode); the recorded error is the
+// first one ever seen and persists across heals as an audit trail. See
+// DurabilityDegraded for the live mode.
 func (d *Deployment) DurabilityErr() error { return d.storeErr }
 
 // CloseDurability flushes and closes the checkpoint/WAL store (a no-op
@@ -760,8 +847,15 @@ func (d *Deployment) Reboot() {
 // Controller exposes the controller (per-sub-window timing breakdowns).
 func (d *Deployment) Controller() *controller.Controller { return d.ctrl }
 
-// Stats returns run statistics.
-func (d *Deployment) Stats() Stats { return d.stats }
+// Stats returns run statistics. Store-side tallies (quarantined
+// segments) are folded in at read time.
+func (d *Deployment) Stats() Stats {
+	s := d.stats
+	if d.store != nil {
+		s.QuarantinedSegments = int(d.store.Quarantined())
+	}
+	return s
+}
 
 // Feasibility is the §6 deployment check: with two shared memory regions,
 // every sub-window's collect-and-reset must finish strictly inside one
