@@ -5,8 +5,8 @@ GO ?= go
 
 .PHONY: all build test race bench bench-json bench-diff fuzz examples \
 	reproduce fmt vet clean ci fmt-check fuzz-smoke bench-smoke chaos \
-	failover fabric-chaos rdma-chaos disk-chaos staticcheck cover nightly \
-	microbench
+	failover fabric-chaos rdma-chaos disk-chaos partition-chaos \
+	staticcheck cover nightly microbench
 
 all: build vet test
 
@@ -31,6 +31,7 @@ race:
 #	fabric-chaos         ↔ job "fabric-chaos"
 #	rdma-chaos           ↔ job "rdma-chaos"
 #	disk-chaos           ↔ job "disk-chaos"
+#	partition-chaos      ↔ job "partition-chaos"
 #	staticcheck          ↔ job "staticcheck" (CI installs the binary)
 #	cover                ↔ job "coverage"
 #	fuzz-smoke bench-smoke ↔ job "smoke"
@@ -39,7 +40,7 @@ race:
 #	                       run it explicitly before perf-sensitive PRs)
 #	nightly              ↔ .github/workflows/nightly.yml (scheduled)
 ci: build vet fmt-check test race chaos failover fabric-chaos rdma-chaos \
-	disk-chaos staticcheck cover fuzz-smoke bench-smoke
+	disk-chaos partition-chaos staticcheck cover fuzz-smoke bench-smoke
 
 # Chaos suite: the full pipeline under seeded drop/dup/reorder/corruption
 # schedules, run with the race detector. Fixed seeds (1, 2, 3 in the test
@@ -77,6 +78,17 @@ rdma-chaos:
 disk-chaos:
 	$(GO) test -race -run 'Disk|Scrub|Quarantine|Segment|Heal|Degrad' \
 		. ./internal/durable/ ./internal/faults/
+
+# Partition chaos suite: the hot-standby pair under network partitions
+# that leave the primary alive — symmetric/asymmetric cuts, gray renewal
+# slowness and standby clock drift — proving the fencing-term protocol:
+# one finalizer per window, zero post-fence WAL frames accepted, merged
+# stream byte-identical or explicitly Incomplete. Fixed seeds (the
+# schedule tables in partition_chaos_test.go) make every partition
+# sequence a reproducible test case.
+partition-chaos:
+	$(GO) test -race -run 'Partition|Term|Fenc' \
+		. ./internal/durable/ ./internal/faults/ ./internal/wire/
 
 fmt-check:
 	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
@@ -117,6 +129,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeTermRecord$$' -fuzztime 10s ./internal/wire/
 
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkController -benchtime 1x .
@@ -127,18 +140,19 @@ bench: bench-json
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 3600s .
 
 # Machine-readable perf numbers for the controller-merge, batched-ingest,
-# collector-decode, fabric, RDMA-collect and WAL-append hot paths: ns/op,
-# B/op and allocs/op, emitted as BENCH_PR9.json for cross-PR diffing
-# (BENCH_PR4, PR6, PR7 and PR8 snapshots are kept for comparison). The
-# ingest and WAL-append benchmarks carry 0 allocs/op baselines, so the
-# compare gate pins them at zero: any new steady-state allocation on a
-# pooled hot path fails bench-diff.
-BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric|BenchmarkRDMACollect|BenchmarkWALAppendRotating
+# collector-decode, fabric, RDMA-collect, WAL-append and failover-
+# promotion hot paths: ns/op, B/op and allocs/op, emitted as
+# BENCH_PR10.json for cross-PR diffing (BENCH_PR4, PR6, PR7, PR8 and PR9
+# snapshots are kept for comparison). The ingest, WAL-append and
+# fenced-append benchmarks carry 0 allocs/op baselines, so the compare
+# gate pins them at zero: any new steady-state allocation on a pooled or
+# fencing hot path fails bench-diff.
+BENCH_PATTERN = BenchmarkControllerSharded|BenchmarkControllerIngestBatch|BenchmarkCollectorDecodeIngest|BenchmarkFabric|BenchmarkRDMACollect|BenchmarkWALAppendRotating|BenchmarkFailoverPromotion
 
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 # Perf-regression gate: rerun the hot-path benchmarks and fail if any
 # shared benchmark's ns/op or allocs/op grew more than 15% over the
@@ -150,7 +164,7 @@ bench-diff:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' \
 		-benchtime 100x -benchmem . ./internal/fabric/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_CURRENT)
-	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json $(BENCH_CURRENT) \
+	$(GO) run ./cmd/benchjson -compare BENCH_PR10.json $(BENCH_CURRENT) \
 		-tolerance 0.15
 
 # Micro-benchmarks across all packages.
@@ -162,18 +176,20 @@ fuzz:
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeTermRecord$$' -fuzztime 30s ./internal/wire/
 
 # Nightly depth: long fuzz runs on every wire decoder plus the chaos,
-# failover, fabric-chaos, rdma-chaos and disk-chaos suites widened with
-# 10 extra derived seeds per table (faults.ExtraSeeds). Mirrors
-# .github/workflows/nightly.yml; run locally to reproduce a nightly
-# failure.
+# failover, fabric-chaos, rdma-chaos, disk-chaos and partition-chaos
+# suites widened with 10 extra derived seeds per table
+# (faults.ExtraSeeds). Mirrors .github/workflows/nightly.yml; run
+# locally to reproduce a nightly failure.
 nightly:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodePatched$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeSnapshot$$' -fuzztime 300s ./internal/wire/
 	$(GO) test -fuzz 'FuzzDecodeWALRecord$$' -fuzztime 300s ./internal/wire/
-	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos rdma-chaos disk-chaos
+	$(GO) test -fuzz 'FuzzDecodeTermRecord$$' -fuzztime 300s ./internal/wire/
+	OMNIWINDOW_EXTRA_SEEDS=10 $(MAKE) chaos failover fabric-chaos rdma-chaos disk-chaos partition-chaos
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -489,3 +489,59 @@ func BenchmarkWALAppendRotating(b *testing.B) {
 		b.Fatal("segment cap never rotated during the bench")
 	}
 }
+
+// BenchmarkFailoverPromotion measures the two durable halves of a
+// partition failover. term-handshake is the promotion critical path —
+// the CAS that advances the fencing term plus the adopt that grants the
+// promoted standby write authority, each persisting the sealed term
+// record. fenced-append is the zombie side: a WAL append attempted under
+// a stale term, which the store must reject in constant time with zero
+// allocations — the deposed primary pays nothing to discover its
+// demotion. The bench-regression gate pins both against the checked-in
+// baseline (fenced-append at 0 allocs/op).
+func BenchmarkFailoverPromotion(b *testing.B) {
+	b.Run("term-handshake", func(b *testing.B) {
+		s, err := durable.OpenStore(b.TempDir(), 1, durable.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next, err := s.CASTerm(s.Term(), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.AdoptTerm(next); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fenced-append", func(b *testing.B) {
+		s, err := durable.OpenStore(b.TempDir(), 1, durable.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.AppendFinish(0); err != nil {
+			b.Fatal(err)
+		}
+		// Advance the authoritative term without adopting: this handle
+		// is now the zombie.
+		if _, err := s.CASTerm(s.Term(), 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.AppendFinish(1); err == nil {
+				b.Fatal("stale-term append was accepted")
+			}
+		}
+		b.StopTimer()
+		if s.FencedWrites() < int64(b.N) {
+			b.Fatal("fenced writes were not counted")
+		}
+	})
+}

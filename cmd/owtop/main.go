@@ -197,6 +197,20 @@ func qpStateName(v float64) string {
 	return "UNKNOWN"
 }
 
+// roleName maps the omniwindow_failover_role gauge onto the serving
+// controller's provenance.
+func roleName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "PRIMARY"
+	case 1:
+		return "PROMOTED"
+	case 2:
+		return "PROMOTED+PARKED"
+	}
+	return "UNKNOWN"
+}
+
 // rate is the per-second increase of a (possibly labeled) counter family
 // between two snapshots; 0 on the first scrape or counter reset.
 func rate(prev, cur *snapshot, fam string) float64 {
@@ -307,6 +321,16 @@ func render(w io.Writer, prev, cur *snapshot, events []traceEvent) {
 			cur.sumMatching("omniwindow_durable_gaps_total"),
 			cur.sumMatching("omniwindow_durable_quarantined_segments_total"),
 			cur.sumMatching("omniwindow_durable_scrub_errors_total"))
+	}
+
+	if cur.hasFamily("omniwindow_failover_term") {
+		fmt.Fprintf(w, "  failover  %-18s term %.0f   fenced %.1f/s   partitions %.0f   demoted %.0f   readmitted %.0f\n",
+			roleName(cur.sumMatching("omniwindow_failover_role")),
+			cur.sumMatching("omniwindow_failover_term"),
+			rate(prev, cur, "omniwindow_durable_fenced_writes_total"),
+			cur.sumMatching("omniwindow_failover_partition_events_total"),
+			cur.sumMatching("omniwindow_failover_demotions_total"),
+			cur.sumMatching("omniwindow_failover_readmissions_total"))
 	}
 
 	fmt.Fprintf(w, "\n  latency          p50        p90        p99\n")

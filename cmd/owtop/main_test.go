@@ -306,6 +306,66 @@ func TestRenderDurabilityPanel(t *testing.T) {
 	}
 }
 
+// TestRenderFailoverPanel round-trips the hot-standby fencing families
+// through a real registry exposition: the panel decodes the role gauge,
+// shows the fencing term, derives the fenced-write rate across
+// snapshots, and totals partition/demotion/readmission counters — and
+// stays absent when the deployment runs without a standby.
+func TestRenderFailoverPanel(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("omniwindow_failover_term", "", func() int64 { return 2 })
+	reg.GaugeFunc("omniwindow_failover_role", "", func() int64 { return 2 })
+	reg.CounterFunc("omniwindow_durable_fenced_writes_total", "", func() int64 { return 24 })
+	reg.CounterFunc("omniwindow_failover_partition_events_total", "", func() int64 { return 5 })
+	reg.CounterFunc("omniwindow_failover_demotions_total", "", func() int64 { return 2 })
+	reg.CounterFunc("omniwindow_failover_readmissions_total", "", func() int64 { return 1 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(500, 0)
+	prev := &snapshot{at: t0, values: map[string]float64{
+		"omniwindow_durable_fenced_writes_total": 4,
+	}}
+	cur, err := parseMetrics(sb.String(), t0.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	render(&out, prev, cur, nil)
+	frame := out.String()
+	for _, want := range []string{
+		"failover",
+		"PROMOTED+PARKED",
+		"term 2",
+		"fenced 10.0/s", // (24-4)/2s
+		"partitions 5",
+		"demoted 2",
+		"readmitted 1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// A deployment without a standby never registers the term gauge: the
+	// panel must not render.
+	bare := &snapshot{at: t0, values: map[string]float64{}}
+	out.Reset()
+	render(&out, nil, bare, nil)
+	if strings.Contains(out.String(), "failover") {
+		t.Errorf("failover panel rendered without failover metrics:\n%s", out.String())
+	}
+}
+
+func TestRoleName(t *testing.T) {
+	for v, want := range map[float64]string{0: "PRIMARY", 1: "PROMOTED", 2: "PROMOTED+PARKED", 9: "UNKNOWN"} {
+		if got := roleName(v); got != want {
+			t.Errorf("roleName(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
 // TestRenderFrame smoke-tests one dashboard frame against a realistic
 // snapshot pair: the headline rates, totals and quantile rows all land in
 // the output.

@@ -318,6 +318,11 @@ func (d *Deployment) runDueCollections() {
 	for !d.crashed && len(d.pending) > 0 && d.pending[0].due <= d.now {
 		cr := d.pending[0]
 		d.pending = d.pending[1:]
+		// The boundary-anchored timestamp: probes that model an observer
+		// AT the boundary (the standby's lease check) read this instead of
+		// d.now, which test harnesses may have jumped far ahead to flush
+		// trailing collections.
+		d.collectAt = cr.due
 		d.collect(cr.sw)
 	}
 }
@@ -407,6 +412,12 @@ func (d *Deployment) collect(sw uint64) {
 			virtual += d.failover(sw)
 		}
 
+		// Partition probe: the standby's lease observation may declare the
+		// still-live primary dead (lost/gray renewals, clock drift) and
+		// promote behind a fencing term. Runs before Phase 3 so the NACK
+		// loop below recovers this sub-window into the promoted controller.
+		virtual += d.partitionProbe(sw)
+
 		// Phase 3 — reliability: recover AFRs lost on the way (§8),
 		// before the reset destroys the state they are queried from.
 		// The controller NACKs the sequence gaps; the switch re-queries
@@ -450,6 +461,14 @@ func (d *Deployment) collect(sw uint64) {
 		virtual += costs.RecircTime(d.cfg.CollectionPackets, d.cfg.Slots)
 
 		d.regionOwned[region] = false
+	}
+
+	if !owned {
+		// Idle boundaries probe too: the lease lapses on virtual time, not
+		// on traffic, so a partition spanning an idle stretch must still
+		// promote the standby (nothing is in flight; the re-sent trigger
+		// announces an empty key count).
+		virtual += d.partitionProbe(sw)
 	}
 
 	// RDMA mode: the boundary recovery step. Scheduled region
@@ -537,7 +556,8 @@ func (d *Deployment) collect(sw uint64) {
 		// traffic instead of holding a region hostage.
 		d.stats.CollectVirtual += time.Duration(d.store.TakeIOWait())
 	}
-	d.renewLease()
+	d.renewLease(sw)
+	d.maintainPartition(sw)
 	d.crashIfScheduled(sw)
 
 	// RDMA: age key hotness once per completed window, demoting keys

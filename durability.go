@@ -142,8 +142,10 @@ func (d *Deployment) logFinish(sw uint64) {
 	}
 	d.obs.ring.Record(obs.StageCheckpoint, sw, -1, int64(time.Since(ckptStart)))
 	// The standby tails checkpoints: each one overwrites its whole state,
-	// keeping it at most one checkpoint interval behind the primary.
-	if d.standby != nil && !d.failedOver {
+	// keeping it at most one checkpoint interval behind the primary —
+	// unless the partition schedule cut the checkpoint channel at this
+	// boundary, in which case the standby silently goes stale.
+	if d.standby != nil && !d.cfg.PartitionFaults.CkptCut(sw) {
 		d.standby.RestoreState(snap)
 	}
 }
@@ -154,6 +156,13 @@ func (d *Deployment) logFinish(sw uint64) {
 // disk fault that survived the store's own retry budget: enter degraded
 // mode and keep the telemetry flowing.
 func (d *Deployment) durabilityFault(sw uint64, err error) {
+	if errors.Is(err, durable.ErrFenced) {
+		// A stale-term rejection is the fencing protocol working as
+		// designed, not a disk fault: the deposed writer must neither
+		// degrade durability nor declare the store dead — the new term
+		// holder is writing to it right now.
+		return
+	}
 	if d.storeErr == nil {
 		d.storeErr = err
 	}
@@ -195,8 +204,8 @@ func (d *Deployment) healDurability(sw uint64) {
 	d.obs.durDegraded.Set(0)
 	d.obs.ring.Record(obs.StageDurabilityDegraded, sw, -1, 0)
 	// Re-sync the standby: it missed every checkpoint the degraded
-	// stretch skipped.
-	if d.standby != nil && !d.failedOver {
+	// stretch skipped (partition cuts apply to the heal checkpoint too).
+	if d.standby != nil && !d.cfg.PartitionFaults.CkptCut(sw) {
 		d.standby.RestoreState(snap)
 	}
 }
@@ -323,6 +332,17 @@ func (d *Deployment) failover(sw uint64) time.Duration {
 	d.ctrls[0] = d.standby
 	d.ctrl = d.standby
 	d.standby = nil
+	// The promoted standby acquires a fresh fencing term. The crashed
+	// primary will never write again, but uniformity matters: every
+	// promotion — crash or partition — advances the term, so the WAL's
+	// term sequence alone tells the full failover history.
+	if d.store != nil && !d.storeDead {
+		if next, err := d.store.CASTerm(d.store.Term(), 2); err == nil {
+			if d.store.AdoptTerm(next) == nil {
+				d.term = next
+			}
+		}
+	}
 	// The promoted standby owns fresh memory: the RDMA transport must
 	// re-register its region and rebuild the switch-side AddressMAT so
 	// hot-key verbs resolve to the new controller's addresses. Verbs
@@ -353,13 +373,164 @@ func (d *Deployment) noteRDMAShed(sw uint64, n int) {
 	}
 }
 
-// renewLease extends the primary's liveness lease after a successful
-// collection round (no-op without a standby, or after promotion — the
-// promoted standby has no peer watching it).
-func (d *Deployment) renewLease() {
-	if d.lease != nil && !d.failedOver {
-		d.lease.Renew(d.now)
+// partitionProbe is the standby's boundary health check under a
+// partition schedule: it observes the primary's liveness lease through
+// its own (possibly drifted) clock and, once the lease reads expired,
+// promotes over the still-live primary behind a fencing term. It runs at
+// every boundary — owned or idle — because the lease lapses on virtual
+// time, not on traffic. Returns the virtual time charged to the C&R
+// budget.
+func (d *Deployment) partitionProbe(sw uint64) time.Duration {
+	ps := d.cfg.PartitionFaults
+	if ps == nil || d.standby == nil || d.lease == nil {
+		return 0
 	}
+	// The standby observes the lease AT the boundary (collectAt), through
+	// its own clock: constant drift makes a fast standby see expiry early
+	// (a spurious but fencing-safe takeover) and a slow one see it late
+	// (delayed promotion).
+	if !d.lease.Expired(d.collectAt + ps.Drift()) {
+		return 0
+	}
+	return d.partitionFailover(sw)
+}
+
+// partitionFailover promotes the standby over a live-but-partitioned
+// primary. Unlike crash failover, the old primary is still running; what
+// makes the takeover safe is fencing: the standby wins the term CAS
+// first, so every durable write the zombie attempts from then on is
+// rejected with ErrFenced, and observing that rejection the old primary
+// self-demotes — it stops emitting and parks until re-admission.
+//
+// Boundaries the standby's checkpoint tailing missed (cut channel,
+// degraded stretch) hold records that now live only in the unreachable
+// half: they are charged Missing on the promoted controller, so every
+// window spanning them assembles Incomplete instead of silently partial.
+// The windows ENDING at those boundaries were already emitted by the old
+// primary before it lost the term — legitimately, it held the lease then
+// — so the promoted controller re-finishes those boundaries and discards
+// the duplicate outputs (SuppressedWindows): every (Start, End) window
+// has exactly one finalizer across the whole run.
+func (d *Deployment) partitionFailover(sw uint64) time.Duration {
+	// Win the term first. If the CAS write itself cannot land (dead or
+	// faulted disk) there is no fence, and without a fence the takeover
+	// is not safe — stay on the old primary and retry next boundary.
+	next, err := d.store.CASTerm(d.store.Term(), 2)
+	if err != nil {
+		return 0
+	}
+
+	// The zombie's last writes: the partitioned primary, not yet aware it
+	// was deposed, attempts its boundary finish and checkpoint. Both are
+	// rejected under its stale term — the rejection is how it learns to
+	// self-demote.
+	fencedBefore := d.store.FencedWrites()
+	_ = d.store.AppendFinish(sw)
+	_ = d.store.Checkpoint(d.ctrl.ExportState())
+	fenced := d.store.FencedWrites() - fencedBefore
+	d.demotedCtrl = d.ctrl
+	d.cleanSince = 0
+	d.stats.Demotions++
+	d.obs.ring.Record(obs.StageFenced, sw, -1, fenced)
+
+	// Charge the un-handed-off boundaries [lastTailed+1, sw): Missing
+	// first, then the suppressed re-finish.
+	from := uint64(0)
+	if lf, ok := d.standby.LastFinished(); ok {
+		from = lf + 1
+	}
+	for s := from; s < sw; s++ {
+		d.standby.NoteLost(s, 1)
+		w := d.standby.FinishSubWindow(s)
+		d.stats.SuppressedWindows += len(w)
+	}
+
+	d.failedOver = true
+	d.stats.Failovers++
+	d.obs.ring.Record(obs.StageFailover, sw, -1, int64(next))
+	d.lease.Release()
+	d.ctrls[0] = d.standby
+	d.ctrl = d.standby
+	d.standby = nil
+	// The winner adopts the term it CASed: from here on its WAL frames,
+	// segments and checkpoints carry it, and the demoted node can never
+	// write under the old one again.
+	if err := d.store.AdoptTerm(next); err == nil {
+		d.term = next
+	}
+	if d.rdma != nil {
+		d.rdma.Reregister()
+	}
+	// Re-announce the in-flight sub-window: the Phase-3 NACK loop then
+	// recovers it from the still-unreset region, exactly as after a crash
+	// failover. No lease wait is charged — the standby promotes only
+	// after it already observed the lease expired.
+	d.sendTrigger(sw)
+	return 0
+}
+
+// readmitDemoted returns a demoted former primary to service as the new
+// standby after the partition healed: its stale state is wiped and
+// re-seeded from the current primary (as if it had just tailed a
+// checkpoint), and the liveness lease is re-armed before the next
+// boundary's probe — the freshly healed pair must not instantly
+// re-promote over a lease nobody was renewing while no standby watched.
+func (d *Deployment) readmitDemoted(sw uint64) {
+	d.standby = d.demotedCtrl
+	d.demotedCtrl = nil
+	d.cleanSince = 0
+	d.standby.RestoreState(d.ctrl.ExportState())
+	d.stats.Readmissions++
+	d.obs.ring.Record(obs.StageReadmit, sw, -1, 0)
+	d.lease.Renew(d.now)
+}
+
+// maintainPartition runs the per-boundary partition bookkeeping: counts
+// boundaries touched by an active fault, and — once a demoted node has
+// seen enough consecutive clean boundaries — re-admits it as the new
+// standby (Config.ReadmitAfter; negative disables re-admission).
+func (d *Deployment) maintainPartition(sw uint64) {
+	ps := d.cfg.PartitionFaults
+	if ps == nil {
+		return
+	}
+	if ps.Any(sw) {
+		d.stats.PartitionEvents++
+		d.cleanSince = 0
+		return
+	}
+	if d.demotedCtrl == nil || d.cfg.ReadmitAfter < 0 {
+		return
+	}
+	d.cleanSince++
+	need := d.cfg.ReadmitAfter
+	if need == 0 {
+		need = 1
+	}
+	if d.cleanSince >= need {
+		d.readmitDemoted(sw)
+	}
+}
+
+// renewLease extends the primary's liveness lease after a successful
+// collection round — unless the partition schedule says this boundary's
+// renewal is lost (the standby sees nothing) or gray (it lands late,
+// possibly after the lease already lapsed). A no-op once no standby
+// watches: after promotion the new primary has no peer until a demoted
+// node is re-admitted.
+func (d *Deployment) renewLease(sw uint64) {
+	if d.lease == nil || d.standby == nil {
+		return
+	}
+	ps := d.cfg.PartitionFaults
+	if ps.RenewCut(sw) {
+		return // the renewal never arrives
+	}
+	if gray, delay := ps.GrayAt(sw); gray {
+		d.lease.RenewDelayed(d.now, delay)
+		return
+	}
+	d.lease.Renew(d.now)
 }
 
 // crashIfScheduled halts the deployment at a scheduled crash boundary

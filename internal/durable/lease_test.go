@@ -72,3 +72,122 @@ func TestLeaseRemainingNeverNegative(t *testing.T) {
 		t.Fatalf("TTL = %d, want 100", got)
 	}
 }
+
+// Renewing after the lease already lapsed is legal and starts a fresh
+// term from the renewal instant — but the expiry the standby observed in
+// between stands: once promoted, the fencing term (not the lease) decides
+// who may write. The lease itself just restarts cleanly.
+func TestLeaseRenewAfterExpiry(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+	if !l.Expired(250) {
+		t.Fatal("lease should have lapsed at 250")
+	}
+	l.Renew(250)
+	if l.Expired(349) {
+		t.Fatal("late renewal did not start a fresh term")
+	}
+	if !l.Expired(350) {
+		t.Fatal("fresh term must expire inclusively at renew+TTL")
+	}
+	if got := l.Remaining(300); got != 50 {
+		t.Fatalf("Remaining mid-fresh-term = %d, want 50", got)
+	}
+}
+
+// Remaining at the exact expiry instant is 0, not TTL and not negative —
+// the standby's promotion wait must never round a just-expired lease back
+// up to a full term.
+func TestLeaseRemainingAtExactExpiry(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+	if got := l.Remaining(99); got != 1 {
+		t.Fatalf("Remaining one tick before expiry = %d, want 1", got)
+	}
+	if got := l.Remaining(100); got != 0 {
+		t.Fatalf("Remaining at exact expiry = %d, want 0", got)
+	}
+	if got := l.Remaining(101); got != 0 {
+		t.Fatalf("Remaining past expiry = %d, want 0", got)
+	}
+}
+
+// Clock drift between primary and standby: the standby probes the lease
+// with its own (skewed) virtual clock. A fast standby clock observes
+// expiry early — a spurious but SAFE takeover (fencing rejects the live
+// primary's writes); a slow standby clock observes expiry late — delayed
+// but still inevitable promotion. Neither skew direction can make a
+// renewal retroactively visible.
+func TestLeaseClockDrift(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+
+	// Standby running 30 ahead: at primary-time 80 it reads 110 — expired
+	// from its point of view, while the primary still holds 20 of term.
+	if !l.Expired(80 + 30) {
+		t.Fatal("fast standby clock should observe expiry early")
+	}
+
+	// Standby running 30 behind: at primary-time 120 it reads 90 — the
+	// lapsed lease still looks held, postponing promotion by the skew.
+	l.Renew(0)
+	if l.Expired(120 - 30) {
+		t.Fatal("slow standby clock should observe expiry late")
+	}
+	if !l.Expired(130 - 30) {
+		t.Fatal("slow clock only postpones expiry, never cancels it")
+	}
+}
+
+// Gray failure: the primary keeps renewing, but each renewal is delayed
+// beyond the TTL. The standby observes a lapsed lease (the in-flight
+// renewal is invisible until it lands), and a renewal that does land
+// later extends the term only from its issue time — never retroactively
+// past an expiry already observed.
+func TestLeaseRenewDelayedGray(t *testing.T) {
+	l := NewLease(100)
+	l.Renew(0)
+
+	// Renewal issued at 50, crawling: visible only at 50+120=170.
+	l.RenewDelayed(50, 120)
+	if l.Expired(99) {
+		t.Fatal("previous visible term should still hold before 100")
+	}
+	if !l.Expired(100) {
+		t.Fatal("in-flight renewal must not extend the visible term")
+	}
+	if !l.Expired(149) {
+		t.Fatal("still expired while the renewal is in flight")
+	}
+	// At 170 the renewal lands: issued at 50, so it expires at 150 —
+	// already in the past. A too-slow renewal buys nothing.
+	if !l.Expired(170) {
+		t.Fatal("a renewal slower than the TTL must never revive the lease")
+	}
+
+	// A renewal delayed less than the TTL does extend the term once it
+	// lands: issued at 200, visible at 230, expiring at 300.
+	l.RenewDelayed(200, 30)
+	if !l.Expired(229) {
+		t.Fatal("renewal invisible before its arrival time")
+	}
+	if l.Expired(260) {
+		t.Fatal("landed renewal should extend the visible term")
+	}
+	if !l.Expired(300) {
+		t.Fatal("landed renewal expires at issue+TTL, not arrival+TTL")
+	}
+
+	// An instant renewal supersedes any in-flight one.
+	l.RenewDelayed(400, 50)
+	l.Renew(410)
+	if l.Expired(509) {
+		t.Fatal("instant renewal should supersede the pending one")
+	}
+
+	// Zero/negative delay degenerates to an instant renewal.
+	l.RenewDelayed(600, 0)
+	if l.Expired(699) {
+		t.Fatal("zero-delay renewal should behave like Renew")
+	}
+}

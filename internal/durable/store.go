@@ -161,11 +161,20 @@ type Store struct {
 	hdr      []byte // segment-header encode scratch (enc may hold a frame)
 	lost     []LostLSNRange
 
+	// Fencing state (see term.go): curTerm is the authoritative term
+	// (term file), writerTerm is the term this handle writes under.
+	// Writes are accepted only while the two agree.
+	curTerm     uint64
+	writerTerm  uint64
+	holder      uint32
+	segTermHigh uint64 // newest segment-header term seen by recovery
+
 	ioWait      atomic.Int64 // virtual ns: retry backoff (plus FS slow IO, drained in TakeIOWait)
 	walErrs     atomic.Int64
 	rotations   atomic.Int64
 	quarantines atomic.Int64
 	scrubErrs   atomic.Int64
+	fenced      atomic.Int64
 
 	// crash, when set, is consulted at named points inside mutating
 	// operations; returning true aborts the operation with ErrCrash,
@@ -249,9 +258,12 @@ func OpenStore(dir string, shards int, opt Options) (*Store, error) {
 	}
 	// Resume the LSN counter past everything already durable, so new
 	// frames never collide with replayed ones. Segments are opened
-	// lazily on first append; nothing is written here.
+	// lazily on first append; nothing is written here. The recovery scan
+	// also surfaces the newest segment-header term, which backs the term
+	// file up if it is damaged or missing.
 	s.mu.Lock()
 	s.recoverLocked()
+	s.loadTermLocked(s.segTermHigh)
 	s.mu.Unlock()
 	return s, nil
 }
@@ -357,6 +369,7 @@ func (s *Store) Instrument(reg *obs.Registry, labels string) {
 	reg.CounterFunc(n("omniwindow_durable_rotations_total"), "WAL segments sealed (size cap, cadence, retry rotation, or checkpoint)", s.rotations.Load)
 	reg.CounterFunc(n("omniwindow_durable_quarantined_segments_total"), "damaged segments or checkpoints set aside during recovery or scrubbing", s.quarantines.Load)
 	reg.CounterFunc(n("omniwindow_durable_scrub_errors_total"), "scrub passes that could not verify a chain (read failures)", s.scrubErrs.Load)
+	reg.CounterFunc(n("omniwindow_durable_fenced_writes_total"), "mutating operations rejected because the writer's fencing term was stale", s.fenced.Load)
 }
 
 // Dir returns the store's directory.
@@ -487,7 +500,7 @@ func (s *Store) openSegmentLocked(c *chain) error {
 	if err != nil {
 		return err
 	}
-	s.hdr = wire.AppendSegmentHeader(s.hdr[:0], &wire.SegmentHeader{Chain: c.id, Gen: gen})
+	s.hdr = wire.AppendSegmentHeader(s.hdr[:0], &wire.SegmentHeader{Chain: c.id, Gen: gen, Term: s.writerTerm})
 	if n, werr := f.Write(s.hdr); werr != nil || n != len(s.hdr) {
 		f.Close()
 		s.fsys.Remove(path)
@@ -559,6 +572,11 @@ func (s *Store) append(ci int, rec *wire.WALRecord) error {
 	if s.dead {
 		return s.deadErr
 	}
+	if s.writerTerm != s.curTerm {
+		s.fenced.Add(1)
+		return ErrFenced
+	}
+	rec.Term = s.writerTerm
 	c := s.chains[ci]
 	// Encode into the store's scratch buffer: one steady-state allocation
 	// for the life of the store instead of one per append. Safe because
@@ -712,7 +730,12 @@ func (s *Store) checkpointLocked(snap *wire.Snapshot) error {
 	if s.dead {
 		return s.deadErr
 	}
+	if s.writerTerm != s.curTerm {
+		s.fenced.Add(1)
+		return ErrFenced
+	}
 	snap.ThroughLSN = s.lsn.Load()
+	snap.Term = s.writerTerm
 	s.enc = wire.EncodeSnapshot(s.enc[:0], snap)
 	buf := s.enc
 
@@ -856,6 +879,9 @@ func (s *Store) replaySegmentLocked(c *chain, path string) (recs []*wire.WALReco
 		s.quarantineLocked(c, path)
 		return nil, false
 	}
+	if hdr.Term > s.segTermHigh {
+		s.segTermHigh = hdr.Term
+	}
 	for off := wire.SegmentHeaderSize; off < len(buf); {
 		rec, n, err := wire.DecodeWALRecord(buf[off:])
 		if err != nil {
@@ -962,6 +988,11 @@ func (s *Store) Scrub() (corrupt int, err error) {
 	defer s.mu.Unlock()
 	if s.dead || s.scrubDepth == 0 {
 		return 0, nil
+	}
+	// A fenced writer must not quarantine files the new term-holder is
+	// writing: its view of the chains is stale.
+	if s.writerTerm != s.curTerm {
+		return 0, ErrFenced
 	}
 	for _, c := range s.chains {
 		if c.f == nil || c.frames == 0 {

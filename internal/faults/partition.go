@@ -1,0 +1,160 @@
+package faults
+
+// PartitionWindow is one sustained symmetric-partition interval: every
+// sub-window boundary in [Start, Start+Len) has both the lease-renewal
+// and the checkpoint-tailing channel cut.
+type PartitionWindow struct {
+	Start, Len uint64
+}
+
+// PartitionSchedule describes network failures between the hot-standby
+// pair's two halves (deployment.go): the primary→standby lease-renewal
+// channel and the primary→standby checkpoint-tailing channel. Like
+// Crash/Switch/Disk/RDMA schedules it is stateless and deterministic —
+// every fault hashes (Seed, sub-window boundary) under its own salt, so
+// enabling one fault kind never shifts another's schedule, and never
+// shifts any other schedule family either. The zero value (and a nil
+// schedule) is a healthy network.
+//
+// Fault classes, per boundary:
+//
+//   - Symmetric (probability, plus sustained Windows): both channels cut.
+//     Renewals are lost AND the standby stops receiving checkpoints, so a
+//     long enough partition expires the lease and promotes a standby
+//     whose state lags — the boundaries hidden by the outage are charged
+//     Missing by the new primary.
+//   - RenewOnly (asymmetric): renewals lost, checkpoints flow. The
+//     classic zombie-primary case — the standby promotes against a fully
+//     fresh checkpoint, and fencing makes the spurious takeover safe.
+//   - CkptOnly (asymmetric): checkpoints lost, renewals flow. No
+//     promotion; the standby just goes stale until the channel heals.
+//   - Gray (slowness, not loss): the renewal is issued but arrives
+//     DelayNs late. A delay beyond the lease TTL is indistinguishable
+//     from loss to the standby — the gray-failure trigger.
+//
+// DriftNs skews the standby's virtual clock against the primary's for
+// lease observations: a fast standby clock (positive drift) promotes
+// early and spuriously, a slow one promotes late. Drift is constant, not
+// hashed — clock skew is a property of the node, not of the boundary.
+type PartitionSchedule struct {
+	// Seed parameterizes every hash below.
+	Seed uint64
+
+	// Symmetric is the per-boundary probability of a full cut.
+	Symmetric float64
+	// Windows are sustained symmetric partitions at fixed boundaries.
+	Windows []PartitionWindow
+	// RenewOnly is the per-boundary probability the renewal channel alone
+	// is cut.
+	RenewOnly float64
+	// CkptOnly is the per-boundary probability the checkpoint channel
+	// alone is cut.
+	CkptOnly float64
+	// Gray is the per-boundary probability the renewal is delayed by
+	// DelayNs instead of lost.
+	Gray float64
+	// DelayNs is the gray renewal's latency in virtual ns; 0 defaults to
+	// 1ms.
+	DelayNs int64
+	// DriftNs is the standby's constant clock skew in virtual ns
+	// (positive = standby clock ahead of the primary's).
+	DriftNs int64
+}
+
+// Distinct salts keep the per-kind hash streams independent.
+const (
+	saltPartSym   = 0x504152545359_01 // "PARTSY"
+	saltPartRenew = 0x50415254524E_02 // "PARTRN"
+	saltPartCkpt  = 0x50415254434B_03 // "PARTCK"
+	saltPartGray  = 0x504152544752_04 // "PARTGR"
+)
+
+// prob maps a hash to [0, 1) exactly as CrashSchedule.At does.
+func (s *PartitionSchedule) prob(salt, sw uint64) float64 {
+	h := splitmix64(s.Seed ^ salt ^ splitmix64(sw))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// symmetricAt reports a full cut at boundary sw — a sustained window, or
+// the per-boundary draw.
+func (s *PartitionSchedule) symmetricAt(sw uint64) bool {
+	for _, w := range s.Windows {
+		if w.Len > 0 && sw >= w.Start && sw < w.Start+w.Len {
+			return true
+		}
+	}
+	if s.Symmetric <= 0 {
+		return false
+	}
+	return s.prob(saltPartSym, sw) < s.Symmetric
+}
+
+// RenewCut reports whether the primary's lease renewal at boundary sw is
+// lost (symmetric cut, or the asymmetric renewal-only cut). Nil-safe.
+func (s *PartitionSchedule) RenewCut(sw uint64) bool {
+	if s == nil {
+		return false
+	}
+	if s.symmetricAt(sw) {
+		return true
+	}
+	if s.RenewOnly <= 0 {
+		return false
+	}
+	return s.prob(saltPartRenew, sw) < s.RenewOnly
+}
+
+// CkptCut reports whether the standby's checkpoint tailing at boundary sw
+// is lost (symmetric cut, or the asymmetric checkpoint-only cut).
+// Nil-safe.
+func (s *PartitionSchedule) CkptCut(sw uint64) bool {
+	if s == nil {
+		return false
+	}
+	if s.symmetricAt(sw) {
+		return true
+	}
+	if s.CkptOnly <= 0 {
+		return false
+	}
+	return s.prob(saltPartCkpt, sw) < s.CkptOnly
+}
+
+// GrayAt reports whether the renewal at boundary sw is delayed rather
+// than lost, and by how much virtual time. A boundary that is already cut
+// (RenewCut) is not also gray — loss dominates slowness. Nil-safe.
+func (s *PartitionSchedule) GrayAt(sw uint64) (bool, int64) {
+	if s == nil || s.Gray <= 0 || s.RenewCut(sw) {
+		return false, 0
+	}
+	if s.prob(saltPartGray, sw) >= s.Gray {
+		return false, 0
+	}
+	d := s.DelayNs
+	if d <= 0 {
+		d = 1_000_000 // 1ms
+	}
+	return true, d
+}
+
+// Any reports whether any partition fault is active at boundary sw — the
+// deployment's "partition-free boundary" predicate gating re-admission of
+// a demoted primary. Constant drift alone is not an event. Nil-safe.
+func (s *PartitionSchedule) Any(sw uint64) bool {
+	if s == nil {
+		return false
+	}
+	if s.RenewCut(sw) || s.CkptCut(sw) {
+		return true
+	}
+	gray, _ := s.GrayAt(sw)
+	return gray
+}
+
+// Drift returns the standby's constant clock skew. Nil-safe.
+func (s *PartitionSchedule) Drift() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.DriftNs
+}

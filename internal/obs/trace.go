@@ -60,6 +60,10 @@ const (
 	// writes suspended and counted as gaps), 0 on heal (fresh checkpoint
 	// + new WAL generation).
 	StageDurabilityDegraded
+	// StageFenced: a partitioned former primary's durable writes were
+	// rejected under a stale fencing term and it self-demoted.
+	// Value = fenced write attempts observed at this boundary.
+	StageFenced
 )
 
 var stageNames = [...]string{
@@ -78,6 +82,7 @@ var stageNames = [...]string{
 	StageRDMAFallback:       "rdma_fallback",
 	StageQPRecovered:        "qp_recovered",
 	StageDurabilityDegraded: "durability_degraded",
+	StageFenced:             "fenced",
 }
 
 // String names the stage as it appears in JSON dumps and owtop.

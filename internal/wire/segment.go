@@ -11,10 +11,12 @@ import (
 	"hash/crc32"
 )
 
-// SegMagic ("OWSG") and SegVersion identify WAL segment headers.
+// SegMagic ("OWSG") and SegVersion identify WAL segment headers. Version
+// 2 added the writer's fencing term to the preamble, so every segment
+// rotation durably records which term-holder opened it.
 const (
 	SegMagic   uint32 = 0x4F575347
-	SegVersion uint8  = 1
+	SegVersion uint8  = 2
 )
 
 // CtlChain is the SegmentHeader.Chain value for the control-log chain
@@ -25,11 +27,15 @@ const CtlChain uint32 = ^uint32(0)
 type SegmentHeader struct {
 	Chain uint32
 	Gen   uint64
+	// Term is the fencing term of the writer that opened the segment
+	// (internal/durable); recovery uses the newest segment term to
+	// rebuild fencing authority when the term file itself is damaged.
+	Term uint64
 }
 
 // SegmentHeaderSize is the fixed on-disk header length:
-// magic(4) + version(1) + chain(4) + gen(8) + crc(4).
-const SegmentHeaderSize = 4 + 1 + 4 + 8 + 4
+// magic(4) + version(1) + chain(4) + gen(8) + term(8) + crc(4).
+const SegmentHeaderSize = 4 + 1 + 4 + 8 + 8 + 4
 
 // AppendSegmentHeader appends the encoded header to buf and returns it.
 func AppendSegmentHeader(buf []byte, h *SegmentHeader) []byte {
@@ -38,6 +44,7 @@ func AppendSegmentHeader(buf []byte, h *SegmentHeader) []byte {
 	buf = append(buf, SegVersion)
 	buf = binary.BigEndian.AppendUint32(buf, h.Chain)
 	buf = binary.BigEndian.AppendUint64(buf, h.Gen)
+	buf = binary.BigEndian.AppendUint64(buf, h.Term)
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 }
 
@@ -62,6 +69,7 @@ func DecodeSegmentHeader(data []byte) (SegmentHeader, error) {
 	}
 	h.Chain = binary.BigEndian.Uint32(body[5:])
 	h.Gen = binary.BigEndian.Uint64(body[9:])
+	h.Term = binary.BigEndian.Uint64(body[17:])
 	return h, nil
 }
 
@@ -76,7 +84,7 @@ func VerifyWALFrame(data []byte) (int, error) {
 	}
 	plen := int(binary.BigEndian.Uint32(data))
 	total := walHeaderSize + plen + sumSize
-	if plen < 1+8+8 || len(data) < total {
+	if plen < walFixedPayload || len(data) < total {
 		return 0, ErrTruncated
 	}
 	payload := data[walHeaderSize : walHeaderSize+plen]

@@ -11,6 +11,8 @@ func TestSegmentHeaderRoundTrip(t *testing.T) {
 		{Chain: 0, Gen: 1},
 		{Chain: 7, Gen: 123456},
 		{Chain: CtlChain, Gen: 42},
+		{Chain: 2, Gen: 5, Term: 3},
+		{Chain: CtlChain, Gen: 1, Term: 1<<64 - 1},
 	} {
 		buf := AppendSegmentHeader(nil, &h)
 		if len(buf) != SegmentHeaderSize {

@@ -89,6 +89,12 @@ func FuzzDecodeWALRecord(f *testing.F) {
 	f.Add(batch)
 	f.Add(batch[:len(batch)-2])
 	f.Add([]byte{})
+	// Fenced frames: terms in the fixed payload header, including the
+	// all-ones term a corrupted fencing field would present.
+	f.Add(AppendWALRecord(nil, &WALRecord{Type: WALFinish, LSN: 10, Term: 2, SubWindow: 4}))
+	fenced := AppendWALRecord(nil, &WALRecord{Type: WALTrigger, LSN: 11, Term: 1<<64 - 1, SubWindow: 4, KeyCount: 1})
+	f.Add(fenced)
+	f.Add(fenced[:walHeaderSize+walFixedPayload-1])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, n, err := DecodeWALRecord(data)

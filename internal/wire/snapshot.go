@@ -14,9 +14,11 @@ import (
 )
 
 // SnapMagic ("OWSN") and SnapVersion identify checkpoint snapshots.
+// Version 2 added the writer's fencing term after ThroughLSN, so a
+// checkpoint durably records which term-holder cut it.
 const (
 	SnapMagic   uint32 = 0x4F57534E
-	SnapVersion uint8  = 1
+	SnapVersion uint8  = 2
 )
 
 // WAL record types. Every controller-state mutation that replay must
@@ -83,6 +85,9 @@ type Snapshot struct {
 	// in), which makes a crash between checkpoint rename and WAL
 	// truncation harmless.
 	ThroughLSN uint64
+	// Term is the fencing term of the writer that cut the checkpoint
+	// (internal/durable); 0 when fencing was never engaged.
+	Term uint64
 	// LastFinished is the newest sub-window whose FinishSubWindow ran
 	// before the snapshot (valid when HasFinished); replayed WALFinish
 	// frames at or below it are skipped.
@@ -95,7 +100,7 @@ type Snapshot struct {
 }
 
 const snapContribSize = 8 + 8 + 32 + 1
-const snapHeaderSize = 4 + 1 + 8 + 8 + 1
+const snapHeaderSize = 4 + 1 + 8 + 8 + 8 + 1
 
 // EncodeSnapshot serializes s into buf (grown as needed) and returns the
 // resulting slice, ending in the CRC-32 trailer.
@@ -104,6 +109,7 @@ func EncodeSnapshot(buf []byte, s *Snapshot) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, SnapMagic)
 	buf = append(buf, SnapVersion)
 	buf = binary.BigEndian.AppendUint64(buf, s.ThroughLSN)
+	buf = binary.BigEndian.AppendUint64(buf, s.Term)
 	buf = binary.BigEndian.AppendUint64(buf, s.LastFinished)
 	buf = append(buf, b2u(s.HasFinished))
 
@@ -234,6 +240,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	r := &snapReader{data: body, off: 5}
 	s := &Snapshot{
 		ThroughLSN:   r.u64(),
+		Term:         r.u64(),
 		LastFinished: r.u64(),
 		HasFinished:  r.u8() != 0,
 	}
@@ -325,7 +332,11 @@ type WALRecord struct {
 	Type byte
 	// LSN is the global log sequence number; the durable layer merges
 	// per-shard logs by LSN to recover a total replay order.
-	LSN       uint64
+	LSN uint64
+	// Term is the fencing term the frame was written under (internal/
+	// durable); a legitimate log is non-decreasing in Term along LSN
+	// order, and the partition chaos suite audits exactly that.
+	Term      uint64
 	SubWindow uint64
 	// KeyCount is the trigger announcement (WALTrigger).
 	KeyCount uint32
@@ -340,6 +351,10 @@ type WALRecord struct {
 // walHeaderSize is the fixed frame prefix: payload length (4).
 const walHeaderSize = 4
 
+// walFixedPayload is the fixed leading payload every frame type shares:
+// type(1) + lsn(8) + term(8) + subwindow(8).
+const walFixedPayload = 1 + 8 + 8 + 8
+
 // AppendWALRecord appends one framed record to buf and returns it.
 func AppendWALRecord(buf []byte, rec *WALRecord) []byte {
 	start := len(buf)
@@ -347,6 +362,7 @@ func AppendWALRecord(buf []byte, rec *WALRecord) []byte {
 	payload := len(buf)
 	buf = append(buf, rec.Type)
 	buf = binary.BigEndian.AppendUint64(buf, rec.LSN)
+	buf = binary.BigEndian.AppendUint64(buf, rec.Term)
 	buf = binary.BigEndian.AppendUint64(buf, rec.SubWindow)
 	switch rec.Type {
 	case WALAFRBatch:
@@ -374,7 +390,7 @@ func DecodeWALRecord(data []byte) (*WALRecord, int, error) {
 	}
 	plen := int(binary.BigEndian.Uint32(data))
 	total := walHeaderSize + plen + sumSize
-	if plen < 1+8+8 || len(data) < total {
+	if plen < walFixedPayload || len(data) < total {
 		return nil, 0, ErrTruncated
 	}
 	payload := data[walHeaderSize : walHeaderSize+plen]
@@ -384,9 +400,10 @@ func DecodeWALRecord(data []byte) (*WALRecord, int, error) {
 	rec := &WALRecord{
 		Type:      payload[0],
 		LSN:       binary.BigEndian.Uint64(payload[1:]),
-		SubWindow: binary.BigEndian.Uint64(payload[9:]),
+		Term:      binary.BigEndian.Uint64(payload[9:]),
+		SubWindow: binary.BigEndian.Uint64(payload[17:]),
 	}
-	rest := payload[17:]
+	rest := payload[walFixedPayload:]
 	switch rec.Type {
 	case WALAFRBatch:
 		if len(rest) < 5 {

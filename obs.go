@@ -113,6 +113,32 @@ func (d *Deployment) setupObs() error {
 	if d.standby != nil {
 		d.standby.SetObs(controller.Instrument(d.reg, labels))
 	}
+	// Failover topology: who holds the fencing term and what the serving
+	// controller's provenance is. Registered only for hot-standby
+	// deployments — owtop hides its failover panel when these families
+	// are absent.
+	if cfg.Standby {
+		d.reg.GaugeFunc(n("omniwindow_failover_term"), "fencing term held by the serving controller",
+			func() int64 { return int64(d.term) })
+		d.reg.GaugeFunc(n("omniwindow_failover_role"), "serving controller's provenance (0=original primary, 1=promoted standby, 2=promoted with the demoted former primary still parked)",
+			func() int64 {
+				switch {
+				case d.demotedCtrl != nil:
+					return 2
+				case d.failedOver:
+					return 1
+				}
+				return 0
+			})
+		d.reg.CounterFunc(n("omniwindow_failover_demotions_total"), "zombie-primary self-demotions after fenced writes",
+			func() int64 { return int64(d.stats.Demotions) })
+		d.reg.CounterFunc(n("omniwindow_failover_readmissions_total"), "demoted former primaries re-admitted as the new standby",
+			func() int64 { return int64(d.stats.Readmissions) })
+		d.reg.CounterFunc(n("omniwindow_failover_partition_events_total"), "sub-window boundaries touched by an active partition fault",
+			func() int64 { return int64(d.stats.PartitionEvents) })
+		d.reg.CounterFunc(n("omniwindow_failover_suppressed_windows_total"), "duplicate window emissions discarded by the promoted standby",
+			func() int64 { return int64(d.stats.SuppressedWindows) })
+	}
 
 	if cfg.DebugAddr != "" {
 		srv, err := obs.Serve(cfg.DebugAddr, d.reg)

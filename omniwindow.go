@@ -172,6 +172,21 @@ type Config struct {
 	// Without Standby the deployment halts at the crash (restart it on
 	// the same CheckpointDir to recover); with Standby it fails over.
 	Crash *faults.CrashSchedule
+	// PartitionFaults schedules network failures between the hot-standby
+	// pair's halves (seeded, deterministic — see
+	// faults.PartitionSchedule): symmetric cuts, asymmetric renewal-only
+	// or checkpoint-only cuts, gray renewal slowness, and constant
+	// standby clock drift. A partition that expires the lease promotes
+	// the standby behind a fencing term — the isolated old primary's
+	// durable writes are rejected (ErrFenced) and it self-demotes.
+	// Requires Standby.
+	PartitionFaults *faults.PartitionSchedule
+	// ReadmitAfter is how many consecutive partition-free sub-window
+	// boundaries must pass before a demoted former primary is re-admitted
+	// as the new standby (its state wiped and re-seeded from the current
+	// primary's). 0 defaults to 1; negative disables re-admission — a
+	// demoted node stays parked forever. Requires PartitionFaults.
+	ReadmitAfter int
 	// DiskFaults pushes every checkpoint/WAL disk operation through a
 	// seeded per-operation fault schedule (EIO, ENOSPC, short writes,
 	// bit rot, slow IO — see faults.DiskSchedule). Writes that survive
@@ -316,9 +331,33 @@ type Stats struct {
 	ControllerCPUVirtual time.Duration
 	// RecircPasses is the total number of recirculation pipeline passes.
 	RecircPasses int
-	// Failovers counts hot-standby promotions (0 or 1: a deployment has
-	// one standby).
+	// Failovers counts hot-standby promotions — crash failovers and
+	// partition-triggered takeovers. Crash failover happens at most once,
+	// but with re-admission (Config.ReadmitAfter) a healed node becomes
+	// the new standby and can promote again, so repeated partitions can
+	// push this past 1.
 	Failovers int
+	// Demotions counts zombie-primary self-demotions: the partitioned old
+	// primary observed its own fencing (a durable write returned
+	// ErrFenced, or its lease lapsed under a promoted standby) and stopped
+	// emitting.
+	Demotions int
+	// Readmissions counts demoted former primaries re-admitted as the new
+	// standby after ReadmitAfter consecutive partition-free boundaries.
+	Readmissions int
+	// FencedWrites counts durable mutations rejected because the writer's
+	// fencing term was stale — the zombie primary's post-promotion write
+	// attempts. Mirrors the store's counter for the run.
+	FencedWrites int
+	// PartitionEvents counts sub-window boundaries at which an active
+	// partition fault touched this deployment (lost or delayed renewals,
+	// cut checkpoint tailing).
+	PartitionEvents int
+	// SuppressedWindows counts window emissions the promoted standby
+	// discarded because the fenced old primary had already legitimately
+	// emitted them before losing its term — the duplicate-finalizer
+	// guard: every (Start, End) window has exactly one emitter.
+	SuppressedWindows int
 	// ReplayedWindows counts windows re-emitted by WAL replay during
 	// recovery, included in Results in their original positions.
 	ReplayedWindows int
@@ -379,6 +418,11 @@ type Deployment struct {
 	appResults [][]controller.WindowResult
 	stats      Stats
 	now        int64
+	// collectAt is the current collection's boundary-anchored due time
+	// (termination + grace). The standby's partition probe observes the
+	// lease at this instant — the boundary it runs at — not at d.now,
+	// which a trailing-flush time jump may have moved arbitrarily far.
+	collectAt int64
 
 	// regionOwner tracks which sub-window's state each memory region
 	// currently holds, so stale terminations cannot reset a region a
@@ -392,6 +436,16 @@ type Deployment struct {
 	lease      *durable.Lease
 	ckptShards int
 	failedOver bool
+	// term is this incarnation's fencing term — the writer identity every
+	// durable mutation carries. A partition promotion CASes the store to
+	// term+1 for the standby; the old primary's writes then fence.
+	term uint64
+	// demotedCtrl parks a self-demoted former primary's controller until
+	// re-admission (or forever, when re-admission is disabled).
+	demotedCtrl *controller.Controller
+	// cleanSince counts consecutive partition-free boundaries observed
+	// while a demoted node waits for re-admission.
+	cleanSince int
 	crashed    bool
 	crashedAt  uint64
 	storeErr   error
@@ -505,6 +559,12 @@ func New(cfg Config) (*Deployment, error) {
 		if cfg.CheckpointEvery > 1 {
 			return nil, fmt.Errorf("omniwindow: Standby requires CheckpointEvery 1, got %d — only the in-flight sub-window's switch state is still queryable at takeover", cfg.CheckpointEvery)
 		}
+	}
+	if cfg.PartitionFaults != nil && !cfg.Standby {
+		return nil, fmt.Errorf("omniwindow: PartitionFaults requires Standby — a partition needs two halves to separate")
+	}
+	if cfg.ReadmitAfter != 0 && cfg.PartitionFaults == nil {
+		return nil, fmt.Errorf("omniwindow: ReadmitAfter requires PartitionFaults — only a partition demotion leaves a node to re-admit")
 	}
 	apps := cfg.Apps
 	if len(apps) == 0 {
@@ -685,6 +745,12 @@ func (d *Deployment) openDurability() error {
 		return fmt.Errorf("omniwindow: %w", err)
 	}
 	d.store = store
+	// The opener implicitly adopts the persisted term (the store loads
+	// the term file — or rebuilds authority from segment headers — and
+	// resumes writing under it). A CAS only happens at promotion: the
+	// term advances when a standby takes over, never on a plain restart,
+	// so the WAL's term sequence reads as the exact failover history.
+	d.term = store.Term()
 	if !cfg.Standby {
 		return nil
 	}
@@ -847,12 +913,19 @@ func (d *Deployment) Reboot() {
 // Controller exposes the controller (per-sub-window timing breakdowns).
 func (d *Deployment) Controller() *controller.Controller { return d.ctrl }
 
+// Term returns the fencing term this deployment's serving controller
+// currently writes under (0 without durability). Every promotion —
+// crash or partition — advances it; a demoted former primary's stale
+// term is what the store rejects its writes by.
+func (d *Deployment) Term() uint64 { return d.term }
+
 // Stats returns run statistics. Store-side tallies (quarantined
-// segments) are folded in at read time.
+// segments, fenced writes) are folded in at read time.
 func (d *Deployment) Stats() Stats {
 	s := d.stats
 	if d.store != nil {
 		s.QuarantinedSegments = int(d.store.Quarantined())
+		s.FencedWrites = int(d.store.FencedWrites())
 	}
 	return s
 }
